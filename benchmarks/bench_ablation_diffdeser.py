@@ -1,0 +1,89 @@
+"""Ablation — differential deserialization (§6 future work).
+
+Server-side dual of the client optimization: full parse vs byte-diff +
+re-parse-changed-leaves vs pure content match, over stuffed
+(fixed-layout) incoming messages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import double_array_message, doubles_of_width
+from repro.core.client import BSoapClient
+from repro.core.policy import DiffPolicy, StuffingPolicy, StuffMode
+from repro.server.diffdeser import DeserKind, DifferentialDeserializer
+from repro.server.parser import SOAPRequestParser
+from repro.transport.loopback import CollectSink
+
+N = 5000
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    """A template message plus a 1%-changed and a 25%-changed variant."""
+    sink = CollectSink()
+    client = BSoapClient(sink, DiffPolicy(stuffing=StuffingPolicy(StuffMode.MAX)))
+    call = client.prepare(double_array_message(doubles_of_width(N, 14, seed=0)))
+    call.send()
+    base = sink.last
+    pool = doubles_of_width(N, 14, seed=9)
+    rng = np.random.default_rng(2)
+
+    call.tracked("data").update(rng.choice(N, N // 100, replace=False), pool[: N // 100])
+    call.send()
+    one_pct = sink.last
+
+    call.tracked("data").update(rng.choice(N, N // 4, replace=False), pool[: N // 4])
+    call.send()
+    quarter = sink.last
+    return base, one_pct, quarter
+
+
+def test_full_parse(benchmark, traffic):
+    benchmark.group = f"ablation diffdeser (n={N})"
+    base, _one, _q = traffic
+    parser = SOAPRequestParser()
+    benchmark(lambda: parser.parse(base))
+
+
+def test_content_match(benchmark, traffic):
+    benchmark.group = f"ablation diffdeser (n={N})"
+    base, _one, _q = traffic
+    dd = DifferentialDeserializer()
+    dd.deserialize(base)
+    result = benchmark(lambda: dd.deserialize(base))
+    assert result[1].kind is DeserKind.CONTENT_MATCH
+
+
+def test_differential_1pct(benchmark, traffic):
+    benchmark.group = f"ablation diffdeser (n={N})"
+    base, one_pct, _q = traffic
+    dd = DifferentialDeserializer()
+    dd.deserialize(base)
+    flip = [one_pct, base]
+    state = {"i": 0}
+
+    def run():
+        data = flip[state["i"] % 2]
+        state["i"] += 1
+        return dd.deserialize(data)
+
+    result = benchmark(run)
+    assert result[1].kind is DeserKind.DIFFERENTIAL
+
+
+def test_differential_25pct(benchmark, traffic):
+    benchmark.group = f"ablation diffdeser (n={N})"
+    base, _one, quarter = traffic
+    dd = DifferentialDeserializer()
+    dd.deserialize(base)
+    flip = [quarter, base]
+    state = {"i": 0}
+
+    def run():
+        data = flip[state["i"] % 2]
+        state["i"] += 1
+        return dd.deserialize(data)
+
+    result = benchmark(run)
+    assert result[1].kind is DeserKind.DIFFERENTIAL

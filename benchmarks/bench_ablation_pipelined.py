@@ -1,0 +1,60 @@
+"""Ablation — pipelined vs batch differential sends over TCP.
+
+Pipelined mode hands each chunk to the socket as soon as its dirty
+values are rewritten, overlapping kernel transmission with the
+remaining re-serialization; batch mode rewrites everything first.
+Measured over real localhost TCP where the overlap can actually help.
+
+Finding (recorded in EXPERIMENTS.md): over *localhost*, pipelining is
+~25–35% slower end-to-end — the per-chunk bookkeeping (range queries,
+small formatting batches, one sendmsg per chunk) costs more than the
+overlap saves when the wire is effectively free.  Its value is
+first-byte latency and overlap with a slow/real network, not
+throughput on a loopback device.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import double_array_message, doubles_of_width
+from repro.buffers.config import ChunkPolicy
+from repro.core.client import BSoapClient
+from repro.core.policy import DiffPolicy
+from repro.transport.dummy_server import DummyServer
+from repro.transport.tcp import TCPTransport
+
+N = 20_000
+
+
+@pytest.fixture(scope="module")
+def server():
+    with DummyServer() as srv:
+        yield srv
+
+
+def _policy(pipelined):
+    return DiffPolicy(
+        pipelined_send=pipelined,
+        chunk=ChunkPolicy(chunk_size=8 * 1024, reserve=256, split_threshold=2048),
+    )
+
+
+@pytest.mark.parametrize("pipelined", [False, True])
+def test_structural_send_100pct(benchmark, pipelined, server):
+    benchmark.group = f"ablation pipelined send (n={N}, 100% dirty, TCP)"
+    benchmark.name = f"test_structural_send_100pct[{'pipelined' if pipelined else 'batch'}]"
+    tcp = TCPTransport("127.0.0.1", server.port)
+    client = BSoapClient(tcp, _policy(pipelined))
+    call = client.prepare(double_array_message(doubles_of_width(N, 18, seed=0)))
+    call.send()
+    pool = doubles_of_width(N, 18, seed=9)
+    flip = [pool, np.roll(pool, 1)]
+    state = {"i": 0}
+    idx = np.arange(N)
+
+    def mutate():
+        call.tracked("data").update(idx, flip[state["i"] % 2])
+        state["i"] += 1
+
+    benchmark.pedantic(call.send, setup=mutate, rounds=10, iterations=1, warmup_rounds=1)
+    tcp.close()

@@ -1,0 +1,72 @@
+"""Ablation — server-side response serialization (§3.4 last workload).
+
+    "The optimizations in bSOAP for perfect structural match could
+    significantly reduce the time spent serializing response messages
+    from the heavily-used servers."
+
+One service, many requests, fixed response schema: compare a responder
+with differential serialization against one that fully serializes
+every response.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import doubles_of_width
+from repro.core.policy import DiffPolicy
+from repro.schema.composite import ArrayType
+from repro.schema.types import DOUBLE
+from repro.server.service import SOAPService
+from repro.soap.message import Parameter, SOAPMessage
+from repro.core.client import BSoapClient
+from repro.transport.loopback import CollectSink
+
+N_RESULT = 2000  # response payload: a result vector
+
+
+def _make_service(differential):
+    svc = SOAPService(
+        "urn:query",
+        response_policy=DiffPolicy(differential_enabled=differential),
+    )
+    result = doubles_of_width(N_RESULT, 18, seed=0)
+    state = {"i": 0}
+
+    @svc.operation("query", result_type=ArrayType(DOUBLE))
+    def query(q):
+        # Rotate a few result entries per request (fresh query results).
+        state["i"] += 1
+        out = result.copy()
+        out[: state["i"] % 50] = np.roll(result, 1)[: state["i"] % 50]
+        return out
+
+    return svc
+
+
+def _request_body():
+    sink = CollectSink()
+    BSoapClient(sink).send(
+        SOAPMessage("query", "urn:query", [Parameter("q", DOUBLE, 1.0)])
+    )
+    return sink.last
+
+
+@pytest.mark.parametrize("differential", [True, False])
+def test_response_serialization(benchmark, differential):
+    benchmark.group = f"ablation server responses ({N_RESULT}-double results)"
+    benchmark.name = (
+        f"test_response_serialization[{'differential' if differential else 'full'}]"
+    )
+    svc = _make_service(differential)
+    body = _request_body()
+    svc.handle(body)  # build the response template (untimed)
+    benchmark(lambda: svc.handle(body))
+
+
+def test_differential_responder_reuses_template():
+    svc = _make_service(True)
+    body = _request_body()
+    for _ in range(5):
+        svc.handle(body)
+    assert svc.response_stats.templates_built == 1
+    assert svc.response_stats.sends == 5

@@ -1,0 +1,74 @@
+"""Ablation — transport stack cost for content-match resends.
+
+A content match's Send Time is pure transport: compare the null sink,
+the memcpy drain, raw localhost TCP (paper socket options,
+scatter-gather sendmsg), and both HTTP framings on top of TCP.
+"""
+
+import pytest
+
+from repro.bench.workloads import double_array_message, random_doubles
+from repro.core.client import BSoapClient
+from repro.transport.dummy_server import DummyServer
+from repro.transport.http import HTTPTransport
+from repro.transport.loopback import MemcpySink, NullSink
+from repro.transport.tcp import TCPTransport
+
+N = 10_000
+
+
+@pytest.fixture(scope="module")
+def server():
+    with DummyServer() as srv:
+        yield srv
+
+
+def _prepared(transport):
+    client = BSoapClient(transport)
+    call = client.prepare(double_array_message(random_doubles(N, seed=1)))
+    call.send()
+    return call
+
+
+def test_null_sink(benchmark):
+    benchmark.group = f"ablation transport: content-match resend (n={N})"
+    call = _prepared(NullSink())
+    benchmark(call.send)
+
+
+def test_memcpy_sink(benchmark):
+    benchmark.group = f"ablation transport: content-match resend (n={N})"
+    call = _prepared(MemcpySink())
+    benchmark(call.send)
+
+
+def test_tcp_gather(benchmark, server):
+    benchmark.group = f"ablation transport: content-match resend (n={N})"
+    tcp = TCPTransport("127.0.0.1", server.port, gather=True)
+    call = _prepared(tcp)
+    benchmark(call.send)
+    tcp.close()
+
+
+def test_tcp_sendall(benchmark, server):
+    benchmark.group = f"ablation transport: content-match resend (n={N})"
+    tcp = TCPTransport("127.0.0.1", server.port, gather=False)
+    call = _prepared(tcp)
+    benchmark(call.send)
+    tcp.close()
+
+
+def test_http_chunked(benchmark, server):
+    benchmark.group = f"ablation transport: content-match resend (n={N})"
+    tcp = TCPTransport("127.0.0.1", server.port)
+    call = _prepared(HTTPTransport(tcp, mode="chunked"))
+    benchmark(call.send)
+    tcp.close()
+
+
+def test_http_content_length(benchmark, server):
+    benchmark.group = f"ablation transport: content-match resend (n={N})"
+    tcp = TCPTransport("127.0.0.1", server.port)
+    call = _prepared(HTTPTransport(tcp, mode="content-length"))
+    benchmark(call.send)
+    tcp.close()

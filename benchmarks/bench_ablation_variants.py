@@ -1,0 +1,57 @@
+"""Ablation — multi-variant template stores (§6 future work).
+
+An application alternating between a few recurring payloads: with one
+template per signature, every alternation rewrites all differing
+values; with per-payload variants, each alternation selects its own
+template and sends a content match (plus one cheap vectorized compare
+per variant).
+"""
+
+import numpy as np
+import pytest
+
+from _common import sink
+from repro.bench.workloads import double_array_message, doubles_of_width
+from repro.core.client import BSoapClient
+from repro.core.policy import DiffPolicy
+
+N = 10_000
+PAYLOADS = 3
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    return [
+        double_array_message(doubles_of_width(N, 18, seed=k)) for k in range(PAYLOADS)
+    ]
+
+
+def _run_cycle(client, messages):
+    for message in messages:
+        client.send(message)
+
+
+@pytest.mark.parametrize("variants", [1, PAYLOADS])
+def test_alternating_payloads(benchmark, variants, payloads):
+    benchmark.group = (
+        f"ablation template variants (n={N}, {PAYLOADS} alternating payloads)"
+    )
+    benchmark.name = f"test_alternating_payloads[{variants} variant(s)]"
+    client = BSoapClient(
+        sink(),
+        DiffPolicy(template_variants=variants, variant_miss_threshold=0.3),
+    )
+    _run_cycle(client, payloads)  # build templates (untimed warmup)
+    _run_cycle(client, payloads)
+    benchmark(lambda: _run_cycle(client, payloads))
+
+
+def test_variant_store_serves_content_matches(payloads):
+    from repro.core.stats import MatchKind
+
+    client = BSoapClient(
+        sink(), DiffPolicy(template_variants=PAYLOADS, variant_miss_threshold=0.3)
+    )
+    _run_cycle(client, payloads)
+    kinds = [client.send(m).match_kind for m in payloads]
+    assert kinds == [MatchKind.CONTENT_MATCH] * PAYLOADS

@@ -1,0 +1,35 @@
+"""Figure 1 — Message Content Matches: MIOs.
+
+Curves: gSOAP-like full serialization, bSOAP full serialization, and
+bSOAP content-match resends, over arrays of mesh interface objects.
+Paper result: content matches ≈7× faster than full serialization.
+"""
+
+import pytest
+
+from _common import SIZES, full_serialization_client, prepared_call, sink
+from repro.baselines.gsoap_like import GSoapLikeClient
+from repro.bench.workloads import mio_message, random_mio_columns
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_gsoap_full(benchmark, n):
+    benchmark.group = f"fig01 MIO content n={n}"
+    message = mio_message(random_mio_columns(n, seed=n))
+    client = GSoapLikeClient(sink())
+    benchmark(lambda: client.send(message))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bsoap_full_serialization(benchmark, n):
+    benchmark.group = f"fig01 MIO content n={n}"
+    message = mio_message(random_mio_columns(n, seed=n))
+    client = full_serialization_client()
+    benchmark(lambda: client.send(message))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bsoap_content_match(benchmark, n):
+    benchmark.group = f"fig01 MIO content n={n}"
+    call = prepared_call(mio_message(random_mio_columns(n, seed=n)))
+    benchmark(call.send)

@@ -1,0 +1,43 @@
+"""Figure 2 — Message Content Matches: Doubles (incl. XSOAP-like).
+
+Paper result: content matches ≈10× faster than full serialization for
+large double arrays; XSOAP (DOM/Java) slowest, gSOAP/bSOAP-full close.
+"""
+
+import pytest
+
+from _common import SIZES, full_serialization_client, prepared_call, sink
+from repro.baselines.gsoap_like import GSoapLikeClient
+from repro.baselines.xsoap_like import XSoapLikeClient
+from repro.bench.workloads import double_array_message, random_doubles
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_xsoap_full(benchmark, n):
+    benchmark.group = f"fig02 double content n={n}"
+    message = double_array_message(random_doubles(n, seed=n))
+    client = XSoapLikeClient(sink())
+    benchmark(lambda: client.send(message))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_gsoap_full(benchmark, n):
+    benchmark.group = f"fig02 double content n={n}"
+    message = double_array_message(random_doubles(n, seed=n))
+    client = GSoapLikeClient(sink())
+    benchmark(lambda: client.send(message))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bsoap_full_serialization(benchmark, n):
+    benchmark.group = f"fig02 double content n={n}"
+    message = double_array_message(random_doubles(n, seed=n))
+    client = full_serialization_client()
+    benchmark(lambda: client.send(message))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bsoap_content_match(benchmark, n):
+    benchmark.group = f"fig02 double content n={n}"
+    call = prepared_call(double_array_message(random_doubles(n, seed=n)))
+    benchmark(call.send)

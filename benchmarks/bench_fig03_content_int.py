@@ -1,0 +1,35 @@
+"""Figure 3 — Message Content Matches: Integers.
+
+Paper result: content matches at least 4× faster than full
+serialization for large integer arrays (integers convert cheaper than
+doubles, so the win is smaller than Figure 2's).
+"""
+
+import pytest
+
+from _common import SIZES, full_serialization_client, prepared_call, sink
+from repro.baselines.gsoap_like import GSoapLikeClient
+from repro.bench.workloads import int_array_message, random_ints
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_gsoap_full(benchmark, n):
+    benchmark.group = f"fig03 int content n={n}"
+    message = int_array_message(random_ints(n, seed=n))
+    client = GSoapLikeClient(sink())
+    benchmark(lambda: client.send(message))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bsoap_full_serialization(benchmark, n):
+    benchmark.group = f"fig03 int content n={n}"
+    message = int_array_message(random_ints(n, seed=n))
+    client = full_serialization_client()
+    benchmark(lambda: client.send(message))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bsoap_content_match(benchmark, n):
+    benchmark.group = f"fig03 int content n={n}"
+    call = prepared_call(int_array_message(random_ints(n, seed=n)))
+    benchmark(call.send)

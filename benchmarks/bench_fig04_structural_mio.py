@@ -1,0 +1,52 @@
+"""Figure 4 — Perfect Structural Matches: MIOs.
+
+A fraction of the MIO doubles is re-serialized per send (coordinates
+and the remaining doubles stay as in the template; replacement values
+are width-stable so no shifting occurs).  Paper result: Send Time
+scales with the dirty fraction and stays below full serialization.
+"""
+
+import pytest
+
+from _common import (
+    FRACTIONS,
+    SIZES,
+    full_serialization_client,
+    make_structural_mutator,
+    prepared_call,
+)
+from repro.bench.workloads import (
+    MIO_INTERMEDIATE_SPLIT,
+    doubles_of_width,
+    mio_columns_of_widths,
+    mio_message,
+)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_full_serialization(benchmark, n):
+    benchmark.group = f"fig04 MIO structural n={n}"
+    message = mio_message(mio_columns_of_widths(n, MIO_INTERMEDIATE_SPLIT, seed=n))
+    client = full_serialization_client()
+    benchmark(lambda: client.send(message))
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("frac", FRACTIONS)
+def test_value_reserialization(benchmark, n, frac):
+    benchmark.group = f"fig04 MIO structural n={n}"
+    benchmark.name = f"test_value_reserialization[{int(frac * 100)}%]"
+    message = mio_message(mio_columns_of_widths(n, MIO_INTERMEDIATE_SPLIT, seed=n))
+    call = prepared_call(message)
+    pool = doubles_of_width(n, MIO_INTERMEDIATE_SPLIT[2], seed=n + 999)
+    mutate = make_structural_mutator(call, "mesh", n, frac, pool, mio=True, seed=n)
+    benchmark.pedantic(call.send, setup=mutate, rounds=10, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_content_match(benchmark, n):
+    benchmark.group = f"fig04 MIO structural n={n}"
+    call = prepared_call(
+        mio_message(mio_columns_of_widths(n, MIO_INTERMEDIATE_SPLIT, seed=n))
+    )
+    benchmark(call.send)

@@ -1,0 +1,42 @@
+"""Figure 5 — Perfect Structural Matches: Doubles.
+
+Same protocol as Figure 4 for plain double arrays: 18-character
+template values overwritten by other 18-character values, dirty
+fractions 25/50/75/100%.
+"""
+
+import pytest
+
+from _common import (
+    FRACTIONS,
+    SIZES,
+    full_serialization_client,
+    make_structural_mutator,
+    prepared_call,
+)
+from repro.bench.workloads import double_array_message, doubles_of_width
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_full_serialization(benchmark, n):
+    benchmark.group = f"fig05 double structural n={n}"
+    message = double_array_message(doubles_of_width(n, 18, seed=n))
+    client = full_serialization_client()
+    benchmark(lambda: client.send(message))
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("frac", FRACTIONS)
+def test_value_reserialization(benchmark, n, frac):
+    benchmark.group = f"fig05 double structural n={n}"
+    call = prepared_call(double_array_message(doubles_of_width(n, 18, seed=n)))
+    pool = doubles_of_width(n, 18, seed=n + 999)
+    mutate = make_structural_mutator(call, "data", n, frac, pool, seed=n)
+    benchmark.pedantic(call.send, setup=mutate, rounds=10, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_content_match(benchmark, n):
+    benchmark.group = f"fig05 double structural n={n}"
+    call = prepared_call(double_array_message(doubles_of_width(n, 18, seed=n)))
+    benchmark(call.send)

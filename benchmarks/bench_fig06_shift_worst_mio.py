@@ -1,0 +1,75 @@
+"""Figure 6 — Worst Case Shifting: MIOs.
+
+Every MIO expands from the smallest (3-character) to the largest
+(46-character) serialized form, forcing a shift on every field, with
+8 KiB and 32 KiB chunks.  The template is rebuilt in setup (untimed)
+for every round.  Paper result: ~4-5× slower than 100% value
+re-serialization without shifting; chunk size has a secondary effect.
+"""
+
+import numpy as np
+import pytest
+
+from _common import SHIFT_SIZES, prepared_call, shift_policy
+from repro.bench.workloads import (
+    MIO_MAX_SPLIT,
+    MIO_MIN_SPLIT,
+    doubles_of_width,
+    mio_columns_of_widths,
+    mio_message,
+)
+
+
+def _shift_round(benchmark, n, chunk_size):
+    small = mio_message(mio_columns_of_widths(n, MIO_MIN_SPLIT, seed=n))
+    big = mio_columns_of_widths(n, MIO_MAX_SPLIT, seed=n + 7)
+    idx = np.arange(n)
+    state = {}
+
+    def rebuild():
+        call = prepared_call(small, shift_policy(chunk_size))
+        tracked = call.tracked("mesh")
+        for col in ("x", "y", "v"):
+            tracked.set_items(idx, col, big[col])
+        state["call"] = call
+
+    benchmark.pedantic(
+        lambda: state["call"].send(),
+        setup=rebuild,
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+@pytest.mark.parametrize("n", SHIFT_SIZES)
+def test_worst_case_32k_chunks(benchmark, n):
+    benchmark.group = f"fig06 MIO worst shift n={n}"
+    _shift_round(benchmark, n, 32 * 1024)
+
+
+@pytest.mark.parametrize("n", SHIFT_SIZES)
+def test_worst_case_8k_chunks(benchmark, n):
+    benchmark.group = f"fig06 MIO worst shift n={n}"
+    _shift_round(benchmark, n, 8 * 1024)
+
+
+@pytest.mark.parametrize("n", SHIFT_SIZES)
+def test_reference_no_shifting(benchmark, n):
+    benchmark.group = f"fig06 MIO worst shift n={n}"
+    message = mio_message(mio_columns_of_widths(n, MIO_MAX_SPLIT, seed=n))
+    call = prepared_call(message)
+    tracked = call.tracked("mesh")
+    other = doubles_of_width(n, MIO_MAX_SPLIT[2], seed=n + 31)
+    flip = [other, np.roll(other, 1)]
+    state = {"i": 0}
+    idx = np.arange(n)
+
+    def mutate():
+        src = flip[state["i"] % 2]
+        state["i"] += 1
+        tracked.set_items(idx, "v", src)
+        tracked.set_items(idx, "x", tracked.column("x"))
+        tracked.set_items(idx, "y", tracked.column("y"))
+
+    benchmark.pedantic(call.send, setup=mutate, rounds=10, iterations=1, warmup_rounds=1)

@@ -1,0 +1,60 @@
+"""Figure 7 — Worst Case Shifting: Doubles.
+
+Every double expands from 1 to 24 characters (the maximum), shifting
+on each re-serialized value; 8 KiB vs 32 KiB chunks, against the
+no-shifting 100% re-serialization reference.
+"""
+
+import numpy as np
+import pytest
+
+from _common import SHIFT_SIZES, prepared_call, shift_policy
+from repro.bench.workloads import double_array_message, doubles_of_width
+
+
+def _shift_round(benchmark, n, chunk_size):
+    small = double_array_message(doubles_of_width(n, 1, seed=n))
+    big = doubles_of_width(n, 24, seed=n + 7)
+    idx = np.arange(n)
+    state = {}
+
+    def rebuild():
+        call = prepared_call(small, shift_policy(chunk_size))
+        call.tracked("data").update(idx, big)
+        state["call"] = call
+
+    benchmark.pedantic(
+        lambda: state["call"].send(),
+        setup=rebuild,
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+@pytest.mark.parametrize("n", SHIFT_SIZES)
+def test_worst_case_32k_chunks(benchmark, n):
+    benchmark.group = f"fig07 double worst shift n={n}"
+    _shift_round(benchmark, n, 32 * 1024)
+
+
+@pytest.mark.parametrize("n", SHIFT_SIZES)
+def test_worst_case_8k_chunks(benchmark, n):
+    benchmark.group = f"fig07 double worst shift n={n}"
+    _shift_round(benchmark, n, 8 * 1024)
+
+
+@pytest.mark.parametrize("n", SHIFT_SIZES)
+def test_reference_no_shifting(benchmark, n):
+    benchmark.group = f"fig07 double worst shift n={n}"
+    call = prepared_call(double_array_message(doubles_of_width(n, 24, seed=n)))
+    other = doubles_of_width(n, 24, seed=n + 31)
+    flip = [other, np.roll(other, 1)]
+    state = {"i": 0}
+    idx = np.arange(n)
+
+    def mutate():
+        call.tracked("data").update(idx, flip[state["i"] % 2])
+        state["i"] += 1
+
+    benchmark.pedantic(call.send, setup=mutate, rounds=10, iterations=1, warmup_rounds=1)

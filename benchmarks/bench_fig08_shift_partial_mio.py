@@ -1,0 +1,65 @@
+"""Figure 8 — Shifting Performance: MIOs (partial expansion).
+
+A fraction of the MIOs expands from 36-character to 46-character form
+(the rest are untouched).  Paper result: as the shifted fraction drops,
+Send Time approaches the no-shifting re-serialization curve.
+"""
+
+import numpy as np
+import pytest
+
+from _common import FRACTIONS, SHIFT_SIZES, prepared_call, shift_policy
+from repro.bench.workloads import (
+    MIO_INTERMEDIATE_SPLIT,
+    MIO_MAX_SPLIT,
+    doubles_of_width,
+    ints_of_width,
+    mio_columns_of_widths,
+    mio_message,
+)
+
+
+@pytest.mark.parametrize("n", SHIFT_SIZES)
+@pytest.mark.parametrize("frac", FRACTIONS)
+def test_reserialization_with_shifting(benchmark, n, frac):
+    benchmark.group = f"fig08 MIO partial shift n={n}"
+    message = mio_message(mio_columns_of_widths(n, MIO_INTERMEDIATE_SPLIT, seed=n))
+    big_v = doubles_of_width(n, MIO_MAX_SPLIT[2], seed=n + 7)
+    big_xy = ints_of_width(n, 11, seed=n + 9)
+    k = max(1, int(frac * n))
+    rng = np.random.default_rng(n + k)
+    state = {}
+
+    def rebuild():
+        call = prepared_call(message, shift_policy())
+        tracked = call.tracked("mesh")
+        idx = np.sort(rng.choice(n, k, replace=False)) if k < n else np.arange(n)
+        tracked.set_items(idx, "x", big_xy[idx])
+        tracked.set_items(idx, "y", np.roll(big_xy, 3)[idx])
+        tracked.set_items(idx, "v", big_v[idx])
+        state["call"] = call
+
+    benchmark.pedantic(
+        lambda: state["call"].send(),
+        setup=rebuild,
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+@pytest.mark.parametrize("n", SHIFT_SIZES)
+def test_reference_no_shifting(benchmark, n):
+    benchmark.group = f"fig08 MIO partial shift n={n}"
+    message = mio_message(mio_columns_of_widths(n, MIO_MAX_SPLIT, seed=n))
+    call = prepared_call(message)
+    other = doubles_of_width(n, MIO_MAX_SPLIT[2], seed=n + 31)
+    flip = [other, np.roll(other, 1)]
+    state = {"i": 0}
+    idx = np.arange(n)
+
+    def mutate():
+        call.tracked("mesh").set_items(idx, "v", flip[state["i"] % 2])
+        state["i"] += 1
+
+    benchmark.pedantic(call.send, setup=mutate, rounds=10, iterations=1, warmup_rounds=1)

@@ -1,0 +1,51 @@
+"""Figure 9 — Shifting Performance: Doubles (partial expansion).
+
+A fraction of the doubles expands from 18 to 24 characters per send.
+"""
+
+import numpy as np
+import pytest
+
+from _common import FRACTIONS, SHIFT_SIZES, prepared_call, shift_policy
+from repro.bench.workloads import double_array_message, doubles_of_width
+
+
+@pytest.mark.parametrize("n", SHIFT_SIZES)
+@pytest.mark.parametrize("frac", FRACTIONS)
+def test_reserialization_with_shifting(benchmark, n, frac):
+    benchmark.group = f"fig09 double partial shift n={n}"
+    message = double_array_message(doubles_of_width(n, 18, seed=n))
+    big = doubles_of_width(n, 24, seed=n + 7)
+    k = max(1, int(frac * n))
+    rng = np.random.default_rng(n + k)
+    state = {}
+
+    def rebuild():
+        call = prepared_call(message, shift_policy())
+        idx = np.sort(rng.choice(n, k, replace=False)) if k < n else np.arange(n)
+        call.tracked("data").update(idx, big[idx])
+        state["call"] = call
+
+    benchmark.pedantic(
+        lambda: state["call"].send(),
+        setup=rebuild,
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+@pytest.mark.parametrize("n", SHIFT_SIZES)
+def test_reference_no_shifting(benchmark, n):
+    benchmark.group = f"fig09 double partial shift n={n}"
+    call = prepared_call(double_array_message(doubles_of_width(n, 24, seed=n)))
+    other = doubles_of_width(n, 24, seed=n + 31)
+    flip = [other, np.roll(other, 1)]
+    state = {"i": 0}
+    idx = np.arange(n)
+
+    def mutate():
+        call.tracked("data").update(idx, flip[state["i"] % 2])
+        state["i"] += 1
+
+    benchmark.pedantic(call.send, setup=mutate, rounds=10, iterations=1, warmup_rounds=1)

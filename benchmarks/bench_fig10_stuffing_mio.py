@@ -1,0 +1,71 @@
+"""Figure 10 — Stuffing Performance: MIOs.
+
+No-closing-tag-shift curves resend identical min-value messages whose
+fields are stuffed to 3/36/46 characters (the larger-message cost of
+stuffing); the full-closing-tag-shift curve writes smallest MIOs over
+largest MIOs inside max-width fields every send.  Paper result: the
+dominant stuffing penalty is the closing-tag shift, not the bytes.
+"""
+
+import numpy as np
+import pytest
+
+from _common import SIZES, prepared_call
+from repro.bench.workloads import (
+    MIO_INTERMEDIATE_SPLIT,
+    MIO_MAX_SPLIT,
+    MIO_MIN_SPLIT,
+    mio_columns_of_widths,
+    mio_message,
+)
+from repro.core.policy import DiffPolicy, StuffingPolicy, StuffMode
+
+MAX_STUFF = StuffingPolicy(StuffMode.MAX)
+INTER_STUFF = StuffingPolicy(
+    StuffMode.FIXED,
+    {"int": MIO_INTERMEDIATE_SPLIT[0], "double": MIO_INTERMEDIATE_SPLIT[2]},
+)
+
+
+def _content_resend(benchmark, n, stuffing):
+    message = mio_message(mio_columns_of_widths(n, MIO_MIN_SPLIT, seed=1))
+    call = prepared_call(message, DiffPolicy(stuffing=stuffing))
+    benchmark(call.send)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_max_width_full_closing_tag_shift(benchmark, n):
+    benchmark.group = f"fig10 MIO stuffing n={n}"
+    message = mio_message(mio_columns_of_widths(n, MIO_MAX_SPLIT, seed=2))
+    call = prepared_call(message, DiffPolicy(stuffing=MAX_STUFF))
+    tracked = call.tracked("mesh")
+    small = mio_columns_of_widths(n, MIO_MIN_SPLIT, seed=1)
+    big = mio_columns_of_widths(n, MIO_MAX_SPLIT, seed=2)
+    idx = np.arange(n)
+    state = {"i": 0}
+
+    def mutate():
+        src = small if state["i"] % 2 == 0 else big
+        state["i"] += 1
+        for col in ("x", "y", "v"):
+            tracked.set_items(idx, col, src[col])
+
+    benchmark.pedantic(call.send, setup=mutate, rounds=10, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_max_width_no_shift(benchmark, n):
+    benchmark.group = f"fig10 MIO stuffing n={n}"
+    _content_resend(benchmark, n, MAX_STUFF)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_intermediate_width_no_shift(benchmark, n):
+    benchmark.group = f"fig10 MIO stuffing n={n}"
+    _content_resend(benchmark, n, INTER_STUFF)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_min_width_no_shift(benchmark, n):
+    benchmark.group = f"fig10 MIO stuffing n={n}"
+    _content_resend(benchmark, n, StuffingPolicy())

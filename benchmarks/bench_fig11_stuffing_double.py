@@ -1,0 +1,56 @@
+"""Figure 11 — Stuffing Performance: Doubles.
+
+Fields stuffed to 1/18/24 characters; the tag-shift curve writes
+single-character doubles over 24-character doubles each send.
+"""
+
+import numpy as np
+import pytest
+
+from _common import SIZES, prepared_call
+from repro.bench.workloads import double_array_message, doubles_of_width
+from repro.core.policy import DiffPolicy, StuffingPolicy, StuffMode
+
+MAX_STUFF = StuffingPolicy(StuffMode.MAX)
+INTER_STUFF = StuffingPolicy(StuffMode.FIXED, {"double": 18})
+
+
+def _content_resend(benchmark, n, stuffing):
+    message = double_array_message(doubles_of_width(n, 1, seed=1))
+    call = prepared_call(message, DiffPolicy(stuffing=stuffing))
+    benchmark(call.send)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_max_width_full_closing_tag_shift(benchmark, n):
+    benchmark.group = f"fig11 double stuffing n={n}"
+    message = double_array_message(doubles_of_width(n, 24, seed=2))
+    call = prepared_call(message, DiffPolicy(stuffing=MAX_STUFF))
+    small = doubles_of_width(n, 1, seed=1)
+    big = doubles_of_width(n, 24, seed=2)
+    idx = np.arange(n)
+    state = {"i": 0}
+
+    def mutate():
+        call.tracked("data").update(idx, small if state["i"] % 2 == 0 else big)
+        state["i"] += 1
+
+    benchmark.pedantic(call.send, setup=mutate, rounds=10, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_max_width_no_shift(benchmark, n):
+    benchmark.group = f"fig11 double stuffing n={n}"
+    _content_resend(benchmark, n, MAX_STUFF)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_intermediate_width_no_shift(benchmark, n):
+    benchmark.group = f"fig11 double stuffing n={n}"
+    _content_resend(benchmark, n, INTER_STUFF)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_min_width_no_shift(benchmark, n):
+    benchmark.group = f"fig11 double stuffing n={n}"
+    _content_resend(benchmark, n, StuffingPolicy())

@@ -1,0 +1,77 @@
+"""Figure 12 — Chunk Overlaying Performance.
+
+Sending a large array from a single overlaid 32 KiB chunk vs from a
+fully materialized multi-chunk template with 100% value
+re-serialization.  Paper result: overlay ≈ the 100% re-serialization
+curve (all values rewritten either way; overlay saves memory, not
+serialization work).
+"""
+
+import numpy as np
+import pytest
+
+from _common import SIZES, prepared_call, sink
+from repro.bench.workloads import (
+    double_array_message,
+    mio_message,
+    random_doubles,
+    random_mio_columns,
+)
+from repro.buffers.config import ChunkPolicy
+from repro.core.client import BSoapClient
+from repro.core.policy import DiffPolicy, OverlayPolicy, StuffingPolicy, StuffMode
+
+OVERLAY_POLICY = DiffPolicy(
+    chunk=ChunkPolicy(chunk_size=32 * 1024),
+    stuffing=StuffingPolicy(StuffMode.MAX),
+    overlay=OverlayPolicy(enabled=True, min_items=1),
+)
+PLAIN_POLICY = DiffPolicy(
+    chunk=ChunkPolicy(chunk_size=32 * 1024),
+    stuffing=StuffingPolicy(StuffMode.MAX),
+)
+
+
+def _message(kind, n):
+    if kind == "double":
+        return double_array_message(random_doubles(n, seed=n)), "data"
+    return mio_message(random_mio_columns(n, seed=n)), "mesh"
+
+
+@pytest.mark.parametrize("kind", ["double", "mio"])
+@pytest.mark.parametrize("n", SIZES)
+def test_chunk_overlay(benchmark, kind, n):
+    benchmark.group = f"fig12 overlay {kind} n={n}"
+    message, _ = _message(kind, n)
+    client = BSoapClient(sink(), OVERLAY_POLICY)
+    client.send(message)
+    benchmark(lambda: client.send(message))
+
+
+@pytest.mark.parametrize("kind", ["double", "mio"])
+@pytest.mark.parametrize("n", SIZES)
+def test_full_value_reserialization(benchmark, kind, n):
+    benchmark.group = f"fig12 overlay {kind} n={n}"
+    message, pname = _message(kind, n)
+    call = prepared_call(message, PLAIN_POLICY)
+    tracked = call.tracked(pname)
+    idx = np.arange(n)
+    if kind == "mio":
+        alts = [
+            {c: np.roll(tracked.column(c), s) for c in ("x", "y", "v")}
+            for s in (0, 1)
+        ]
+    else:
+        alts = [np.roll(tracked.data, s) for s in (0, 1)]
+    state = {"i": 0}
+
+    def mutate():
+        src = alts[state["i"] % 2]
+        state["i"] += 1
+        if kind == "mio":
+            for col in ("x", "y", "v"):
+                tracked.set_items(idx, col, src[col])
+        else:
+            tracked.update(idx, src)
+
+    benchmark.pedantic(call.send, setup=mutate, rounds=10, iterations=1, warmup_rounds=1)

@@ -1,0 +1,48 @@
+"""§2 — the conversion bottleneck.
+
+Times each serialization phase separately (traversal / float→ASCII
+conversion / tag emission + packing / send) for double arrays.  Paper
+claim: conversion routines account for ~90% of the end-to-end time.
+The share assertion lives in tests; here the phases are benchmarked so
+regressions in any phase are visible.
+"""
+
+import pytest
+
+from _common import SIZES, sink
+from repro.bench.workloads import random_doubles
+from repro.lexical.floats import format_double_array
+from repro.soap.envelope import envelope_layout
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_phase_traversal(benchmark, n):
+    benchmark.group = f"sec2 phases n={n}"
+    values = random_doubles(n, seed=n)
+    benchmark(values.tolist)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_phase_conversion(benchmark, n):
+    benchmark.group = f"sec2 phases n={n}"
+    unboxed = random_doubles(n, seed=n).tolist()
+    benchmark(lambda: format_double_array(unboxed))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_phase_packing(benchmark, n):
+    benchmark.group = f"sec2 phases n={n}"
+    texts = format_double_array(random_doubles(n, seed=n).tolist())
+    open_item, close_item = b"<item>", b"</item>"
+    benchmark(lambda: b"".join(open_item + t + close_item for t in texts))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_phase_send(benchmark, n):
+    benchmark.group = f"sec2 phases n={n}"
+    texts = format_double_array(random_doubles(n, seed=n).tolist())
+    layout = envelope_layout("urn:bsoap:bench", "sendDoubles")
+    body = b"".join(b"<item>" + t + b"</item>" for t in texts)
+    message = [layout.prefix, b"<data>", body, b"</data>", layout.suffix]
+    drain = sink()
+    benchmark(lambda: drain.send_message(message))

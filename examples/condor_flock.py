@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Condor flocking (paper §3.4, workload 3).
+
+Pools periodically exchange ClassAds describing their machines.  Most
+resource characteristics do not change between rounds, so exchanges
+are content matches or tiny diffs; bSOAP "automatically reserializes
+only the differences from previous exchanges, without requiring any
+alteration to Condor resource managers themselves".
+
+Run:  python examples/condor_flock.py
+"""
+
+from repro.apps.classads import CondorPool, FlockSimulation
+
+
+def main() -> None:
+    pools = [
+        CondorPool("cs-cluster", 400, seed=1, churn=0.03),
+        CondorPool("physics-farm", 250, seed=2, churn=0.08),
+        CondorPool("idle-lab", 120, seed=3, churn=0.0),
+    ]
+    print("Flock of 3 Condor pools, all-pairs ClassAd exchange, 15 rounds")
+    print(f"machines: {[f'{p.name}={len(p)}' for p in pools]}\n")
+
+    sim = FlockSimulation(pools)
+    history = sim.run(15)
+
+    print(f"{'round':>5} {'sends':>6} {'content':>8} {'values rewritten':>17} {'bytes':>12}")
+    for stats in history:
+        print(
+            f"{stats.round_index:>5} {stats.sends:>6} {stats.content_matches:>8} "
+            f"{stats.values_rewritten:>17,} {stats.bytes_sent:>12,}"
+        )
+
+    print("\n" + sim.savings_summary())
+    print(
+        "\nRound 0 pays full serialization once per (sender, receiver) pair;\n"
+        "afterwards only churned machines' dynamic attributes are\n"
+        "re-serialized, and the zero-churn pool's ads resend as pure\n"
+        "content matches."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Metadata Catalog Service (paper §3.4, workload 2).
+
+Every MCS request conforms to one metadata schema, so the SOAP payload
+structure is identical across requests: the stub reuses its template
+and rewrites only attribute values.  String attributes vary in width,
+so this workload also exercises shifting.
+
+Run:  python examples/mcs_catalog.py
+"""
+
+import numpy as np
+
+from repro import BSoapClient
+from repro.apps.mcs import FileRecord, MCSClient, MetadataCatalog
+from repro.transport import MemcpySink
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    catalog = MetadataCatalog()
+    soap = BSoapClient(MemcpySink())
+    mcs = MCSClient(soap, catalog)
+
+    owners = ["alice", "bob", "carol"]
+    collections = ["climate-run-7", "pde-mesh", "lhc-skim"]
+    print("Registering 200 files through the fixed metadata schema...\n")
+    for i in range(200):
+        mcs.add_record(
+            FileRecord(
+                logicalName=f"lfn://grid/{collections[i % 3]}/part{i:05d}.h5",
+                owner=owners[i % 3],
+                collection=collections[i % 3],
+                sizeBytes=int(rng.integers(1_000, 10_000_000)),
+                checksum=f"sha1:{rng.integers(0, 2**63):016x}",
+                creationTime=1.09e9 + i * 60.0,
+                version=1 + i % 4,
+            )
+        )
+
+    _report, hits = mcs.query_by_owner("alice")
+    print(f"catalog size            : {len(catalog)} records")
+    print(f"query_by_owner('alice') : {len(hits)} hits")
+
+    print("\nSOAP traffic breakdown (201 requests, one schema):")
+    for kind, count in sorted(mcs.match_histogram().items(), key=lambda kv: -kv[1]):
+        print(f"  {kind:22s}: {count}")
+    print(
+        "\nAfter the first request per operation, every request reuses the\n"
+        "saved template — the paper's 'bSOAP perfect structural match can\n"
+        "therefore be used to improve the performance of MCS'."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""bSOAP — Differential Serialization for Optimized SOAP Performance.
+
+A from-scratch Python reproduction of Abu-Ghazaleh, Lewis &
+Govindaraju's HPDC 2004 system: a SOAP stack whose client stub saves
+serialized messages as templates and, on later sends, re-serializes
+only the values that changed (tracked through a Data Update Tracking
+table), with message chunking, on-the-fly expansion (shifting),
+whitespace stuffing, slack stealing, and chunk overlaying.
+
+Quickstart::
+
+    import numpy as np
+    from repro import BSoapClient, Parameter, SOAPMessage
+    from repro.schema import ArrayType, DOUBLE
+    from repro.transport import MemcpySink
+
+    client = BSoapClient(MemcpySink())
+    msg = SOAPMessage(
+        "putVector", "urn:solver",
+        [Parameter("x", ArrayType(DOUBLE), np.linspace(0, 1, 1000))],
+    )
+    call = client.prepare(msg)
+    first = call.send()                    # full serialization
+    again = call.send()                    # content match: bytes reused
+    call.tracked("x")[42] = 3.14           # dirty one value
+    diff = call.send()                     # rewrites exactly one field
+"""
+
+from repro.core import (
+    BSoapClient,
+    DiffPolicy,
+    Expansion,
+    MatchKind,
+    MessageTemplate,
+    OverlayPolicy,
+    PreparedCall,
+    SendReport,
+    StuffMode,
+    StuffingPolicy,
+    build_template,
+)
+from repro.channel import RPCChannel
+from repro.errors import ReproError
+from repro.soap import Parameter, SOAPMessage
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BSoapClient",
+    "PreparedCall",
+    "DiffPolicy",
+    "StuffingPolicy",
+    "StuffMode",
+    "OverlayPolicy",
+    "Expansion",
+    "MatchKind",
+    "SendReport",
+    "MessageTemplate",
+    "build_template",
+    "SOAPMessage",
+    "Parameter",
+    "RPCChannel",
+    "ReproError",
+    "__version__",
+]

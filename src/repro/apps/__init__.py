@@ -1,0 +1,47 @@
+"""Application workloads from the paper's §3.4.
+
+Each module is an executable model of a Grid application the paper
+argues benefits from differential serialization, wired to send its
+traffic through a bSOAP client so the benefit is measurable:
+
+* :mod:`repro.apps.lsa` — the Linear System Analyzer: components
+  cycle a solution vector of fixed size through refinement iterations
+  (→ perfect structural matches every iteration),
+* :mod:`repro.apps.mcs` — the Metadata Catalog Service: every request
+  conforms to one metadata schema (→ structural matches; string
+  values exercise shifting),
+* :mod:`repro.apps.classads` — Condor flocking: resource ClassAds
+  that rarely change between exchanges (→ content matches with
+  occasional small diffs).
+"""
+
+from repro.apps.lsa import LinearSystemAnalyzer, LSAReport, jacobi_step
+from repro.apps.lsa_components import (
+    Component,
+    GaussSeidelSmoother,
+    JacobiSmoother,
+    MatrixSource,
+    ResidualMonitor,
+    SolverCycle,
+)
+from repro.apps.mcs import MetadataCatalog, MCSClient, MCS_SCHEMA, FileRecord
+from repro.apps.classads import ClassAd, CondorPool, FlockSimulation
+
+__all__ = [
+    "LinearSystemAnalyzer",
+    "LSAReport",
+    "jacobi_step",
+    "Component",
+    "MatrixSource",
+    "JacobiSmoother",
+    "GaussSeidelSmoother",
+    "ResidualMonitor",
+    "SolverCycle",
+    "MetadataCatalog",
+    "MCSClient",
+    "MCS_SCHEMA",
+    "FileRecord",
+    "ClassAd",
+    "CondorPool",
+    "FlockSimulation",
+]

@@ -1,0 +1,30 @@
+"""Baseline SOAP serializers the paper compares against.
+
+* :class:`~repro.baselines.gsoap_like.GSoapLikeClient` — plays the
+  role of gSOAP: the fastest possible *streaming* full serializer in
+  the host language (flat parts list + join, no DOM, no template).
+* :class:`~repro.baselines.xsoap_like.XSoapLikeClient` — plays the
+  role of XSOAP: a document-object-model is built per call and then
+  walked to produce bytes, the design that makes DOM-based toolkits
+  slower.
+* :class:`~repro.baselines.naive.NaiveClient` — bytes-concatenation
+  strawman, for teaching and sanity floors.
+
+All baselines emit envelopes interoperable with the bSOAP templates
+(same namespaces/array encoding), verified by the cross-equivalence
+tests.
+"""
+
+from repro.baselines.common import FullSerializer, serialize_message_parts
+from repro.baselines.gsoap_like import GSoapLikeClient
+from repro.baselines.xsoap_like import Element, XSoapLikeClient
+from repro.baselines.naive import NaiveClient
+
+__all__ = [
+    "FullSerializer",
+    "serialize_message_parts",
+    "GSoapLikeClient",
+    "XSoapLikeClient",
+    "Element",
+    "NaiveClient",
+]

@@ -1,0 +1,88 @@
+"""Naive concatenation baseline.
+
+Accumulates the message by repeated ``bytes`` concatenation — the
+textbook anti-pattern (quadratic in message size).  Kept as a floor
+for the teaching benches and to sanity-check that the harness can
+resolve order-of-magnitude differences.  Do not use above ~10k items.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.common import attrs_bytes, param_texts
+from repro.lexical.floats import FloatFormat
+from repro.schema.composite import ArrayType, StructType
+from repro.soap.encoding import array_open_attrs, xsi_type_attr
+from repro.soap.envelope import envelope_layout
+from repro.soap.message import SOAPMessage
+from repro.transport.base import Transport
+from repro.transport.loopback import NullSink
+
+__all__ = ["NaiveClient"]
+
+
+class NaiveClient:
+    """Quadratic bytes-concatenation serializer."""
+
+    def __init__(
+        self,
+        transport: Optional[Transport] = None,
+        *,
+        float_format: FloatFormat = FloatFormat.MINIMAL,
+    ) -> None:
+        self.transport: Transport = transport if transport is not None else NullSink()
+        self.float_format = float_format
+        self.sends = 0
+
+    def serialize(self, message: SOAPMessage) -> List[bytes]:
+        layout = envelope_layout(message.namespace, message.operation)
+        out = bytes(layout.prefix)
+        for param in message.params:
+            texts = param_texts(param, self.float_format)
+            name = param.name.encode("ascii")
+            ptype = param.ptype
+            if isinstance(ptype, ArrayType):
+                out += b"<" + name + attrs_bytes(
+                    array_open_attrs(ptype, param.length)
+                ) + b">"
+                element = ptype.element
+                tag = ptype.item_tag.encode("ascii")
+                if isinstance(element, StructType):
+                    arity = element.arity
+                    names = [f.name.encode("ascii") for f in element.fields]
+                    for i in range(len(texts) // arity):
+                        out += b"<" + tag + b">"
+                        for f in range(arity):
+                            out += (
+                                b"<" + names[f] + b">" + texts[i * arity + f]
+                                + b"</" + names[f] + b">"
+                            )
+                        out += b"</" + tag + b">"
+                else:
+                    for text in texts:
+                        out += b"<" + tag + b">" + text + b"</" + tag + b">"
+                out += b"</" + name + b">"
+            elif isinstance(ptype, StructType):
+                out += b"<" + name + b">"
+                for f, text in zip(ptype.fields, texts):
+                    fn = f.name.encode("ascii")
+                    out += b"<" + fn + b">" + text + b"</" + fn + b">"
+                out += b"</" + name + b">"
+            else:
+                key, value = xsi_type_attr(ptype)
+                out += (
+                    b"<" + name + attrs_bytes({key: value}) + b">"
+                    + texts[0] + b"</" + name + b">"
+                )
+        out += layout.suffix
+        return [out]
+
+    def send(self, message: SOAPMessage) -> int:
+        parts = self.serialize(message)
+        sent = self.transport.send_message(parts, len(parts[0]))
+        self.sends += 1
+        return sent
+
+    def close(self) -> None:
+        self.transport.close()

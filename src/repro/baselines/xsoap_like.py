@@ -1,0 +1,154 @@
+"""The XSOAP-role baseline: DOM-then-serialize full serialization.
+
+XSOAP (SoapRMI, Java) reflects call parameters into an object tree and
+walks it to emit XML.  The Python analogue builds an :class:`Element`
+node per XML element — one object allocation plus child-list append
+per array item and per struct field — and then recursively renders the
+tree.  The extra allocation/traversal work is exactly why the paper's
+Figure 2 shows XSOAP above gSOAP/bSOAP, and it reproduces here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines.common import param_texts
+from repro.lexical.floats import FloatFormat
+from repro.schema.composite import ArrayType, StructType
+from repro.soap.constants import (
+    ENCODING_STYLE_ATTR,
+    SERVICE_PREFIX,
+    SOAP_ENV_PREFIX,
+    STANDARD_NSDECLS,
+)
+from repro.soap.encoding import array_open_attrs, xsi_type_attr
+from repro.soap.message import Parameter, SOAPMessage
+from repro.transport.base import Transport
+from repro.transport.loopback import NullSink
+from repro.xmlkit.escape import escape_attr
+
+__all__ = ["Element", "XSoapLikeClient"]
+
+
+class Element:
+    """A minimal DOM node: tag, attributes, text, children."""
+
+    __slots__ = ("tag", "attrs", "text", "children")
+
+    def __init__(
+        self,
+        tag: str,
+        attrs: Optional[Dict[str, str]] = None,
+        text: bytes = b"",
+    ) -> None:
+        self.tag = tag
+        self.attrs = attrs or {}
+        self.text = text
+        self.children: List["Element"] = []
+
+    def append(self, child: "Element") -> "Element":
+        self.children.append(child)
+        return child
+
+    def render(self, out: List[bytes]) -> None:
+        """Recursive serialization into a parts list."""
+        tag = self.tag.encode("ascii")
+        if self.attrs:
+            attr_parts = [b"<", tag]
+            for key, value in self.attrs.items():
+                attr_parts.append(
+                    b" " + key.encode("ascii") + b'="'
+                    + escape_attr(value.encode("utf-8")) + b'"'
+                )
+            attr_parts.append(b">")
+            out.append(b"".join(attr_parts))
+        else:
+            out.append(b"<" + tag + b">")
+        if self.text:
+            out.append(self.text)
+        for child in self.children:
+            child.render(out)
+        out.append(b"</" + tag + b">")
+
+    def find(self, tag: str) -> Optional["Element"]:
+        """First direct child with *tag* (tests)."""
+        for child in self.children:
+            if child.tag == tag:
+                return child
+        return None
+
+
+class XSoapLikeClient:
+    """Full-serialization DOM client (see module docstring)."""
+
+    def __init__(
+        self,
+        transport: Optional[Transport] = None,
+        *,
+        float_format: FloatFormat = FloatFormat.MINIMAL,
+    ) -> None:
+        self.transport: Transport = transport if transport is not None else NullSink()
+        self.float_format = float_format
+        self.sends = 0
+        self.bytes_total = 0
+
+    # ------------------------------------------------------------------
+    def build_tree(self, message: SOAPMessage) -> Element:
+        """Reflect the message into a DOM (the XSOAP-ish cost center)."""
+        nsdecls = dict(STANDARD_NSDECLS)
+        nsdecls[SERVICE_PREFIX] = message.namespace
+        env_attrs = {
+            ("xmlns" if not p else f"xmlns:{p}"): uri for p, uri in nsdecls.items()
+        }
+        env_attrs[ENCODING_STYLE_ATTR[0]] = ENCODING_STYLE_ATTR[1]
+        envelope = Element(f"{SOAP_ENV_PREFIX}:Envelope", env_attrs)
+        body = envelope.append(Element(f"{SOAP_ENV_PREFIX}:Body"))
+        op = body.append(Element(f"{SERVICE_PREFIX}:{message.operation}"))
+        for param in message.params:
+            op.append(self._param_node(param))
+        return envelope
+
+    def _param_node(self, param: Parameter) -> Element:
+        fmt = self.float_format
+        ptype = param.ptype
+        texts = param_texts(param, fmt)
+        if isinstance(ptype, ArrayType):
+            attrs = {k: v for k, v in array_open_attrs(ptype, param.length).items()}
+            node = Element(param.name, attrs)
+            element = ptype.element
+            if isinstance(element, StructType):
+                arity = element.arity
+                names = [f.name for f in element.fields]
+                for i in range(len(texts) // arity):
+                    item = node.append(Element(ptype.item_tag))
+                    for f in range(arity):
+                        item.append(Element(names[f], text=texts[i * arity + f]))
+            else:
+                tag = ptype.item_tag
+                for text in texts:
+                    node.append(Element(tag, text=text))
+            return node
+        if isinstance(ptype, StructType):
+            node = Element(param.name, {"xsi:type": f"ns:{ptype.name}"})
+            for f, text in zip(ptype.fields, texts):
+                node.append(Element(f.name, text=text))
+            return node
+        key, value = xsi_type_attr(ptype)
+        return Element(param.name, {key: value}, text=texts[0])
+
+    def serialize(self, message: SOAPMessage) -> List[bytes]:
+        tree = self.build_tree(message)
+        parts: List[bytes] = [b'<?xml version="1.0" encoding="UTF-8"?>']
+        tree.render(parts)
+        return parts
+
+    def send(self, message: SOAPMessage) -> int:
+        parts = self.serialize(message)
+        total = sum(len(p) for p in parts)
+        sent = self.transport.send_message(parts, total)
+        self.sends += 1
+        self.bytes_total += sent
+        return sent
+
+    def close(self) -> None:
+        self.transport.close()

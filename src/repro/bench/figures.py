@@ -1,0 +1,724 @@
+"""Per-figure experiment definitions (paper §4) and a CLI runner.
+
+Each ``figNN`` function reproduces one figure's curves and returns a
+:data:`~repro.bench.report.Series`.  Run them all (or one) with::
+
+    python -m repro.bench.figures              # every figure, quick sizes
+    python -m repro.bench.figures fig04 fig05  # a subset
+    python -m repro.bench.figures --sizes 1,100,1000,10000 --transport tcp
+
+Absolute times are Python-scale, not the paper's C-scale; the claims
+under reproduction are the *shapes*: who wins, by what factor, and
+where curves sit relative to each other.  EXPERIMENTS.md records the
+comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.gsoap_like import GSoapLikeClient
+from repro.baselines.xsoap_like import XSoapLikeClient
+from repro.bench.report import Series, format_ratios, format_series
+from repro.bench.runner import TransportRig, time_loop
+from repro.bench.workloads import (
+    MIO_INTERMEDIATE_SPLIT,
+    MIO_MAX_SPLIT,
+    MIO_MIN_SPLIT,
+    double_array_message,
+    doubles_of_width,
+    int_array_message,
+    ints_of_width,
+    mio_columns_of_widths,
+    mio_message,
+    random_doubles,
+    random_ints,
+    random_mio_columns,
+)
+from repro.buffers.config import ChunkPolicy
+from repro.core.client import BSoapClient
+from repro.core.policy import (
+    DiffPolicy,
+    Expansion,
+    OverlayPolicy,
+    StuffMode,
+    StuffingPolicy,
+)
+
+__all__ = ["FIGURES", "run_figure", "main"]
+
+#: Default quick sizes (full paper sweep: 1,100,500,1K,10K,50K,100K).
+DEFAULT_SIZES: Tuple[int, ...] = (1, 100, 500, 1000, 10000)
+
+FigureFn = Callable[[Sequence[int], Optional[int], str], Tuple[str, Series]]
+FIGURES: Dict[str, FigureFn] = {}
+
+
+def _figure(name: str):
+    def register(fn: FigureFn) -> FigureFn:
+        FIGURES[name] = fn
+        return fn
+
+    return register
+
+
+def _mean(timer) -> float:
+    return timer.mean_ms
+
+
+# ----------------------------------------------------------------------
+# Figures 1-3: message content matches
+# ----------------------------------------------------------------------
+def _content_match_figure(
+    make_message: Callable[[int], object],
+    sizes: Sequence[int],
+    reps: Optional[int],
+    transport: str,
+    *,
+    include_xsoap: bool = False,
+) -> Series:
+    series: Series = {"gSOAP-like": [], "bSOAP Full Serialization": [],
+                      "bSOAP Content Match": []}
+    if include_xsoap:
+        series = {"XSOAP-like": [], **series}
+    with TransportRig(transport) as tp:
+        for n in sizes:
+            message = make_message(n)
+            if include_xsoap:
+                xsoap = XSoapLikeClient(tp)
+                series["XSOAP-like"].append(
+                    (n, _mean(time_loop(lambda: xsoap.send(message), reps=reps)))
+                )
+            gsoap = GSoapLikeClient(tp)
+            series["gSOAP-like"].append(
+                (n, _mean(time_loop(lambda: gsoap.send(message), reps=reps)))
+            )
+            bfull = BSoapClient(tp, DiffPolicy(differential_enabled=False))
+            series["bSOAP Full Serialization"].append(
+                (n, _mean(time_loop(lambda: bfull.send(message), reps=reps)))
+            )
+            bsoap = BSoapClient(tp)
+            call = bsoap.prepare(message)
+            call.send()
+            series["bSOAP Content Match"].append(
+                (n, _mean(time_loop(call.send, reps=reps)))
+            )
+    return series
+
+
+@_figure("fig01")
+def fig01(sizes, reps, transport):
+    """Content matches, arrays of MIOs (paper Figure 1)."""
+    series = _content_match_figure(
+        lambda n: mio_message(random_mio_columns(n, seed=n)), sizes, reps, transport
+    )
+    return "Figure 1 — Message Content Matches: MIOs (Send Time, ms)", series
+
+
+@_figure("fig02")
+def fig02(sizes, reps, transport):
+    """Content matches, arrays of doubles, incl. XSOAP (Figure 2)."""
+    series = _content_match_figure(
+        lambda n: double_array_message(random_doubles(n, seed=n)),
+        sizes,
+        reps,
+        transport,
+        include_xsoap=True,
+    )
+    return "Figure 2 — Message Content Matches: Doubles (Send Time, ms)", series
+
+
+@_figure("fig03")
+def fig03(sizes, reps, transport):
+    """Content matches, arrays of integers (Figure 3)."""
+    series = _content_match_figure(
+        lambda n: int_array_message(random_ints(n, seed=n)), sizes, reps, transport
+    )
+    return "Figure 3 — Message Content Matches: Integers (Send Time, ms)", series
+
+
+# ----------------------------------------------------------------------
+# Figures 4-5: perfect structural matches
+# ----------------------------------------------------------------------
+_FRACTIONS = (1.0, 0.75, 0.5, 0.25)
+
+
+def _structural_figure(
+    kind: str, sizes: Sequence[int], reps: Optional[int], transport: str
+) -> Series:
+    """Dirty-fraction sweep with width-stable replacement values."""
+    series: Series = {"bSOAP Full Serialization": []}
+    for frac in _FRACTIONS:
+        series[f"{int(frac * 100)}% Value Re-serialization"] = []
+    series["Message Content Match"] = []
+
+    with TransportRig(transport) as tp:
+        for n in sizes:
+            if kind == "mio":
+                cols = mio_columns_of_widths(n, MIO_INTERMEDIATE_SPLIT, seed=n)
+                message = mio_message(cols)
+                pool = doubles_of_width(
+                    n, MIO_INTERMEDIATE_SPLIT[2], seed=n + 999
+                )
+            else:
+                values = doubles_of_width(n, 18, seed=n)
+                message = double_array_message(values)
+                pool = doubles_of_width(n, 18, seed=n + 999)
+
+            bfull = BSoapClient(tp, DiffPolicy(differential_enabled=False))
+            series["bSOAP Full Serialization"].append(
+                (n, _mean(time_loop(lambda: bfull.send(message), reps=reps)))
+            )
+
+            for frac in _FRACTIONS:
+                client = BSoapClient(tp)
+                call = client.prepare(message)
+                call.send()
+                tracked = call.tracked("mesh" if kind == "mio" else "data")
+                k = max(1, int(frac * n))
+                rng = np.random.default_rng(n)
+                flip = [pool, np.roll(pool, 1)]
+                state = {"i": 0}
+
+                def mutate():
+                    idx = rng.choice(n, k, replace=False) if k < n else np.arange(n)
+                    src = flip[state["i"] % 2]
+                    state["i"] += 1
+                    if kind == "mio":
+                        # Paper: only the MIO doubles are re-serialized.
+                        tracked.set_items(idx, "v", src[idx])
+                    else:
+                        tracked.update(idx, src[idx])
+
+                timer = time_loop(call.send, setup=mutate, reps=reps)
+                series[f"{int(frac * 100)}% Value Re-serialization"].append(
+                    (n, _mean(timer))
+                )
+
+            client = BSoapClient(tp)
+            call = client.prepare(message)
+            call.send()
+            series["Message Content Match"].append(
+                (n, _mean(time_loop(call.send, reps=reps)))
+            )
+    return series
+
+
+@_figure("fig04")
+def fig04(sizes, reps, transport):
+    """Perfect structural matches, MIOs (Figure 4)."""
+    return (
+        "Figure 4 — Perfect Structural Matches: MIOs (Send Time, ms)",
+        _structural_figure("mio", sizes, reps, transport),
+    )
+
+
+@_figure("fig05")
+def fig05(sizes, reps, transport):
+    """Perfect structural matches, doubles (Figure 5)."""
+    return (
+        "Figure 5 — Perfect Structural Matches: Doubles (Send Time, ms)",
+        _structural_figure("double", sizes, reps, transport),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 6-9: shifting
+# ----------------------------------------------------------------------
+def _shift_policy(chunk_size: int) -> DiffPolicy:
+    return DiffPolicy(
+        chunk=ChunkPolicy(
+            chunk_size=chunk_size,
+            reserve=min(512, chunk_size // 8),
+            split_threshold=chunk_size // 2,
+        )
+    )
+
+
+def _worst_case_shift_point(
+    kind: str,
+    n: int,
+    chunk_size: int,
+    tp,
+    reps: Optional[int],
+) -> float:
+    """Every value expands min width → max width (template rebuilt per rep)."""
+    if kind == "mio":
+        small = mio_columns_of_widths(n, MIO_MIN_SPLIT, seed=n)
+        big = mio_columns_of_widths(n, MIO_MAX_SPLIT, seed=n + 7)
+        message = mio_message(small)
+        pname = "mesh"
+    else:
+        small = doubles_of_width(n, 1, seed=n)
+        big = doubles_of_width(n, 24, seed=n + 7)
+        message = double_array_message(small)
+        pname = "data"
+
+    state = {}
+
+    def rebuild():
+        client = BSoapClient(tp, _shift_policy(chunk_size))
+        call = client.prepare(message)
+        call.send()
+        tracked = call.tracked(pname)
+        if kind == "mio":
+            idx = np.arange(n)
+            for col in ("x", "y", "v"):
+                tracked.set_items(idx, col, big[col])
+        else:
+            tracked.update(np.arange(n), big)
+        state["call"] = call
+
+    timer = time_loop(
+        lambda: state["call"].send(), setup=rebuild, reps=reps, max_reps=20
+    )
+    return timer.mean_ms
+
+
+def _no_shift_reference_point(
+    kind: str, n: int, tp, reps: Optional[int]
+) -> float:
+    """100% value re-serialization at stable max width (no shifting)."""
+    if kind == "mio":
+        cols = mio_columns_of_widths(n, MIO_MAX_SPLIT, seed=n)
+        message = mio_message(cols)
+        other = doubles_of_width(n, MIO_MAX_SPLIT[2], seed=n + 31)
+        pname = "mesh"
+    else:
+        values = doubles_of_width(n, 24, seed=n)
+        message = double_array_message(values)
+        other = doubles_of_width(n, 24, seed=n + 31)
+        pname = "data"
+    client = BSoapClient(tp)
+    call = client.prepare(message)
+    call.send()
+    tracked = call.tracked(pname)
+    flip = [other, np.roll(other, 1)]
+    state = {"i": 0}
+    idx = np.arange(n)
+
+    def mutate():
+        src = flip[state["i"] % 2]
+        state["i"] += 1
+        if kind == "mio":
+            tracked.set_items(idx, "v", src)
+            # x/y re-serialized too in the 100% case: same values, so
+            # rewrite them with themselves (width-stable).
+            tracked.set_items(idx, "x", tracked.column("x"))
+            tracked.set_items(idx, "y", tracked.column("y"))
+        else:
+            tracked.update(idx, src)
+
+    return time_loop(call.send, setup=mutate, reps=reps).mean_ms
+
+
+def _worst_case_figure(
+    kind: str, sizes: Sequence[int], reps: Optional[int], transport: str
+) -> Series:
+    series: Series = {
+        "Worst Case Shifting, 32K Chunks": [],
+        "Worst Case Shifting, 8K Chunks": [],
+        "100% Re-serialization, No Shifting": [],
+    }
+    with TransportRig(transport) as tp:
+        for n in sizes:
+            series["Worst Case Shifting, 32K Chunks"].append(
+                (n, _worst_case_shift_point(kind, n, 32 * 1024, tp, reps))
+            )
+            series["Worst Case Shifting, 8K Chunks"].append(
+                (n, _worst_case_shift_point(kind, n, 8 * 1024, tp, reps))
+            )
+            series["100% Re-serialization, No Shifting"].append(
+                (n, _no_shift_reference_point(kind, n, tp, reps))
+            )
+    return series
+
+
+@_figure("fig06")
+def fig06(sizes, reps, transport):
+    """Worst-case shifting, MIOs: 3 → 46 characters (Figure 6)."""
+    return (
+        "Figure 6 — Worst Case Shifting: MIOs (Send Time, ms)",
+        _worst_case_figure("mio", sizes, reps, transport),
+    )
+
+
+@_figure("fig07")
+def fig07(sizes, reps, transport):
+    """Worst-case shifting, doubles: 1 → 24 characters (Figure 7)."""
+    return (
+        "Figure 7 — Worst Case Shifting: Doubles (Send Time, ms)",
+        _worst_case_figure("double", sizes, reps, transport),
+    )
+
+
+def _partial_shift_figure(
+    kind: str, sizes: Sequence[int], reps: Optional[int], transport: str
+) -> Series:
+    """Fraction sweep: intermediate-width values expand to maximum."""
+    series: Series = {}
+    for frac in _FRACTIONS:
+        series[f"{int(frac * 100)}% Re-serialization with Shifting"] = []
+    series["100% Re-serialization, No Shifting"] = []
+
+    with TransportRig(transport) as tp:
+        for n in sizes:
+            if kind == "mio":
+                inter = mio_columns_of_widths(n, MIO_INTERMEDIATE_SPLIT, seed=n)
+                message = mio_message(inter)
+                big_v = doubles_of_width(n, MIO_MAX_SPLIT[2], seed=n + 7)
+                big_xy = ints_of_width(n, 11, seed=n + 9)
+                pname = "mesh"
+            else:
+                inter_vals = doubles_of_width(n, 18, seed=n)
+                message = double_array_message(inter_vals)
+                big = doubles_of_width(n, 24, seed=n + 7)
+                pname = "data"
+
+            for frac in _FRACTIONS:
+                k = max(1, int(frac * n))
+                state = {}
+
+                def rebuild(k=k):
+                    client = BSoapClient(tp, _shift_policy(32 * 1024))
+                    call = client.prepare(message)
+                    call.send()
+                    tracked = call.tracked(pname)
+                    rng = np.random.default_rng(n + k)
+                    idx = (
+                        np.sort(rng.choice(n, k, replace=False))
+                        if k < n
+                        else np.arange(n)
+                    )
+                    if kind == "mio":
+                        tracked.set_items(idx, "x", big_xy[idx])
+                        tracked.set_items(idx, "y", np.roll(big_xy, 3)[idx])
+                        tracked.set_items(idx, "v", big_v[idx])
+                    else:
+                        tracked.update(idx, big[idx])
+                    state["call"] = call
+
+                timer = time_loop(
+                    lambda: state["call"].send(),
+                    setup=rebuild,
+                    reps=reps,
+                    max_reps=20,
+                )
+                series[f"{int(frac * 100)}% Re-serialization with Shifting"].append(
+                    (n, timer.mean_ms)
+                )
+
+            series["100% Re-serialization, No Shifting"].append(
+                (n, _no_shift_reference_point(kind, n, tp, reps))
+            )
+    return series
+
+
+@_figure("fig08")
+def fig08(sizes, reps, transport):
+    """Partial shifting, MIOs: 36 → 46 characters (Figure 8)."""
+    return (
+        "Figure 8 — Shifting Performance: MIOs (Send Time, ms)",
+        _partial_shift_figure("mio", sizes, reps, transport),
+    )
+
+
+@_figure("fig09")
+def fig09(sizes, reps, transport):
+    """Partial shifting, doubles: 18 → 24 characters (Figure 9)."""
+    return (
+        "Figure 9 — Shifting Performance: Doubles (Send Time, ms)",
+        _partial_shift_figure("double", sizes, reps, transport),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 10-11: stuffing
+# ----------------------------------------------------------------------
+def _stuffing_figure(
+    kind: str, sizes: Sequence[int], reps: Optional[int], transport: str
+) -> Series:
+    if kind == "mio":
+        max_stuff = StuffingPolicy(StuffMode.MAX)
+        inter_stuff = StuffingPolicy(
+            StuffMode.FIXED,
+            {"int": MIO_INTERMEDIATE_SPLIT[0], "double": MIO_INTERMEDIATE_SPLIT[2]},
+        )
+        min_cols = mio_columns_of_widths(max(sizes), MIO_MIN_SPLIT, seed=1)
+        max_cols = mio_columns_of_widths(max(sizes), MIO_MAX_SPLIT, seed=2)
+        make_msg = lambda n, cols: mio_message(
+            {k: v[:n] for k, v in cols.items()}
+        )
+        pname = "mesh"
+    else:
+        max_stuff = StuffingPolicy(StuffMode.MAX)
+        inter_stuff = StuffingPolicy(StuffMode.FIXED, {"double": 18})
+        min_cols = doubles_of_width(max(sizes), 1, seed=1)
+        max_cols = doubles_of_width(max(sizes), 24, seed=2)
+        make_msg = lambda n, vals: double_array_message(vals[:n])
+        pname = "data"
+
+    series: Series = {
+        "Max Field Width: Full Closing Tag Shift": [],
+        "Max Field Width: No Closing Tag Shift": [],
+        "Intermediate Field Width: No Closing Tag Shift": [],
+        "Min Field Width: No Closing Tag Shift": [],
+    }
+
+    with TransportRig(transport) as tp:
+        for n in sizes:
+            # No-shift curves: content-match resends of messages whose
+            # fields are stuffed to min/intermediate/max width — the
+            # "larger messages" cost of stuffing.
+            for label, stuff in (
+                ("Max Field Width: No Closing Tag Shift", max_stuff),
+                ("Intermediate Field Width: No Closing Tag Shift", inter_stuff),
+                ("Min Field Width: No Closing Tag Shift", StuffingPolicy()),
+            ):
+                client = BSoapClient(tp, DiffPolicy(stuffing=stuff))
+                call = client.prepare(make_msg(n, min_cols))
+                call.send()
+                series[label].append((n, time_loop(call.send, reps=reps).mean_ms))
+
+            # Tag-shift curve: smallest values written over largest
+            # values inside max-width fields — maximal closing-tag
+            # movement plus whitespace fill on every field.
+            client = BSoapClient(tp, DiffPolicy(stuffing=max_stuff))
+            call = client.prepare(make_msg(n, max_cols))
+            call.send()
+            tracked = call.tracked(pname)
+            idx = np.arange(n)
+            state = {"i": 0}
+
+            def mutate():
+                use_min = state["i"] % 2 == 0
+                state["i"] += 1
+                src = min_cols if use_min else max_cols
+                if kind == "mio":
+                    for col in ("x", "y", "v"):
+                        tracked.set_items(idx, col, src[col][:n])
+                else:
+                    tracked.update(idx, src[:n])
+
+            # Only min-value writes represent the full tag shift; the
+            # alternation keeps every iteration a full-width move.
+            timer = time_loop(call.send, setup=mutate, reps=reps)
+            series["Max Field Width: Full Closing Tag Shift"].append(
+                (n, timer.mean_ms)
+            )
+    return series
+
+
+@_figure("fig10")
+def fig10(sizes, reps, transport):
+    """Stuffing, MIOs: 3/36/46-character fields (Figure 10)."""
+    return (
+        "Figure 10 — Stuffing Performance: MIOs (Send Time, ms)",
+        _stuffing_figure("mio", sizes, reps, transport),
+    )
+
+
+@_figure("fig11")
+def fig11(sizes, reps, transport):
+    """Stuffing, doubles: 1/18/24-character fields (Figure 11)."""
+    return (
+        "Figure 11 — Stuffing Performance: Doubles (Send Time, ms)",
+        _stuffing_figure("double", sizes, reps, transport),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 12: chunk overlaying
+# ----------------------------------------------------------------------
+@_figure("fig12")
+def fig12(sizes, reps, transport):
+    """Chunk overlaying vs separate chunks (Figure 12)."""
+    series: Series = {
+        "Chunk Overlay (doubles)": [],
+        "100% Value Re-serialization (doubles)": [],
+        "Chunk Overlay (MIOs)": [],
+        "100% Value Re-serialization (MIOs)": [],
+    }
+    overlay_policy = DiffPolicy(
+        chunk=ChunkPolicy(chunk_size=32 * 1024),
+        stuffing=StuffingPolicy(StuffMode.MAX),
+        overlay=OverlayPolicy(enabled=True, min_items=1),
+    )
+    with TransportRig(transport) as tp:
+        for n in sizes:
+            for kind in ("doubles", "mios"):
+                if kind == "doubles":
+                    message = double_array_message(random_doubles(n, seed=n))
+                    pname = "data"
+                else:
+                    message = mio_message(random_mio_columns(n, seed=n))
+                    pname = "mesh"
+
+                client = BSoapClient(tp, overlay_policy)
+                client.send(message)
+                timer = time_loop(lambda: client.send(message), reps=reps)
+                label = "Chunk Overlay (doubles)" if kind == "doubles" else (
+                    "Chunk Overlay (MIOs)"
+                )
+                series[label].append((n, timer.mean_ms))
+
+                plain = BSoapClient(
+                    tp,
+                    DiffPolicy(
+                        chunk=ChunkPolicy(chunk_size=32 * 1024),
+                        stuffing=StuffingPolicy(StuffMode.MAX),
+                    ),
+                )
+                call = plain.prepare(message)
+                call.send()
+                tracked = call.tracked(pname)
+                idx = np.arange(n)
+                # Alternate between two value sets so every iteration
+                # writes *changed* values (same work the overlay does).
+                if kind == "mios":
+                    alts = [
+                        {c: np.roll(tracked.column(c), s) for c in ("x", "y", "v")}
+                        for s in (0, 1)
+                    ]
+                else:
+                    alts = [np.roll(tracked.data, s) for s in (0, 1)]
+                state = {"i": 0}
+
+                def mutate():
+                    src = alts[state["i"] % 2]
+                    state["i"] += 1
+                    if kind == "mios":
+                        for col in ("x", "y", "v"):
+                            tracked.set_items(idx, col, src[col])
+                    else:
+                        tracked.update(idx, src)
+
+                timer = time_loop(call.send, setup=mutate, reps=reps)
+                label = (
+                    "100% Value Re-serialization (doubles)"
+                    if kind == "doubles"
+                    else "100% Value Re-serialization (MIOs)"
+                )
+                series[label].append((n, timer.mean_ms))
+    return (
+        "Figure 12 — Chunk Overlaying Performance (Send Time, ms)",
+        series,
+    )
+
+
+# ----------------------------------------------------------------------
+# §2: the conversion bottleneck
+# ----------------------------------------------------------------------
+@_figure("sec2")
+def sec2(sizes, reps, transport):
+    """§2 claim: float→ASCII conversion dominates serialization."""
+    from repro.bench.profile90 import decompose_serialization
+
+    series: Series = {
+        "Traversal": [],
+        "Conversion (float→ASCII)": [],
+        "Tag emission + packing": [],
+        "Send (memcpy)": [],
+        "Conversion share %": [],
+    }
+    for n in sizes:
+        phases = decompose_serialization(n, reps=reps or 10)
+        series["Traversal"].append((n, phases.traversal_ms))
+        series["Conversion (float→ASCII)"].append((n, phases.conversion_ms))
+        series["Tag emission + packing"].append((n, phases.packing_ms))
+        series["Send (memcpy)"].append((n, phases.send_ms))
+        series["Conversion share %"].append((n, phases.conversion_share * 100))
+    return (
+        "Section 2 — Serialization cost decomposition (ms; share in %)",
+        series,
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def run_figure(
+    name: str,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    reps: Optional[int] = None,
+    transport: str = "memcpy",
+) -> Tuple[str, Series]:
+    """Run one figure experiment by name."""
+    fn = FIGURES.get(name)
+    if fn is None:
+        raise KeyError(f"unknown figure {name!r}; have {sorted(FIGURES)}")
+    return fn(sizes, reps, transport)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.figures",
+        description="Reproduce the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        default=sorted(FIGURES),
+        help=f"figures to run (default: all of {sorted(FIGURES)})",
+    )
+    parser.add_argument(
+        "--sizes",
+        default=",".join(str(s) for s in DEFAULT_SIZES),
+        help="comma-separated array sizes (paper: 1,100,500,1000,10000,50000,100000)",
+    )
+    parser.add_argument("--reps", type=int, default=None, help="fixed repetitions")
+    parser.add_argument(
+        "--transport",
+        default="memcpy",
+        choices=TransportRig.KINDS,
+        help="transport rig (tcp = localhost dummy server, as in the paper)",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render each figure as an ASCII log-log chart too",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="also append the rendered tables to this file "
+        "(for regenerating EXPERIMENTS.md data)",
+    )
+    args = parser.parse_args(argv)
+    sizes = tuple(int(s) for s in args.sizes.split(","))
+
+    sink_file = open(args.out, "a") if args.out else None
+    try:
+        for name in args.figures:
+            title, series = run_figure(name, sizes, args.reps, args.transport)
+            blocks = [format_series(title, series)]
+            if name in ("fig01", "fig02", "fig03"):
+                blocks.append(
+                    format_ratios(
+                        series,
+                        [("bSOAP Full Serialization", "bSOAP Content Match")],
+                        sizes,
+                    )
+                )
+            if args.plot:
+                from repro.bench.plots import ascii_plot
+
+                blocks.append(ascii_plot(title, series))
+            text = "\n".join(blocks)
+            print()
+            print(text)
+            if sink_file is not None:
+                sink_file.write("\n" + text + "\n")
+                sink_file.flush()
+    finally:
+        if sink_file is not None:
+            sink_file.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""ASCII log-log plots for figure series.
+
+The paper's figures are log-log Send-Time curves; ``--plot`` on the
+figure runner renders the same picture in the terminal so shapes
+(orderings, crossovers, slopes) are visible without leaving the shell.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.report import Series
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _log_ticks(lo: float, hi: float) -> List[float]:
+    """Decade ticks covering [lo, hi]."""
+    if lo <= 0:
+        lo = hi / 1e6 if hi > 0 else 1e-6
+    start = math.floor(math.log10(lo))
+    end = math.ceil(math.log10(hi))
+    return [10.0**e for e in range(start, end + 1)]
+
+
+def ascii_plot(
+    title: str,
+    series: Series,
+    *,
+    width: int = 72,
+    height: int = 22,
+) -> str:
+    """Render *series* as a log-log scatter/line chart.
+
+    Zero or negative values are dropped (log scale).  Each curve gets
+    a marker; overlapping points show the later curve's marker.
+    """
+    points_by_label: Dict[str, List[Tuple[float, float]]] = {
+        label: [(float(n), float(ms)) for n, ms in pts if n > 0 and ms > 0]
+        for label, pts in series.items()
+    }
+    points_by_label = {k: v for k, v in points_by_label.items() if v}
+    if not points_by_label:
+        return f"{title}\n(no positive data to plot)"
+
+    xs = [x for pts in points_by_label.values() for x, _ in pts]
+    ys = [y for pts in points_by_label.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_lo == x_hi:
+        x_hi = x_lo * 10
+    if y_lo == y_hi:
+        y_hi = y_lo * 10
+
+    lx_lo, lx_hi = math.log10(x_lo), math.log10(x_hi)
+    ly_lo, ly_hi = math.log10(y_lo), math.log10(y_hi)
+
+    def col(x: float) -> int:
+        return round((math.log10(x) - lx_lo) / (lx_hi - lx_lo) * (width - 1))
+
+    def row(y: float) -> int:
+        frac = (math.log10(y) - ly_lo) / (ly_hi - ly_lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+
+    # Light decade gridlines.
+    for tick in _log_ticks(y_lo, y_hi):
+        if y_lo <= tick <= y_hi:
+            r = row(tick)
+            for c in range(width):
+                grid[r][c] = "·"
+    for tick in _log_ticks(x_lo, x_hi):
+        if x_lo <= tick <= x_hi:
+            c = col(tick)
+            for r in range(height):
+                if grid[r][c] == " ":
+                    grid[r][c] = "·"
+
+    # Curves: draw straight segments between consecutive points.
+    for index, (label, pts) in enumerate(points_by_label.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        pts = sorted(pts)
+        cells = [(row(y), col(x)) for x, y in pts]
+        for (r1, c1), (r2, c2) in zip(cells, cells[1:]):
+            steps = max(abs(r2 - r1), abs(c2 - c1), 1)
+            for s in range(steps + 1):
+                r = round(r1 + (r2 - r1) * s / steps)
+                c = round(c1 + (c2 - c1) * s / steps)
+                grid[r][c] = marker
+        for r, c in cells:
+            grid[r][c] = marker
+
+    # Assemble with a y-axis gutter.
+    lines = [title, "=" * min(len(title), width)]
+    gutter = 11
+    for r in range(height):
+        # Label rows holding decade ticks.
+        label = ""
+        for tick in _log_ticks(y_lo, y_hi):
+            if y_lo <= tick <= y_hi and row(tick) == r:
+                label = f"{tick:.3g} ms"
+                break
+        lines.append(f"{label:>{gutter}} |" + "".join(grid[r]))
+    lines.append(" " * gutter + " +" + "-" * width)
+    tick_line = [" "] * width
+    for tick in _log_ticks(x_lo, x_hi):
+        if x_lo <= tick <= x_hi:
+            c = col(tick)
+            text = f"{tick:.3g}"
+            for i, ch in enumerate(text):
+                if c + i < width:
+                    tick_line[c + i] = ch
+    lines.append(" " * gutter + "  " + "".join(tick_line) + "  (array size)")
+    lines.append("")
+    for index, label in enumerate(points_by_label):
+        lines.append(f"  {_MARKERS[index % len(_MARKERS)]}  {label}")
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""§2 cost decomposition: where full serialization spends its time.
+
+    "The most critical factor is the cost of conversion between
+    floating point numbers and their ASCII representations.  These
+    conversion routines account for 90% of end-to-end time for a SOAP
+    RPC call."
+
+The decomposition times the four phases §2 enumerates over the same
+double-array workload: (1) traversing the data structures, (2)
+translating values to ASCII, (3) copying the XML representation
+(including tags) into a buffer, (4) sending the buffer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.workloads import random_doubles
+from repro.lexical.floats import FloatFormat, format_double_array
+from repro.soap.envelope import envelope_layout
+from repro.transport.loopback import MemcpySink
+
+__all__ = ["PhaseBreakdown", "decompose_serialization"]
+
+
+@dataclass(slots=True)
+class PhaseBreakdown:
+    """Mean per-call milliseconds of each serialization phase."""
+
+    n: int
+    traversal_ms: float
+    conversion_ms: float
+    packing_ms: float
+    send_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.traversal_ms + self.conversion_ms + self.packing_ms + self.send_ms
+
+    @property
+    def conversion_share(self) -> float:
+        """Fraction of total serialization time spent converting."""
+        total = self.total_ms
+        return self.conversion_ms / total if total else 0.0
+
+
+def decompose_serialization(
+    n: int, reps: int = 10, fmt: FloatFormat = FloatFormat.MINIMAL
+) -> PhaseBreakdown:
+    """Measure the four phases for an *n*-double array message."""
+    values = random_doubles(n, seed=n)
+    layout = envelope_layout("urn:bsoap:bench", "sendDoubles")
+    sink = MemcpySink()
+    open_item, close_item = b"<item>", b"</item>"
+
+    t_traversal = t_conversion = t_packing = t_send = 0.0
+    for _ in range(reps):
+        # Phase 1: traverse the in-memory structure (unbox values).
+        t0 = time.perf_counter()
+        unboxed = values.tolist()
+        t1 = time.perf_counter()
+
+        # Phase 2: value → ASCII conversion.
+        texts = format_double_array(unboxed, fmt)
+        t2 = time.perf_counter()
+
+        # Phase 3: copy XML representation (tags + values) into a buffer.
+        body = b"".join(open_item + t + close_item for t in texts)
+        message = [layout.prefix, b"<data>", body, b"</data>", layout.suffix]
+        t3 = time.perf_counter()
+
+        # Phase 4: send.
+        sink.send_message(message)
+        t4 = time.perf_counter()
+
+        t_traversal += t1 - t0
+        t_conversion += t2 - t1
+        t_packing += t3 - t2
+        t_send += t4 - t3
+
+    scale = 1000.0 / reps
+    return PhaseBreakdown(
+        n=n,
+        traversal_ms=t_traversal * scale,
+        conversion_ms=t_conversion * scale,
+        packing_ms=t_packing * scale,
+        send_ms=t_send * scale,
+    )

@@ -1,0 +1,55 @@
+"""Series formatting for the figure runner and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["Series", "format_series", "ratio", "format_ratios"]
+
+#: label → [(array size, mean Send Time ms), ...]
+Series = Dict[str, List[Tuple[int, float]]]
+
+
+def format_series(title: str, series: Series) -> str:
+    """Render a figure's curves as one aligned table (sizes as rows)."""
+    sizes: List[int] = sorted({n for points in series.values() for n, _ in points})
+    labels = list(series)
+    by_label = {
+        label: {n: ms for n, ms in points} for label, points in series.items()
+    }
+    width = max(12, *(len(l) for l in labels)) + 2
+    lines = [title, "=" * len(title)]
+    header = f"{'n':>8}" + "".join(f"{l:>{width}}" for l in labels)
+    lines.append(header)
+    for n in sizes:
+        row = f"{n:>8}"
+        for label in labels:
+            ms = by_label[label].get(n)
+            row += f"{ms:>{width}.4f}" if ms is not None else " " * (width - 1) + "-"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def ratio(series: Series, numerator: str, denominator: str, n: int) -> float:
+    """``numerator/denominator`` Send-Time ratio at size *n*."""
+    num = dict(series[numerator])[n]
+    den = dict(series[denominator])[n]
+    return num / den
+
+
+def format_ratios(
+    series: Series, pairs: Sequence[Tuple[str, str]], sizes: Sequence[int]
+) -> str:
+    """Summarize speedup ratios (paper-style "N times faster" claims)."""
+    lines = []
+    for num, den in pairs:
+        have = [
+            n
+            for n in sizes
+            if n in dict(series.get(num, [])) and n in dict(series.get(den, []))
+        ]
+        if not have:
+            continue
+        rendered = ", ".join(f"n={n}: {ratio(series, num, den, n):.1f}x" for n in have)
+        lines.append(f"{num} / {den}: {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""Workload generators with controlled serialized widths.
+
+The paper's width studies depend on values of *exact* lexical sizes:
+one-character doubles, 18-character doubles, 24-character (maximum)
+doubles; 3/36/46-character MIOs; 1/11-character ints.  The generators
+here use pattern construction plus rejection sampling against the real
+formatter, so every produced value's :func:`format_double` /
+:func:`format_int` output has exactly the requested length.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.lexical.floats import DOUBLE_MAX_WIDTH, FloatFormat, format_double
+from repro.lexical.integers import INT_MAX_WIDTH, format_int
+from repro.schema.composite import ArrayType
+from repro.schema.mio import MIO_TYPE, make_mio_array_type
+from repro.schema.types import DOUBLE, INT
+from repro.soap.message import Parameter, SOAPMessage
+
+__all__ = [
+    "PAPER_SIZES",
+    "SERVICE_NS",
+    "doubles_of_width",
+    "ints_of_width",
+    "mio_columns_of_widths",
+    "random_doubles",
+    "random_ints",
+    "random_mio_columns",
+    "double_array_message",
+    "int_array_message",
+    "mio_message",
+    "MIO_MIN_SPLIT",
+    "MIO_MAX_SPLIT",
+    "MIO_INTERMEDIATE_SPLIT",
+]
+
+#: Array sizes used throughout the paper's §4 ("1, 100, 500, 1K, 10K,
+#: 50K, and 100K").
+PAPER_SIZES: Tuple[int, ...] = (1, 100, 500, 1000, 10000, 50000, 100000)
+
+SERVICE_NS = "urn:bsoap:bench"
+
+#: MIO component widths (x, y, v) summing to the paper's totals.
+MIO_MIN_SPLIT = (1, 1, 1)  # 3-character MIO
+MIO_INTERMEDIATE_SPLIT = (11, 11, 14)  # 36-character MIO (Fig. 8)
+MIO_MAX_SPLIT = (11, 11, 24)  # 46-character MIO
+
+
+def _candidates_double(width: int, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Raw candidate doubles aimed at a given lexical width."""
+    if width < 1 or width > DOUBLE_MAX_WIDTH:
+        raise SchemaError(f"double width {width} out of range 1..{DOUBLE_MAX_WIDTH}")
+    if width == 1:
+        return rng.integers(1, 10, k).astype(np.float64)
+    if width == 2:
+        # Two-char minimal doubles: negative single digits or 10..99.
+        return rng.integers(10, 100, k).astype(np.float64)
+    if width <= 18:
+        # "0." + (width-2) digits, last digit nonzero.
+        digits = width - 2
+        frac = rng.integers(10 ** (digits - 1), 10**digits, k)
+        frac = frac - (frac % 10 == 0)  # avoid trailing zero
+        return frac.astype(np.float64) / (10.0**digits)
+    # Long forms use scientific notation with a 3-digit exponent:
+    # [-]d.<m digits>e-XYZ → total = sign + 2 + m + 5.
+    sign = width >= 24  # only the 24-char form needs the minus sign
+    m = width - 7 - (1 if sign else 0)
+    lead = rng.integers(1, 10, k)
+    mant = rng.integers(10 ** (m - 1), 10**m, k)
+    mant = mant - (mant % 10 == 0)
+    exp = rng.integers(120, 300, k)
+    values = (lead + mant / (10.0**m)) * np.power(10.0, -exp)
+    return -values if sign else values
+
+
+def doubles_of_width(
+    n: int, width: int, seed: int = 0, fmt: FloatFormat = FloatFormat.MINIMAL
+) -> np.ndarray:
+    """*n* doubles whose lexical form is exactly *width* characters."""
+    rng = np.random.default_rng(seed)
+    out = np.empty(n, dtype=np.float64)
+    filled = 0
+    attempts = 0
+    while filled < n:
+        attempts += 1
+        if attempts > 200:  # pragma: no cover - generator bug guard
+            raise SchemaError(f"cannot generate width-{width} doubles")
+        batch = _candidates_double(width, max(64, (n - filled) * 2), rng)
+        for v in batch:
+            if len(format_double(float(v), fmt)) == width:
+                out[filled] = v
+                filled += 1
+                if filled == n:
+                    break
+    return out
+
+
+def ints_of_width(n: int, width: int, seed: int = 0) -> np.ndarray:
+    """*n* integers whose decimal form is exactly *width* characters."""
+    if width < 1 or width > INT_MAX_WIDTH:
+        raise SchemaError(f"int width {width} out of range 1..{INT_MAX_WIDTH}")
+    rng = np.random.default_rng(seed)
+    if width == INT_MAX_WIDTH:
+        # "-" + 10 digits, within int32: -1000000000 .. -2147483647.
+        values = -rng.integers(10**9, 2**31 - 1, n)
+    else:
+        values = rng.integers(10 ** (width - 1) if width > 1 else 1, 10**width, n)
+    values = values.astype(np.int64)
+    check = format_int(int(values[0]))
+    if len(check) != width:  # pragma: no cover - generator bug guard
+        raise SchemaError(f"int width generator produced {check!r} for width {width}")
+    return values
+
+
+def mio_columns_of_widths(
+    n: int, split: Tuple[int, int, int], seed: int = 0
+) -> Dict[str, np.ndarray]:
+    """MIO columns whose (x, y, v) widths are exactly *split*."""
+    xw, yw, vw = split
+    return {
+        "x": ints_of_width(n, xw, seed),
+        "y": ints_of_width(n, yw, seed + 1),
+        "v": doubles_of_width(n, vw, seed + 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# realistic (uncontrolled-width) workloads
+# ----------------------------------------------------------------------
+def random_doubles(n: int, seed: int = 0) -> np.ndarray:
+    """Uniform [0, 1) doubles — realistic scientific payload."""
+    return np.random.default_rng(seed).random(n)
+
+
+def random_ints(n: int, seed: int = 0) -> np.ndarray:
+    """Uniform 32-bit-ish integers."""
+    return np.random.default_rng(seed).integers(-(2**31), 2**31, n)
+
+
+def random_mio_columns(n: int, seed: int = 0) -> Dict[str, np.ndarray]:
+    """Mesh coordinates + field values, realistic distributions."""
+    rng = np.random.default_rng(seed)
+    return {
+        "x": rng.integers(0, 10000, n),
+        "y": rng.integers(0, 10000, n),
+        "v": rng.random(n),
+    }
+
+
+# ----------------------------------------------------------------------
+# message builders
+# ----------------------------------------------------------------------
+def double_array_message(
+    values: np.ndarray, operation: str = "sendDoubles"
+) -> SOAPMessage:
+    return SOAPMessage(
+        operation, SERVICE_NS, [Parameter("data", ArrayType(DOUBLE), values)]
+    )
+
+
+def int_array_message(values: np.ndarray, operation: str = "sendInts") -> SOAPMessage:
+    return SOAPMessage(
+        operation, SERVICE_NS, [Parameter("data", ArrayType(INT), values)]
+    )
+
+
+def mio_message(
+    columns: Dict[str, np.ndarray], operation: str = "sendMios"
+) -> SOAPMessage:
+    return SOAPMessage(
+        operation, SERVICE_NS, [Parameter("mesh", make_mio_array_type(), columns)]
+    )

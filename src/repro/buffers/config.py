@@ -1,0 +1,65 @@
+"""Chunking policy — the paper's configurable parameters.
+
+    "Configurable parameters determine the default initial chunk size,
+    the threshold at which chunks are split into two, and the space
+    that is initially left empty at the end of a chunk (to allow for
+    shifting without reallocation)."  (§3.2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BufferError_
+
+__all__ = ["ChunkPolicy"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkPolicy:
+    """Parameters governing chunk allocation and expansion.
+
+    Attributes
+    ----------
+    chunk_size:
+        Default capacity of a newly allocated chunk in bytes.  The
+        paper's experiments use 8 KiB and 32 KiB.
+    reserve:
+        Bytes left empty at the end of each chunk during initial
+        serialization, so early shifts need no reallocation.
+    split_threshold:
+        When an overflowing chunk's occupancy is at least this many
+        bytes it is split in two; smaller chunks are reallocated
+        (grown) instead.
+    growth_factor:
+        Capacity multiplier used by reallocation.
+    """
+
+    chunk_size: int = 32 * 1024
+    reserve: int = 512
+    split_threshold: int = 4 * 1024
+    growth_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.chunk_size <= 0:
+            raise BufferError_("chunk_size must be positive")
+        if not (0 <= self.reserve < self.chunk_size):
+            raise BufferError_("reserve must satisfy 0 <= reserve < chunk_size")
+        if self.split_threshold <= 0:
+            raise BufferError_("split_threshold must be positive")
+        if self.growth_factor <= 1.0:
+            raise BufferError_("growth_factor must exceed 1.0")
+
+    @property
+    def soft_limit(self) -> int:
+        """Fill limit during initial serialization (capacity − reserve)."""
+        return self.chunk_size - self.reserve
+
+    def with_chunk_size(self, chunk_size: int) -> "ChunkPolicy":
+        """Copy with a different chunk size (reserve clamped below it)."""
+        return ChunkPolicy(
+            chunk_size=chunk_size,
+            reserve=min(self.reserve, max(0, chunk_size - 1)),
+            split_threshold=self.split_threshold,
+            growth_factor=self.growth_factor,
+        )

@@ -1,0 +1,66 @@
+"""Scatter-gather helpers over chunked buffers.
+
+The TCP transport sends a chunked message with ``socket.sendmsg`` —
+one syscall over a list of buffers (an iovec) instead of one ``send``
+per chunk or a costly coalescing copy.  These helpers build and bound
+those lists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["gather_bytes", "coalesce_views", "total_size", "batch_iovecs", "IOV_MAX"]
+
+#: Conservative bound on iovec entries per sendmsg call (POSIX minimum
+#: is 16; Linux allows 1024).
+IOV_MAX = 1024
+
+
+def total_size(views: Iterable[memoryview | bytes]) -> int:
+    """Total byte count across buffer views."""
+    return sum(len(v) for v in views)
+
+
+def gather_bytes(views: Iterable[memoryview | bytes]) -> bytes:
+    """Coalesce views into one bytes object (copying fallback path)."""
+    return b"".join(bytes(v) for v in views)
+
+
+def coalesce_views(
+    views: Sequence[memoryview | bytes], max_copy: int = 4096
+) -> List[memoryview | bytes]:
+    """Merge runs of *small* views into single byte strings.
+
+    Lots of tiny buffers make syscalls and iovec bookkeeping dominate;
+    copying anything below ``max_copy`` into a joined buffer while
+    passing large views through untouched is the standard trade.
+    """
+    out: List[memoryview | bytes] = []
+    run: List[bytes] = []
+    run_len = 0
+    for view in views:
+        n = len(view)
+        if n == 0:
+            continue
+        if n < max_copy:
+            run.append(bytes(view))
+            run_len += n
+        else:
+            if run:
+                out.append(b"".join(run))
+                run = []
+                run_len = 0
+            out.append(view)
+    if run:
+        out.append(b"".join(run))
+    return out
+
+
+def batch_iovecs(
+    views: Sequence[memoryview | bytes], limit: int = IOV_MAX
+) -> List[Sequence[memoryview | bytes]]:
+    """Split a view list into batches of at most *limit* entries."""
+    if len(views) <= limit:
+        return [views]
+    return [views[i : i + limit] for i in range(0, len(views), limit)]

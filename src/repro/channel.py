@@ -1,0 +1,106 @@
+"""Request/response RPC channel.
+
+Bundles the full client-side stack — bSOAP differential serialization,
+HTTP framing, a persistent TCP connection, response parsing, and SOAP
+Fault propagation — behind one ``call()``.  This is the convenience
+layer a generated stub or an application uses against a real
+:class:`~repro.server.service.HTTPSoapServer`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.client import BSoapClient
+from repro.core.policy import DiffPolicy
+from repro.core.stats import SendReport
+from repro.errors import SOAPFaultError, TransportError
+from repro.schema.registry import TypeRegistry
+from repro.server.diffdeser import DeserReport, DifferentialDeserializer
+from repro.server.parser import DecodedMessage, SOAPRequestParser
+from repro.soap.fault import SOAPFault
+from repro.soap.message import SOAPMessage
+from repro.soap.rpc import RPCResponse
+from repro.transport.http import HTTPTransport
+from repro.transport.tcp import TCPTransport
+
+__all__ = ["RPCChannel"]
+
+
+class RPCChannel:
+    """A connected SOAP-RPC endpoint with differential serialization.
+
+    Parameters
+    ----------
+    host, port:
+        The HTTP SOAP server to connect to.
+    registry:
+        Type registry used to decode responses (struct types must be
+        registered to round-trip).
+    policy:
+        Client policy; stuffing (e.g. ``StuffMode.MAX``) lets the
+        server's differential deserializer work across requests.
+    http_mode:
+        ``"chunked"`` (HTTP/1.1, default) or ``"content-length"``.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        registry: Optional[TypeRegistry] = None,
+        policy: Optional[DiffPolicy] = None,
+        http_mode: str = "chunked",
+        path: str = "/soap",
+    ) -> None:
+        self._tcp = TCPTransport(host, port)
+        self._http = HTTPTransport(self._tcp, mode=http_mode, host=host, path=path)
+        self.client = BSoapClient(self._http, policy)
+        # Responses are differentially deserialized: a service reusing
+        # its response template sends same-skeleton bodies, so the
+        # channel re-parses only the result values that changed — the
+        # client-side mirror of the server's request handling.
+        self.deserializer = DifferentialDeserializer(registry)
+        self.parser = self.deserializer.parser
+        self.calls = 0
+        self.faults = 0
+        self.last_deser_report: Optional[DeserReport] = None
+
+    # ------------------------------------------------------------------
+    def call(self, message: SOAPMessage) -> RPCResponse:
+        """Send *message*, await the HTTP response, decode it.
+
+        Raises :class:`~repro.errors.SOAPFaultError` when the server
+        answered with a SOAP Fault, :class:`TransportError` on wire
+        problems.  The client-side :class:`SendReport` of the request
+        (match kind, rewrite statistics) is kept on
+        :attr:`last_send_report`.
+        """
+        report = self.client.send(message)
+        self.last_send_report = report
+        status, _headers, body = self._tcp.recv_http_response()
+        self.calls += 1
+        if status != 200:
+            raise TransportError(f"HTTP {status} from server")
+        fault = SOAPFault.from_xml(body)
+        if fault is not None:
+            self.faults += 1
+            fault.raise_()
+        decoded, self.last_deser_report = self.deserializer.deserialize(body)
+        return RPCResponse(
+            operation=decoded.operation,
+            values={p.name: p.value for p in decoded.params},
+        )
+
+    #: SendReport of the most recent call (match kind, rewrite stats).
+    last_send_report: Optional[SendReport] = None
+
+    def close(self) -> None:
+        self._tcp.close()
+
+    def __enter__(self) -> "RPCChannel":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,274 @@
+"""The bSOAP client stub.
+
+The stub owns the template store (one template per structure
+signature, §3.1) and dispatches each outgoing message down the
+cheapest path the match classification allows:
+
+* first-time send → full serialization, template saved,
+* content match → resend saved bytes,
+* structural match → differential rewrite of dirty values, then send,
+* overlay-eligible arrays → streamed portion-by-portion.
+
+Two usage styles:
+
+**Prepared (paper-faithful).**  ``prepare()`` builds the template and
+hands back tracked value objects; the application mutates them (each
+``set`` flips a DUT dirty bit) and calls ``send()``::
+
+    call = client.prepare(message)
+    xs = call.tracked("data")
+    xs[17] = 3.14
+    call.send()
+
+**Auto-diff (convenience).**  Pass a plain message to ``send()``
+repeatedly; the stub diffs values into the saved template with
+vectorized comparisons and marks exactly the changed leaves dirty.
+
+Extensions from the paper's §6 are available through the policy and
+the store: shared :class:`~repro.core.store.TemplateStore` instances
+amortize templates across clients (= remote services), multi-variant
+stores keep several templates per call type, and
+``policy.pipelined_send`` streams each chunk to the transport as soon
+as its dirty values are rewritten.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.core.differential import iter_rewrite_and_views, rewrite_dirty
+from repro.core.matcher import classify, refine
+from repro.core.overlay import OverlayTemplate, build_overlay_template, overlay_eligible
+from repro.core.policy import DiffPolicy
+from repro.core.serializer import build_template
+from repro.core.stats import ClientStats, MatchKind, RewriteStats, SendReport
+from repro.core.store import TemplateStore
+from repro.core.template import MessageTemplate, Tracked
+from repro.errors import StructureMismatchError, TemplateError
+from repro.soap.message import SOAPMessage, Signature, structure_signature
+from repro.transport.base import Transport
+from repro.transport.loopback import NullSink
+
+__all__ = ["BSoapClient", "PreparedCall"]
+
+AnyTemplate = Union[MessageTemplate, OverlayTemplate]
+
+
+class PreparedCall:
+    """A handle over one saved template and its tracked parameters."""
+
+    def __init__(self, client: "BSoapClient", template: MessageTemplate) -> None:
+        self._client = client
+        self.template = template
+
+    def tracked(self, name: str) -> Tracked:
+        """The mutable, dirty-tracking value object for a parameter."""
+        return self.template.tracked(name)
+
+    def send(self) -> SendReport:
+        """Differentially send the current state of the template."""
+        return self._client._send_template(self.template)
+
+    @property
+    def signature(self) -> Signature:
+        return self.template.signature
+
+
+class BSoapClient:
+    """Client stub with differential serialization (see module docstring)."""
+
+    def __init__(
+        self,
+        transport: Optional[Transport] = None,
+        policy: Optional[DiffPolicy] = None,
+        store: Optional[TemplateStore] = None,
+    ) -> None:
+        self.transport: Transport = transport if transport is not None else NullSink()
+        self.policy = policy or DiffPolicy()
+        self.stats = ClientStats()
+        #: May be shared with other clients (§6 template sharing).
+        self.store = store if store is not None else TemplateStore(
+            self.policy.template_variants
+        )
+
+    # ------------------------------------------------------------------
+    # template store
+    # ------------------------------------------------------------------
+    def template_for(self, signature: Signature) -> Optional[AnyTemplate]:
+        return self.store.get(signature)  # type: ignore[return-value]
+
+    def forget(self, signature: Signature) -> None:
+        """Drop saved templates (frees their buffers and DUTs)."""
+        self.store.forget(signature)
+
+    @property
+    def template_count(self) -> int:
+        return self.store.template_count
+
+    # ------------------------------------------------------------------
+    # prepared-call API
+    # ------------------------------------------------------------------
+    def prepare(self, message: SOAPMessage) -> PreparedCall:
+        """Build (or fetch) the template for *message* without sending."""
+        signature = structure_signature(message)
+        template = self.store.get(signature)
+        if template is None:
+            template = build_template(message, self.policy)
+            self.store.put(signature, template)
+            self.stats.templates_built += 1
+        if isinstance(template, OverlayTemplate):
+            raise TemplateError(
+                "prepare() targets in-memory templates; overlay sends use send()"
+            )
+        return PreparedCall(self, template)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(self, message: SOAPMessage) -> SendReport:
+        """Send *message*, choosing the cheapest path automatically."""
+        signature = structure_signature(message)
+
+        if not self.policy.differential_enabled:
+            return self._send_full_every_time(message)
+
+        existing = self.store.get(signature)
+        if isinstance(existing, OverlayTemplate):
+            return self._send_overlay(existing, message)
+
+        if existing is None:
+            if overlay_eligible(message, self.policy):
+                overlay = build_overlay_template(message, self.policy)
+                self.store.put(signature, overlay)
+                self.stats.templates_built += 1
+                return self._send_overlay(overlay, message, first=True)
+            template = build_template(message, self.policy)
+            self.store.put(signature, template)
+            self.stats.templates_built += 1
+            return self._transmit(template, MatchKind.FIRST_TIME, RewriteStats())
+
+        # Templates exist: choose the variant needing the fewest
+        # rewrites (§6 multi-variant stores), absorb the new values
+        # (no-op when the caller mutated tracked objects directly),
+        # then go differential.
+        template = self._choose_variant(signature, message, existing)
+        if template is None:
+            # A fresh variant was judged cheaper than rewriting.
+            template = build_template(message, self.policy)
+            self.store.put(signature, template)
+            self.stats.templates_built += 1
+            return self._transmit(template, MatchKind.FIRST_TIME, RewriteStats())
+        try:
+            template.absorb(message)
+        except StructureMismatchError:
+            # Array length or type changed — rebuild from scratch.
+            self.forget(signature)
+            return self.send(message)
+        return self._send_template(template)
+
+    def _choose_variant(
+        self,
+        signature: Signature,
+        message: SOAPMessage,
+        most_recent: AnyTemplate,
+    ) -> Optional[MessageTemplate]:
+        """Pick the cached template to reuse, or ``None`` to build anew."""
+        if self.store.variants_per_signature <= 1:
+            return most_recent  # type: ignore[return-value]
+        best, miss = self.store.select(signature, message)
+        if best is None:
+            return most_recent  # type: ignore[return-value]
+        leaves = max(1, len(best.dut))
+        room = len(self.store.variants(signature)) < self.store.variants_per_signature
+        if room and miss > self.policy.variant_miss_threshold * leaves:
+            return None
+        return best
+
+    def _send_template(self, template: MessageTemplate) -> SendReport:
+        kind = classify(template, template.signature)
+        if template.sends == 0:
+            # The template was just built (prepare or first send): the
+            # full-serialization cost was paid this call cycle.
+            kind = MatchKind.FIRST_TIME
+        rewrite = RewriteStats()
+        if kind is MatchKind.CONTENT_MATCH:
+            return self._transmit(template, kind, rewrite)
+        if self.policy.pipelined_send:
+            return self._transmit_pipelined(template, kind)
+        rewrite = rewrite_dirty(template, self.policy)
+        kind = refine(kind, rewrite)
+        return self._transmit(template, kind, rewrite)
+
+    def _transmit_pipelined(
+        self, template: MessageTemplate, kind: MatchKind
+    ) -> SendReport:
+        """Rewrite and transmit chunk by chunk (streaming overlap)."""
+        rewrite = RewriteStats()
+        bytes_sent = self.transport.send_message(
+            iter_rewrite_and_views(template, self.policy, rewrite)
+        )
+        kind = refine(kind, rewrite)
+        template.sends += 1
+        report = SendReport(
+            match_kind=kind,
+            bytes_sent=bytes_sent,
+            rewrite=rewrite,
+            buffer_bytes_moved=template.buffer.bytes_moved,
+            num_chunks=template.buffer.num_chunks,
+        )
+        self.stats.record(report)
+        return report
+
+    def _transmit(
+        self, template: MessageTemplate, kind: MatchKind, rewrite: RewriteStats
+    ) -> SendReport:
+        bytes_sent = self.transport.send_message(
+            template.buffer.views(), template.total_bytes
+        )
+        template.sends += 1
+        report = SendReport(
+            match_kind=kind,
+            bytes_sent=bytes_sent,
+            rewrite=rewrite,
+            buffer_bytes_moved=template.buffer.bytes_moved,
+            num_chunks=template.buffer.num_chunks,
+        )
+        self.stats.record(report)
+        return report
+
+    def _send_overlay(
+        self, overlay: OverlayTemplate, message: SOAPMessage, first: bool = False
+    ) -> SendReport:
+        # Absorb plain values into the overlay's tracked array.
+        if not first:
+            from repro.core.template import absorb_param
+
+            absorb_param(overlay.tracked, message.params[0])
+        stats = RewriteStats()
+        bytes_sent = self.transport.send_message(
+            overlay.iter_send_views(stats), overlay.total_bytes
+        )
+        kind = MatchKind.FIRST_TIME if first else MatchKind.PERFECT_STRUCTURAL
+        report = SendReport(
+            match_kind=kind,
+            bytes_sent=bytes_sent,
+            rewrite=stats,
+            num_chunks=1,
+        )
+        self.stats.record(report)
+        return report
+
+    def _send_full_every_time(self, message: SOAPMessage) -> SendReport:
+        """bSOAP-with-differential-off: the paper's Full Serialization curve."""
+        template = build_template(message, self.policy)
+        return self._transmit(template, MatchKind.FIRST_TIME, RewriteStats())
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.transport.close()
+
+    def __enter__(self) -> "BSoapClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,226 @@
+"""The differential rewrite: serialize only what changed.
+
+Given a template whose DUT table has dirty entries, this module
+re-formats exactly those values and patches them into the saved
+serialized form:
+
+* value fits its field → overwrite value bytes; when the length
+  changed, rewrite the closing tag at its new position and pad the
+  remainder with whitespace (the paper's closing-tag shift),
+* value outgrew its field → *steal* neighbor slack or *shift* the
+  chunk tail (possibly reallocating or splitting the chunk), then
+  write.
+
+Two code paths per parameter:
+
+**Fast path** (perfect structural match — no value outgrew its field,
+checked with one vectorized comparison): DUT columns for the dirty
+subset are pulled into plain Python lists once and the write loop
+touches the chunk ``bytearray`` directly.  Locations cannot move on
+this path, so the cached offsets stay valid.
+
+**Slow path** (some value needs expansion): entries are processed in
+ascending document order through :func:`write_entry`, re-reading
+locations from the DUT at each step because shifts move later entries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence
+
+import numpy as np
+
+from repro.core.policy import DiffPolicy, Expansion
+from repro.core.stats import RewriteStats
+from repro.core.stealing import try_steal
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.template import BoundParam, MessageTemplate
+
+__all__ = ["rewrite_dirty", "write_entry"]
+
+_PAD = tuple(b" " * i for i in range(64))
+
+
+def write_entry(
+    template: "MessageTemplate",
+    entry: int,
+    text: bytes,
+    policy: DiffPolicy,
+    stats: RewriteStats,
+) -> None:
+    """Write one value's new lexical form into the template.
+
+    Handles expansion (steal/shift) when the value no longer fits.
+    """
+    dut = template.dut
+    buffer = template.buffer
+    new_len = len(text)
+    width = int(dut.field_width[entry])
+    old_len = int(dut.ser_len[entry])
+    clen = int(dut.close_len[entry])
+
+    if new_len > width:
+        delta = new_len - width
+        stolen = policy.expansion is Expansion.STEAL and try_steal(
+            template, entry, delta, policy.steal_scan_limit, stats
+        )
+        if not stolen:
+            cid = int(dut.chunk_id[entry])
+            off = int(dut.value_off[entry])
+            result = buffer.insert_gap(cid, off + width + clen, delta, off)
+            dut.apply_gap(result)
+            dut.field_width[entry] += delta
+            if result.mode == "inplace":
+                stats.shifts_inplace += 1
+            elif result.mode == "realloc":
+                stats.reallocs += 1
+            else:
+                stats.splits += 1
+
+    cid = int(dut.chunk_id[entry])
+    off = int(dut.value_off[entry])
+    chunk = buffer.chunk(cid)
+    chunk.write_at(off, text)
+    stats.values_rewritten += 1
+    if new_len != old_len:
+        chunk.write_at(off + new_len, template.close_tag_bytes(entry))
+        stats.tag_shifts += 1
+        if new_len < old_len:
+            # Blank the stale tail: old value remnants + old close tag.
+            gap = old_len - new_len
+            chunk.fill_at(off + new_len + clen, gap, 0x20)
+            stats.pad_bytes += gap
+        dut.ser_len[entry] = new_len
+
+
+def _fast_rewrite(
+    template: "MessageTemplate",
+    bp: "BoundParam",
+    idxs: np.ndarray,
+    texts: Sequence[bytes],
+    lens: np.ndarray,
+    stats: RewriteStats,
+) -> None:
+    """Perfect-structural write loop over cached locations.
+
+    Preconditions (checked by the caller): every new length fits its
+    field width, so no location changes during the loop and the chunk
+    ``bytearray`` can be written without re-validating bounds — the
+    template layout invariant guarantees the spans are in range.
+    """
+    dut = template.dut
+    buffer = template.buffer
+    offs: List[int] = dut.value_off[idxs].tolist()
+    olds: List[int] = dut.ser_len[idxs].tolist()
+    cids: List[int] = dut.chunk_id[idxs].tolist()
+    lens_l: List[int] = lens.tolist()
+
+    uniform = bp.arity == 1
+    if uniform:
+        close = bp.close_tags[0]
+        clen = len(close)
+        closes = None
+    else:
+        leaf_pos = ((idxs - bp.entry_base) % bp.arity).tolist()
+        closes = [bp.close_tags[p] for p in leaf_pos]
+
+    pad = _PAD
+    tag_shifts = 0
+    pad_bytes = 0
+    data = None
+    last_cid = -1
+    for k in range(len(offs)):
+        cid = cids[k]
+        if cid != last_cid:
+            data = buffer.chunk(cid).data
+            last_cid = cid
+        off = offs[k]
+        text = texts[k]
+        new_len = lens_l[k]
+        end_v = off + new_len
+        data[off:end_v] = text  # type: ignore[index]
+        old = olds[k]
+        if new_len != old:
+            if not uniform:
+                close = closes[k]  # type: ignore[index]
+                clen = len(close)
+            data[end_v : end_v + clen] = close  # type: ignore[index]
+            tag_shifts += 1
+            if new_len < old:
+                gap = old - new_len
+                start = end_v + clen
+                data[start : start + gap] = pad[gap]  # type: ignore[index]
+                pad_bytes += gap
+
+    dut.ser_len[idxs] = lens
+    stats.values_rewritten += len(offs)
+    stats.tag_shifts += tag_shifts
+    stats.pad_bytes += pad_bytes
+
+
+def iter_rewrite_and_views(
+    template: "MessageTemplate", policy: DiffPolicy, stats: RewriteStats
+):
+    """Pipelined send driver: repair one chunk, then yield its view.
+
+    The companion-paper "pipelined send" technique: because DUT
+    entries never straddle chunks and expansion only moves bytes *at
+    or after* the expanding field, a chunk whose dirty entries have
+    been rewritten is final and can go to the transport while later
+    chunks are still being re-serialized.  A mid-loop split inserts
+    the new chunk immediately after the current one, so index-based
+    iteration naturally picks it up.
+
+    Dirty bits of processed entries are cleared as they are written.
+    """
+    dut = template.dut
+    buffer = template.buffer
+    fmt = policy.float_format
+    index = 0
+    while index < buffer.num_chunks:
+        cid = buffer.chunk_id_at(index)
+        lo, hi = dut.chunk_range(cid)
+        if hi > lo:
+            idxs = dut.dirty_indices(lo, hi)
+            pos = 0
+            while pos < len(idxs):
+                bp = template.param_for_entry(int(idxs[pos]))
+                # Sorted dirty indices + contiguous param entry ranges
+                # ⇒ one param's entries form one contiguous run.
+                take = idxs[(idxs >= bp.entry_base) & (idxs < bp.entry_end)]
+                texts = bp.tracked.lexical_for(take - bp.entry_base, fmt)
+                lens = np.fromiter(map(len, texts), dtype=np.int32, count=len(texts))
+                if bool((lens > dut.field_width[take]).any()):
+                    for entry, text in zip(take.tolist(), texts):
+                        write_entry(template, entry, text, policy, stats)
+                else:
+                    _fast_rewrite(template, bp, take, texts, lens, stats)
+                dut.dirty[take] = False
+                pos += len(take)
+        chunk = buffer.chunk(cid)
+        if chunk.used:
+            yield chunk.view()
+        index += 1
+
+
+def rewrite_dirty(template: "MessageTemplate", policy: DiffPolicy) -> RewriteStats:
+    """Re-serialize every dirty entry; clear dirty bits; return stats."""
+    stats = RewriteStats()
+    dut = template.dut
+    fmt = policy.float_format
+    for bp in template.params:
+        base, end = bp.entry_base, bp.entry_end
+        idxs = dut.dirty_indices(base, end)
+        if len(idxs) == 0:
+            continue
+        texts = bp.tracked.lexical_for(idxs - base, fmt)
+        lens = np.fromiter(map(len, texts), dtype=np.int32, count=len(texts))
+        if bool((lens > dut.field_width[idxs]).any()):
+            # Partial structural match: at least one expansion needed.
+            for entry, text in zip(idxs.tolist(), texts):
+                write_entry(template, entry, text, policy, stats)
+        else:
+            _fast_rewrite(template, bp, idxs, texts, lens, stats)
+        dut.clear_dirty(base, end)
+    return stats

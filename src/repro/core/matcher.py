@@ -1,0 +1,44 @@
+"""Match classification: which of the paper's four cases a send hits.
+
+The classifier is deliberately cheap — the whole point of differential
+serialization is to avoid touching the values, so classification looks
+only at the template store (structure signature) and the DUT dirty
+column:
+
+* no template for the signature        → FIRST_TIME,
+* template exists, nothing dirty       → CONTENT_MATCH,
+* template exists, something dirty     → structural match; whether it
+  was *perfect* or *partial* is known only after the rewrite (did any
+  value outgrow its field?), so :func:`refine` upgrades the verdict
+  from the rewrite stats.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.stats import MatchKind, RewriteStats
+from repro.soap.message import Signature
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.template import MessageTemplate
+
+__all__ = ["classify", "refine"]
+
+
+def classify(
+    template: Optional["MessageTemplate"], signature: Signature
+) -> MatchKind:
+    """Pre-send classification (structural vs content vs first-time)."""
+    if template is None or template.signature != signature:
+        return MatchKind.FIRST_TIME
+    if not template.dut.any_dirty:
+        return MatchKind.CONTENT_MATCH
+    return MatchKind.PERFECT_STRUCTURAL  # provisional; refine() after rewrite
+
+
+def refine(kind: MatchKind, rewrite: RewriteStats) -> MatchKind:
+    """Post-rewrite refinement: expansion work ⇒ partial structural."""
+    if kind is MatchKind.PERFECT_STRUCTURAL and rewrite.expansions > 0:
+        return MatchKind.PARTIAL_STRUCTURAL
+    return kind

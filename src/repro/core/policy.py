@@ -1,0 +1,132 @@
+"""Configuration of the differential serializer.
+
+Everything the paper calls a "configurable parameter" lives here:
+chunking (size / split threshold / reserve), stuffing widths,
+expansion strategy (shift vs steal), float formatting, and chunk
+overlaying.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.buffers.config import ChunkPolicy
+from repro.errors import SchemaError
+from repro.lexical.floats import FloatFormat
+from repro.schema.types import XSDType
+
+__all__ = ["StuffMode", "StuffingPolicy", "OverlayPolicy", "DiffPolicy", "Expansion"]
+
+
+class StuffMode(enum.Enum):
+    """How field widths are chosen at template-creation time."""
+
+    #: ``field_width = serialized length`` — no pad, any growth shifts.
+    NONE = "none"
+    #: ``field_width = max(serialized length, per-type fixed width)``.
+    FIXED = "fixed"
+    #: ``field_width = type's maximum lexical width`` — shifting is
+    #: impossible for stuffable types (strings still grow on demand).
+    MAX = "max"
+
+
+class Expansion(enum.Enum):
+    """What to do when a value outgrows its field."""
+
+    SHIFT = "shift"
+    #: Try stealing slack from right-hand neighbors first; fall back
+    #: to shifting when no donor is found.
+    STEAL = "steal"
+
+
+@dataclass(frozen=True, slots=True)
+class StuffingPolicy:
+    """Field-width selection (paper §3.2 "stuffing")."""
+
+    mode: StuffMode = StuffMode.NONE
+    #: Per-primitive-name widths used in FIXED mode (e.g.
+    #: ``{"double": 18, "int": 6}`` for the paper's intermediate runs).
+    fixed_widths: Mapping[str, int] = field(default_factory=dict)
+
+    def width_for(self, xsd_type: XSDType, ser_len: int) -> int:
+        """Field width to allocate for a value of *ser_len* characters."""
+        spec = xsd_type.widths
+        if self.mode is StuffMode.NONE or not spec.stuffable:
+            return ser_len
+        if self.mode is StuffMode.MAX:
+            return max(ser_len, spec.max_width)  # type: ignore[arg-type]
+        width = self.fixed_widths.get(xsd_type.name)
+        if width is None:
+            return ser_len
+        if width < spec.min_width:
+            raise SchemaError(
+                f"fixed width {width} below minimum {spec.min_width} "
+                f"for {xsd_type.name}"
+            )
+        return max(ser_len, spec.clamp(width))
+
+    @property
+    def guarantees_fixed_layout(self) -> bool:
+        """Whether widths can never grow (required by chunk overlaying).
+
+        True only for MAX mode: every stuffable value fits its field
+        forever.  FIXED mode bounds *most* values but a wider value at
+        template time (or later) still forces layout change.
+        """
+        return self.mode is StuffMode.MAX
+
+
+@dataclass(frozen=True, slots=True)
+class OverlayPolicy:
+    """Chunk-overlaying configuration (paper §3.3).
+
+    Overlaying streams successive portions of a large array through a
+    single chunk, so only ~one chunk of serialized data and DUT rows
+    exist at a time.  It requires max-stuffed (fixed) field widths.
+    """
+
+    enabled: bool = False
+    #: Items per portion; ``None`` derives it from the chunk size.
+    portion_items: Optional[int] = None
+    #: Arrays shorter than this many items are not worth overlaying.
+    min_items: int = 1024
+
+
+@dataclass(frozen=True, slots=True)
+class DiffPolicy:
+    """Top-level bSOAP client configuration."""
+
+    chunk: ChunkPolicy = field(default_factory=ChunkPolicy)
+    stuffing: StuffingPolicy = field(default_factory=StuffingPolicy)
+    expansion: Expansion = Expansion.SHIFT
+    float_format: FloatFormat = FloatFormat.MINIMAL
+    #: When False the client behaves as "bSOAP Full Serialization":
+    #: every send rebuilds the message from scratch (still through the
+    #: template machinery, as in the paper's baseline curve).
+    differential_enabled: bool = True
+    overlay: OverlayPolicy = field(default_factory=OverlayPolicy)
+    #: Neighbor-scan bound for stealing before falling back to shifting.
+    steal_scan_limit: int = 8
+    #: Templates retained per structure signature (§6 future work:
+    #: "store multiple different message templates for the same remote
+    #: service").  With k > 1 the auto-diff send path picks the cached
+    #: variant whose values differ least from the outgoing message.
+    template_variants: int = 1
+    #: When the best variant still differs in more than this fraction
+    #: of its leaves (and there is room), a new variant is built
+    #: instead of rewriting the old one.
+    variant_miss_threshold: float = 0.5
+    #: Pipelined send (companion-paper technique): rewrite dirty
+    #: values chunk by chunk, handing each chunk to the transport as
+    #: soon as it is up to date, so transmission overlaps the
+    #: remaining re-serialization.  Requires a streaming-capable
+    #: transport framing (raw TCP or HTTP chunked).
+    pipelined_send: bool = False
+
+    def derived_portion_items(self, item_bytes: int) -> int:
+        """Items per overlay portion given a serialized item size."""
+        if self.overlay.portion_items is not None:
+            return max(1, self.overlay.portion_items)
+        return max(1, self.chunk.soft_limit // max(1, item_bytes))

@@ -1,0 +1,104 @@
+"""Send statistics and match classification results.
+
+The performance study needs to know *which* path a send took (the
+paper's four matching possibilities, §3) and how much mechanical work
+the differential rewrite did (values rewritten, closing-tag shifts,
+chunk-tail memmoves, splits, reallocations, steals).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["MatchKind", "RewriteStats", "SendReport", "ClientStats"]
+
+
+class MatchKind(enum.Enum):
+    """The paper's four matching possibilities (§3)."""
+
+    #: Entire message identical — resent as-is, zero serialization.
+    CONTENT_MATCH = "content"
+    #: Same structure and all new values fit their fields — only dirty
+    #: values rewritten, no shifting.
+    PERFECT_STRUCTURAL = "perfect-structural"
+    #: Same structure but some value outgrew its field — shifting or
+    #: stealing was needed.
+    PARTIAL_STRUCTURAL = "partial-structural"
+    #: No usable template — full serialization.
+    FIRST_TIME = "first-time"
+
+
+@dataclass(slots=True)
+class RewriteStats:
+    """Work performed by one differential rewrite pass."""
+
+    values_rewritten: int = 0
+    #: Closing-tag rewrites (value length changed within its field).
+    tag_shifts: int = 0
+    #: Field expansions resolved by shifting a chunk tail in place.
+    shifts_inplace: int = 0
+    #: Field expansions that forced a chunk reallocation.
+    reallocs: int = 0
+    #: Field expansions that forced a chunk split.
+    splits: int = 0
+    #: Field expansions resolved by stealing neighbor slack.
+    steals: int = 0
+    #: Bytes of pad written (shrinks + stuffing maintenance).
+    pad_bytes: int = 0
+
+    @property
+    def expansions(self) -> int:
+        """Total fields that outgrew their width."""
+        return self.shifts_inplace + self.reallocs + self.splits + self.steals
+
+    def merge(self, other: "RewriteStats") -> None:
+        self.values_rewritten += other.values_rewritten
+        self.tag_shifts += other.tag_shifts
+        self.shifts_inplace += other.shifts_inplace
+        self.reallocs += other.reallocs
+        self.splits += other.splits
+        self.steals += other.steals
+        self.pad_bytes += other.pad_bytes
+
+
+@dataclass(slots=True)
+class SendReport:
+    """Outcome of one :meth:`BSoapClient.send`."""
+
+    match_kind: MatchKind
+    bytes_sent: int
+    rewrite: RewriteStats = field(default_factory=RewriteStats)
+    #: memmove traffic the buffer performed for this template so far.
+    buffer_bytes_moved: int = 0
+    num_chunks: int = 0
+
+    @property
+    def serialized_everything(self) -> bool:
+        return self.match_kind is MatchKind.FIRST_TIME
+
+
+@dataclass(slots=True)
+class ClientStats:
+    """Aggregate counters across a client's lifetime."""
+
+    sends: int = 0
+    by_kind: Dict[MatchKind, int] = field(
+        default_factory=lambda: {k: 0 for k in MatchKind}
+    )
+    bytes_sent: int = 0
+    templates_built: int = 0
+
+    def record(self, report: SendReport) -> None:
+        self.sends += 1
+        self.by_kind[report.match_kind] += 1
+        self.bytes_sent += report.bytes_sent
+
+    def summary(self) -> str:
+        parts = [f"sends={self.sends}", f"bytes={self.bytes_sent}"]
+        parts += [
+            f"{kind.value}={count}" for kind, count in self.by_kind.items() if count
+        ]
+        parts.append(f"templates={self.templates_built}")
+        return " ".join(parts)

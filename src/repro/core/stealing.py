@@ -1,0 +1,72 @@
+"""Stealing: expanding a field by consuming neighbor slack.
+
+When a value outgrows its field, shifting moves the *entire* chunk
+tail.  Stealing (§3.2, explored in the authors' companion paper)
+instead finds the nearest right-hand neighbor field with enough
+whitespace slack (``field_width − serialized_len``) and slides only
+the bytes between the growing field and that neighbor's pad —
+typically a few tens of bytes instead of kilobytes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.stats import RewriteStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.template import MessageTemplate
+
+__all__ = ["try_steal"]
+
+
+def try_steal(
+    template: "MessageTemplate",
+    entry: int,
+    delta: int,
+    scan_limit: int,
+    stats: RewriteStats,
+) -> bool:
+    """Attempt to widen *entry* by *delta* bytes via neighbor slack.
+
+    Returns ``True`` on success (DUT widths/offsets updated, bytes
+    slid); ``False`` when no single donor with ``slack ≥ delta`` is
+    found within *scan_limit* following entries in the same chunk —
+    the caller then falls back to shifting.
+    """
+    dut = template.dut
+    cid = int(dut.chunk_id[entry])
+    lo, hi = dut.chunk_range(cid)
+    if not (lo <= entry < hi):  # pragma: no cover - defensive
+        return False
+
+    # Find the nearest donor.
+    donor = -1
+    j = entry + 1
+    limit = min(hi, entry + 1 + scan_limit)
+    widths = dut.field_width
+    lens = dut.ser_len
+    while j < limit:
+        if int(widths[j]) - int(lens[j]) >= delta:
+            donor = j
+            break
+        j += 1
+    if donor < 0:
+        return False
+
+    off_i = int(dut.value_off[entry])
+    region_end_i = off_i + int(widths[entry]) + int(dut.close_len[entry])
+    pad_start_donor = (
+        int(dut.value_off[donor]) + int(lens[donor]) + int(dut.close_len[donor])
+    )
+    # Slide [region_end_i, pad_start_donor) right by delta, consuming
+    # the donor's pad.
+    template.buffer.steal_move(
+        cid, region_end_i, region_end_i + delta, pad_start_donor - region_end_i
+    )
+    # Intervening entries (and the donor's value) moved right.
+    dut.value_off[entry + 1 : donor + 1] += delta
+    widths[entry] += delta
+    widths[donor] -= delta
+    stats.steals += 1
+    return True

@@ -1,0 +1,36 @@
+"""Data Update Tracking (DUT) tables and tracked values.
+
+The DUT table (§3.1) associates each in-memory data item with its
+location in the serialized message template.  This implementation is
+structure-of-arrays: one NumPy column per DUT field, so dirty scans,
+offset fix-ups after shifts, and per-chunk range queries are vectorized
+(see the ablation bench comparing this against per-entry Python
+objects).
+
+Applications never touch the table directly; they mutate
+:class:`~repro.dut.tracked.TrackedArray` /
+:class:`~repro.dut.tracked.TrackedStructArray` /
+:class:`~repro.dut.tracked.TrackedScalar` wrappers — the paper's
+"objects that contain get and set methods, whose implementation will
+update the DUT table transparently".
+"""
+
+from repro.dut.table import DUTEntryView, DUTTable, DUTTableBuilder
+from repro.dut.tracked import (
+    TrackedArray,
+    TrackedScalar,
+    TrackedStringArray,
+    TrackedStructArray,
+)
+from repro.dut.objects import PyDUTTable
+
+__all__ = [
+    "DUTTable",
+    "DUTTableBuilder",
+    "DUTEntryView",
+    "TrackedArray",
+    "TrackedStructArray",
+    "TrackedScalar",
+    "TrackedStringArray",
+    "PyDUTTable",
+]

@@ -1,0 +1,122 @@
+"""Exception hierarchy for the bSOAP reproduction.
+
+Every package in :mod:`repro` raises subclasses of :class:`ReproError`
+so callers can catch library failures with a single ``except`` clause
+while still being able to discriminate layers (XML, lexical, buffer,
+SOAP, template, transport).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "XMLError",
+    "XMLSyntaxError",
+    "LexicalError",
+    "SchemaError",
+    "BufferError_",
+    "ChunkOverflowError",
+    "SOAPError",
+    "SOAPFaultError",
+    "TemplateError",
+    "StructureMismatchError",
+    "DUTError",
+    "TransportError",
+    "HTTPFramingError",
+    "WSDLError",
+    "OverlayError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class XMLError(ReproError):
+    """Base class for XML-layer errors (writer, scanner, trie)."""
+
+
+class XMLSyntaxError(XMLError):
+    """Malformed XML encountered while scanning/parsing.
+
+    Attributes
+    ----------
+    offset:
+        Byte offset in the scanned document where the problem was
+        detected, or ``-1`` when unknown.
+    """
+
+    def __init__(self, message: str, offset: int = -1) -> None:
+        super().__init__(message if offset < 0 else f"{message} (at byte {offset})")
+        self.offset = offset
+
+
+class LexicalError(ReproError):
+    """Invalid lexical (ASCII) representation of a typed value."""
+
+
+class SchemaError(ReproError):
+    """Type-system misuse: unknown type, bad composite definition, ..."""
+
+
+class BufferError_(ReproError):
+    """Base class for chunked-buffer errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`BufferError`.
+    """
+
+
+class ChunkOverflowError(BufferError_):
+    """A write or shift did not fit in a chunk and growth was forbidden."""
+
+
+class SOAPError(ReproError):
+    """SOAP envelope/encoding-level error."""
+
+
+class SOAPFaultError(SOAPError):
+    """A SOAP Fault was generated or received.
+
+    Carries the standard fault fields so callers can inspect them
+    without re-parsing the fault document.
+    """
+
+    def __init__(self, faultcode: str, faultstring: str, detail: str = "") -> None:
+        super().__init__(f"{faultcode}: {faultstring}")
+        self.faultcode = faultcode
+        self.faultstring = faultstring
+        self.detail = detail
+
+
+class TemplateError(ReproError):
+    """Template construction or reuse failed."""
+
+
+class StructureMismatchError(TemplateError):
+    """An outgoing message does not structurally match the saved template.
+
+    The bSOAP client treats this as a first-time send (rebuilds the
+    template); it is raised only by the lower-level APIs that require a
+    match.
+    """
+
+
+class DUTError(ReproError):
+    """Data Update Tracking table misuse (bad index, stale binding...)."""
+
+
+class TransportError(ReproError):
+    """Socket/transport-level failure."""
+
+
+class HTTPFramingError(TransportError):
+    """Malformed HTTP framing (bad chunk header, truncated body...)."""
+
+
+class WSDLError(ReproError):
+    """WSDL model or generation error."""
+
+
+class OverlayError(ReproError):
+    """Chunk-overlay constraints violated (e.g. non-fixed field widths)."""

@@ -1,0 +1,25 @@
+"""``xsd:boolean`` lexical forms (``true``/``false``/``1``/``0``)."""
+
+from __future__ import annotations
+
+from repro.errors import LexicalError
+
+__all__ = ["BOOL_MAX_WIDTH", "format_bool", "parse_bool"]
+
+#: ``false`` is the longest boolean lexical form.
+BOOL_MAX_WIDTH = 5
+
+
+def format_bool(value: bool) -> bytes:
+    """Serialize to the canonical ``true``/``false`` form."""
+    return b"true" if value else b"false"
+
+
+def parse_bool(data: bytes) -> bool:
+    """Parse any of the four legal boolean lexical forms."""
+    text = data.strip(b" \t\r\n")
+    if text in (b"true", b"1"):
+        return True
+    if text in (b"false", b"0"):
+        return False
+    raise LexicalError(f"invalid boolean lexical form {data!r}")

@@ -1,0 +1,142 @@
+"""Double lexical forms — the serialization bottleneck.
+
+Chiu et al. measured float↔ASCII conversion at ~90% of SOAP call cost;
+the same asymmetry holds here (formatting a Python float costs on the
+order of a microsecond, while copying its already-serialized bytes is
+tens of nanoseconds).  Differential serialization's win comes from
+skipping calls into this module.
+
+Two formats are supported:
+
+``FloatFormat.SHORTEST``
+    Python ``repr`` — the shortest string that round-trips exactly.
+    Lengths vary from 1 (``0``... actually ``0.0``) to 24 characters,
+    which is what makes shifting/stuffing interesting.
+``FloatFormat.G17``
+    ``%.17g`` — fixed 17 significant digits, also round-trip exact,
+    at most 24 characters.
+
+Special values use the XML Schema lexical forms ``INF``, ``-INF`` and
+``NaN``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import LexicalError
+
+__all__ = [
+    "DOUBLE_MAX_WIDTH",
+    "DOUBLE_MIN_WIDTH",
+    "FloatFormat",
+    "format_double",
+    "parse_double",
+    "format_double_array",
+]
+
+#: Maximum characters any finite double can need in either format
+#: (e.g. ``-2.2250738585072014e-308`` — paper §4.4: 24 characters).
+DOUBLE_MAX_WIDTH = 24
+
+#: Smallest possible serialized double (paper §4.3: one character,
+#: e.g. ``0`` in the paper's C encoder; Python's shortest form for
+#: ``5.0`` is ``5.0`` but integral-valued floats can be emitted as a
+#: bare digit by the minimal encoder used in the width studies).
+DOUBLE_MIN_WIDTH = 1
+
+_ALLOWED = frozenset(b"+-.0123456789eE")
+
+
+class FloatFormat(enum.Enum):
+    """Selectable double→ASCII conversion policy."""
+
+    SHORTEST = "shortest"
+    G17 = "g17"
+    #: Minimal form: like SHORTEST but integral values drop ``.0``
+    #: (``5.0`` → ``5``).  This matches the paper's C encoder, whose
+    #: smallest double costs a single character, and is the default.
+    MINIMAL = "minimal"
+
+
+def format_double(value: float, fmt: FloatFormat = FloatFormat.MINIMAL) -> bytes:
+    """Serialize one double to its lexical form."""
+    if value != value:  # NaN
+        return b"NaN"
+    if value == math.inf:
+        return b"INF"
+    if value == -math.inf:
+        return b"-INF"
+    if fmt is FloatFormat.G17:
+        return b"%.17g" % value
+    text = repr(value)
+    if fmt is FloatFormat.MINIMAL:
+        if text.endswith(".0"):
+            text = text[:-2]
+        elif ".0e" in text:  # e.g. 1.0e+100 never produced by repr, but be safe
+            text = text.replace(".0e", "e")
+    return text.encode("ascii")
+
+
+def parse_double(data: bytes) -> float:
+    """Parse a double lexical form (XSD whiteSpace=collapse)."""
+    text = data.strip(b" \t\r\n")
+    if not text:
+        raise LexicalError("empty double lexical form")
+    if text == b"INF":
+        return math.inf
+    if text == b"-INF":
+        return -math.inf
+    if text == b"NaN":
+        return math.nan
+    if any(b not in _ALLOWED for b in text):
+        raise LexicalError(f"invalid double lexical form {data!r}")
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise LexicalError(f"invalid double lexical form {data!r}") from exc
+
+
+def format_double_array(
+    values: Sequence[float] | np.ndarray, fmt: FloatFormat = FloatFormat.MINIMAL
+) -> List[bytes]:
+    """Batch conversion of doubles to lexical forms.
+
+    The hot loop runs over unboxed Python floats (``ndarray.tolist``)
+    — the fastest pure-Python formulation; this *is* the measured
+    conversion cost that differential serialization avoids.
+    """
+    if isinstance(values, np.ndarray):
+        if values.dtype.kind != "f":
+            raise LexicalError(f"expected float array, got dtype {values.dtype}")
+        finite = bool(np.isfinite(values).all())
+        values = values.tolist()
+    else:
+        values = list(values)
+        finite = all(v == v and abs(v) != math.inf for v in values)
+
+    if fmt is FloatFormat.G17:
+        if finite:
+            return [b"%.17g" % v for v in values]
+        return [format_double(v, fmt) for v in values]
+
+    if fmt is FloatFormat.MINIMAL:
+        if finite:
+            out: List[bytes] = []
+            append = out.append
+            for v in values:
+                text = repr(v)
+                if text.endswith(".0"):
+                    text = text[:-2]
+                append(text.encode("ascii"))
+            return out
+        return [format_double(v, fmt) for v in values]
+
+    # SHORTEST
+    if finite:
+        return [repr(v).encode("ascii") for v in values]
+    return [format_double(v, fmt) for v in values]

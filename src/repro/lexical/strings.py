@@ -1,0 +1,31 @@
+"""``xsd:string`` lexical forms.
+
+Strings are the one type that cannot be stuffed: the paper notes there
+is no maximum-size string, so a string field can always outgrow its
+width and force shifting.  The width spec for strings therefore
+reports ``max_width=None``.
+
+Unlike the numeric types, string content must be XML-escaped on the
+way out and unescaped on the way in — and, because the XML Schema
+``string`` type carries whiteSpace=preserve, the differential layout
+must never whitespace-pad *inside* a string element.  The template
+layout engine handles this by giving string fields a pad that lives
+strictly after the closing tag (which is true of all fields here) and
+by never stripping string content on parse.
+"""
+
+from __future__ import annotations
+
+from repro.xmlkit.escape import escape_text, unescape
+
+__all__ = ["format_string", "parse_string"]
+
+
+def format_string(value: str) -> bytes:
+    """Serialize (escape + encode) string content."""
+    return escape_text(value.encode("utf-8"))
+
+
+def parse_string(data: bytes) -> str:
+    """Parse (unescape + decode) string content; whitespace preserved."""
+    return unescape(data).decode("utf-8")

@@ -1,0 +1,75 @@
+"""Per-type serialized width facts.
+
+Stuffing (paper §3.2/§4.4) relies on each type's *maximum* lexical
+width: setting a DUT field width to the maximum guarantees shifting
+can never happen for that field.  This module centralizes those facts
+plus the intermediate widths the paper's width studies use (18-char
+doubles, 36-char MIOs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SchemaError
+from repro.lexical.booleans import BOOL_MAX_WIDTH
+from repro.lexical.floats import DOUBLE_MAX_WIDTH, DOUBLE_MIN_WIDTH
+from repro.lexical.integers import INT_MAX_WIDTH, LONG_MAX_WIDTH
+
+__all__ = ["WidthSpec", "width_spec_for", "MIO_MAX_WIDTH", "MIO_MIN_WIDTH"]
+
+#: Largest possible MIO value payload: two max ints + one max double
+#: (11 + 11 + 24 = 46 characters; paper Fig. 6 caption).
+MIO_MAX_WIDTH = 2 * INT_MAX_WIDTH + DOUBLE_MAX_WIDTH
+
+#: Smallest possible MIO value payload: three one-character values
+#: (paper Fig. 6 caption: three characters).
+MIO_MIN_WIDTH = 3
+
+
+@dataclass(frozen=True, slots=True)
+class WidthSpec:
+    """Width facts for one lexical type.
+
+    Attributes
+    ----------
+    min_width:
+        Fewest characters any value of the type serializes to.
+    max_width:
+        Most characters any value can need, or ``None`` when unbounded
+        (strings) — such types cannot be max-stuffed.
+    """
+
+    min_width: int
+    max_width: Optional[int]
+
+    @property
+    def stuffable(self) -> bool:
+        """Whether max-width stuffing is possible for this type."""
+        return self.max_width is not None
+
+    def clamp(self, width: int) -> int:
+        """Clamp a requested stuffing width into the legal range."""
+        if width < self.min_width:
+            return self.min_width
+        if self.max_width is not None and width > self.max_width:
+            return self.max_width
+        return width
+
+
+_SPECS = {
+    "int": WidthSpec(1, INT_MAX_WIDTH),
+    "long": WidthSpec(1, LONG_MAX_WIDTH),
+    "double": WidthSpec(DOUBLE_MIN_WIDTH, DOUBLE_MAX_WIDTH),
+    "boolean": WidthSpec(1, BOOL_MAX_WIDTH),
+    "string": WidthSpec(0, None),
+}
+
+
+def width_spec_for(type_name: str) -> WidthSpec:
+    """Return the :class:`WidthSpec` for a primitive type name."""
+    try:
+        return _SPECS[type_name]
+    except KeyError:
+        raise SchemaError(f"no width spec for type {type_name!r}") from None

@@ -1,0 +1,40 @@
+"""Type system: XSD primitives, arrays, structs, and the MIO type.
+
+The serializers are *schema-driven*: a message is a list of parameters
+whose types come from this package, and the template layout engine
+walks these descriptors to place tags, values, and pad.
+"""
+
+from repro.schema.types import (
+    BOOLEAN,
+    DOUBLE,
+    INT,
+    LONG,
+    STRING,
+    PRIMITIVES,
+    XSDType,
+    primitive_by_id,
+    primitive_by_name,
+)
+from repro.schema.composite import ArrayType, Field, StructType
+from repro.schema.mio import MIO, MIO_TYPE, make_mio_array_type
+from repro.schema.registry import TypeRegistry
+
+__all__ = [
+    "XSDType",
+    "INT",
+    "LONG",
+    "DOUBLE",
+    "STRING",
+    "BOOLEAN",
+    "PRIMITIVES",
+    "primitive_by_id",
+    "primitive_by_name",
+    "Field",
+    "StructType",
+    "ArrayType",
+    "MIO",
+    "MIO_TYPE",
+    "make_mio_array_type",
+    "TypeRegistry",
+]

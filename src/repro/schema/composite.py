@@ -1,0 +1,123 @@
+"""Composite types: structs and arrays.
+
+A :class:`StructType` is an ordered set of primitive fields (nested
+structs are supported one level deep via flattening, which covers the
+paper's workloads — the MIO is a flat ``[int,int,double]`` struct).
+An :class:`ArrayType` is a homogeneous SOAP-ENC array of primitives or
+structs; it is the shape all the paper's experiments send.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.errors import SchemaError
+from repro.schema.types import XSDType
+
+__all__ = ["Field", "StructType", "ArrayType", "ElementType"]
+
+
+@dataclass(frozen=True, slots=True)
+class Field:
+    """One named, primitively-typed struct member."""
+
+    name: str
+    xsd_type: XSDType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name[0].isalpha():
+            raise SchemaError(f"invalid field name {self.name!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class StructType:
+    """An ordered, flat record of primitive fields."""
+
+    name: str
+    fields: Tuple[Field, ...]
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise SchemaError(f"struct {self.name!r} must have at least one field")
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"struct {self.name!r} has duplicate field names")
+
+    @property
+    def arity(self) -> int:
+        """Number of leaf values one instance contributes to the DUT."""
+        return len(self.fields)
+
+    @property
+    def max_width(self) -> Optional[int]:
+        """Sum of field maximum widths, or ``None`` if any is unbounded.
+
+        This is the struct-level stuffing bound: 46 for the MIO.
+        """
+        total = 0
+        for f in self.fields:
+            if f.xsd_type.widths.max_width is None:
+                return None
+            total += f.xsd_type.widths.max_width
+        return total
+
+    @property
+    def min_width(self) -> int:
+        """Sum of field minimum widths (3 for the MIO)."""
+        return sum(f.xsd_type.widths.min_width for f in self.fields)
+
+    def field_named(self, name: str) -> Field:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise SchemaError(f"struct {self.name!r} has no field {name!r}")
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self.fields)
+
+
+ElementType = Union[XSDType, StructType]
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayType:
+    """A homogeneous SOAP-ENC array.
+
+    Attributes
+    ----------
+    element:
+        Element type — a primitive or a struct.
+    item_tag:
+        Tag used for each array item (SOAP encoding conventionally
+        uses ``item``).
+    """
+
+    element: ElementType
+    item_tag: str = "item"
+
+    def __post_init__(self) -> None:
+        if not self.item_tag:
+            raise SchemaError("array item tag must be non-empty")
+
+    @property
+    def element_is_struct(self) -> bool:
+        return isinstance(self.element, StructType)
+
+    @property
+    def values_per_item(self) -> int:
+        """Leaf values per array item (1 for primitives, arity for structs)."""
+        return self.element.arity if isinstance(self.element, StructType) else 1
+
+    def soap_array_type(self, length: int) -> str:
+        """The ``SOAP-ENC:arrayType`` attribute value, e.g. ``xsd:double[10]``."""
+        if isinstance(self.element, StructType):
+            return f"ns:{self.element.name}[{length}]"
+        return f"{self.element.qname.prefixed}[{length}]"
+
+    def type_label(self) -> str:
+        """Stable label used in structure signatures."""
+        if isinstance(self.element, StructType):
+            inner = ",".join(f"{f.name}:{f.xsd_type.name}" for f in self.element.fields)
+            return f"array<{self.element.name}{{{inner}}}>"
+        return f"array<{self.element.name}>"

@@ -1,0 +1,46 @@
+"""The Mesh Interface Object (MIO) type.
+
+The paper's structured workload: ``[int, int, double]`` — two mesh
+coordinates and a field value, used for communication between PDE
+solvers on different domains.  Its width extremes drive the shifting
+and stuffing experiments:
+
+* smallest serialized MIO payload: 3 characters (``1``/``1``/``1``),
+* largest: 46 characters (11 + 11 + 24).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schema.composite import ArrayType, Field, StructType
+from repro.schema.types import DOUBLE, INT
+
+__all__ = ["MIO", "MIO_TYPE", "make_mio_array_type"]
+
+#: Schema descriptor for the MIO struct.
+MIO_TYPE = StructType(
+    name="MIO",
+    fields=(
+        Field("x", INT),
+        Field("y", INT),
+        Field("v", DOUBLE),
+    ),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class MIO:
+    """One in-memory mesh interface object."""
+
+    x: int
+    y: int
+    v: float
+
+    def astuple(self) -> tuple[int, int, float]:
+        return (self.x, self.y, self.v)
+
+
+def make_mio_array_type(item_tag: str = "mio") -> ArrayType:
+    """An :class:`ArrayType` of MIOs (items tagged ``<mio>``)."""
+    return ArrayType(element=MIO_TYPE, item_tag=item_tag)

@@ -1,0 +1,58 @@
+"""Registry mapping application type names to schema descriptors.
+
+Services register their struct and array types here so WSDL emission
+and server-side dispatch can resolve names found on the wire (e.g. in
+``SOAP-ENC:arrayType`` attributes) back to descriptors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple, Union
+
+from repro.errors import SchemaError
+from repro.schema.composite import ArrayType, StructType
+from repro.schema.types import PRIMITIVES, XSDType
+
+__all__ = ["TypeRegistry"]
+
+Registrable = Union[XSDType, StructType, ArrayType]
+
+
+class TypeRegistry:
+    """Name → type descriptor mapping with the primitives pre-loaded."""
+
+    def __init__(self) -> None:
+        self._types: Dict[str, Registrable] = {t.name: t for t in PRIMITIVES}
+
+    def register(self, name: str, typ: Registrable) -> None:
+        """Register *typ* under *name*; re-registering the same object
+        is a no-op, conflicting registrations raise."""
+        existing = self._types.get(name)
+        if existing is typ:
+            return
+        if existing is not None:
+            raise SchemaError(f"type name {name!r} already registered")
+        self._types[name] = typ
+
+    def register_struct(self, struct: StructType) -> StructType:
+        """Register a struct under its own name and return it."""
+        self.register(struct.name, struct)
+        return struct
+
+    def lookup(self, name: str) -> Registrable:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise SchemaError(f"unknown type {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __iter__(self) -> Iterator[Tuple[str, Registrable]]:
+        return iter(self._types.items())
+
+    def structs(self) -> Iterator[StructType]:
+        """Iterate registered struct types (for WSDL type sections)."""
+        for typ in self._types.values():
+            if isinstance(typ, StructType):
+                yield typ

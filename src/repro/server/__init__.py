@@ -1,0 +1,35 @@
+"""Server side: parsing, dispatch, and differential deserialization.
+
+The paper's evaluation server is a drain
+(:class:`~repro.transport.dummy_server.DummyServer`); this package is
+the *real* server the examples and integration tests use:
+
+* :mod:`repro.server.parser` — schema-guided full SOAP request
+  parsing (the baseline cost),
+* :mod:`repro.server.diffdeser` — **differential deserialization**,
+  the paper's §6 future-work idea: keep the previous raw message and
+  its value-span map; when a new message matches the stored skeleton,
+  byte-compare and re-parse only the spans that changed,
+* :mod:`repro.server.service` — operation registry + dispatch +
+  response serialization through a bSOAP client (so responses benefit
+  from differential serialization too, the "heavily-used servers"
+  scenario of §3.4).
+"""
+
+from repro.server.parser import DecodedMessage, DecodedParam, SOAPRequestParser
+from repro.server.diffdeser import DeserKind, DeserReport, DifferentialDeserializer
+from repro.server.service import HTTPSoapServer, Operation, SOAPService
+from repro.server.tagdispatch import OperationPeeker
+
+__all__ = [
+    "SOAPRequestParser",
+    "DecodedMessage",
+    "DecodedParam",
+    "DifferentialDeserializer",
+    "DeserKind",
+    "DeserReport",
+    "SOAPService",
+    "Operation",
+    "HTTPSoapServer",
+    "OperationPeeker",
+]

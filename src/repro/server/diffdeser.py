@@ -1,0 +1,129 @@
+"""Differential deserialization (paper §6, future work).
+
+    "storing messages at a SOAP server could help in a completely
+    different way, by suggesting the structure of future message
+    arrivals.  This could help avoid complete server-side parsing and
+    improve performance, through differential deserialization."
+
+The deserializer keeps, per sender, the previous raw message and its
+:class:`~repro.server.parser.ParseResult` (decoded values + leaf byte
+spans).  For an incoming message of the *same length*:
+
+1. vectorized byte comparison against the stored copy
+   (``np.frombuffer`` + ``!=``),
+2. if nothing differs → return the cached decoded message (the
+   server-side content match — zero parsing),
+3. if all differing bytes fall inside known leaf value spans → re-parse
+   only those leaves in place (the structural match),
+4. otherwise (length change or skeleton bytes differ) → full parse and
+   refresh the cache.
+
+This is exactly dual to client-side differential serialization: the
+sender's stuffed/fixed-width messages produce same-length byte streams
+whose only variation is inside value spans.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.schema.registry import TypeRegistry
+from repro.server.parser import DecodedMessage, ParseResult, SOAPRequestParser
+
+__all__ = ["DeserKind", "DeserReport", "DifferentialDeserializer"]
+
+
+class DeserKind(enum.Enum):
+    """Which path an incoming message took."""
+
+    FULL = "full"
+    CONTENT_MATCH = "content"
+    DIFFERENTIAL = "differential"
+
+
+@dataclass(slots=True)
+class DeserReport:
+    """Outcome of one deserialization."""
+
+    kind: DeserKind
+    leaves_parsed: int
+    total_leaves: int
+
+
+class DifferentialDeserializer:
+    """Template-matching deserializer (see module docstring)."""
+
+    def __init__(self, registry: Optional[TypeRegistry] = None) -> None:
+        self.parser = SOAPRequestParser(registry)
+        self._last_raw: Optional[np.ndarray] = None  # uint8 copy
+        self._result: Optional[ParseResult] = None
+        self.stats = {kind: 0 for kind in DeserKind}
+
+    # ------------------------------------------------------------------
+    def _full_parse(self, data: bytes) -> tuple[DecodedMessage, DeserReport]:
+        result = self.parser.parse(data)
+        self._result = result
+        self._last_raw = np.frombuffer(data, dtype=np.uint8).copy()
+        report = DeserReport(DeserKind.FULL, result.leaf_count, result.leaf_count)
+        self.stats[DeserKind.FULL] += 1
+        return result.message, report
+
+    def deserialize(self, data: bytes) -> tuple[DecodedMessage, DeserReport]:
+        """Decode *data*, reusing the stored template when possible."""
+        last = self._last_raw
+        result = self._result
+        if last is None or result is None or len(data) != len(last):
+            return self._full_parse(data)
+
+        incoming = np.frombuffer(data, dtype=np.uint8)
+        diff_pos = np.flatnonzero(incoming != last)
+        if diff_pos.size == 0:
+            self.stats[DeserKind.CONTENT_MATCH] += 1
+            return result.message, DeserReport(
+                DeserKind.CONTENT_MATCH, 0, result.leaf_count
+            )
+
+        regions = result.regions
+        if regions.shape[0] == 0:
+            return self._full_parse(data)
+        starts = regions[:, 0]
+        ends = regions[:, 1]
+        # Each differing byte must fall inside some leaf field region
+        # (value + closing tag + whitespace pad).
+        owner = np.searchsorted(starts, diff_pos, side="right") - 1
+        inside = (owner >= 0) & (diff_pos < ends[np.clip(owner, 0, None)])
+        if not bool(inside.all()):
+            # Skeleton bytes changed — not the same template.
+            return self._full_parse(data)
+
+        changed = np.unique(owner)
+        for j in changed.tolist():
+            raw = data[int(starts[j]) : int(ends[j])]
+            # Trim at the (possibly moved) closing tag.
+            lt = raw.find(b"<")
+            if lt >= 0:
+                raw = raw[:lt]
+            result.set_leaf(j, raw)
+        # Refresh the raw template in place (only the changed regions).
+        for j in changed.tolist():
+            s, e = int(starts[j]), int(ends[j])
+            last[s:e] = incoming[s:e]
+        self.stats[DeserKind.DIFFERENTIAL] += 1
+        self.stats_last_changed = int(changed.size)
+        return result.message, DeserReport(
+            DeserKind.DIFFERENTIAL, int(changed.size), result.leaf_count
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def has_template(self) -> bool:
+        return self._result is not None
+
+    def reset(self) -> None:
+        """Drop the stored template."""
+        self._last_raw = None
+        self._result = None

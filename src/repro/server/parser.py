@@ -1,0 +1,401 @@
+"""Schema-guided SOAP request parsing (the full-deserialization baseline).
+
+The parser builds a light element tree from the scanner's event
+stream, then decodes the RPC body into typed values: NumPy arrays for
+numeric array parameters, column dicts for struct arrays, Python
+scalars otherwise.
+
+Crucially for differential deserialization, it also records the **raw
+byte span of every leaf value** (including any whitespace stuffing
+inside the span's tail) in document order, plus enough layout to
+update any leaf in place later — the server-side mirror of the DUT
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SOAPError
+from repro.schema.composite import StructType
+from repro.schema.registry import TypeRegistry
+from repro.schema.types import XSDType, primitive_by_name
+from repro.soap.encoding import parse_array_type_attr
+from repro.xmlkit.scanner import (
+    Characters,
+    EndElement,
+    Event,
+    StartElement,
+    XMLScanner,
+)
+
+__all__ = ["SOAPRequestParser", "DecodedMessage", "DecodedParam", "ParseResult"]
+
+
+def _leaf_from_text(xsd_type: XSDType, text: str):
+    """Decode a leaf from *scanner-decoded* text.
+
+    The scanner has already resolved entity references, so string
+    leaves are taken verbatim (re-running ``STRING.parse`` would
+    double-unescape); numeric/boolean leaves go through their lexical
+    parser on the ASCII bytes.
+    """
+    if xsd_type.np_dtype is None:  # string
+        return text
+    return xsd_type.parse(text.encode("ascii"))
+
+
+@dataclass(slots=True)
+class _Node:
+    """One parsed element: name, attrs, children, text + raw text span."""
+
+    name: str
+    attrs: Dict[str, str]
+    children: List["_Node"]
+    text: str
+    span: Optional[Tuple[int, int]]  # raw byte span of the text content
+
+    @property
+    def local(self) -> str:
+        return self.name.rsplit(":", 1)[-1]
+
+
+@dataclass(slots=True)
+class DecodedParam:
+    """One decoded parameter."""
+
+    name: str
+    kind: str  # "array" | "struct_array" | "scalar"
+    value: object
+    element_type: Optional[Union[XSDType, StructType]] = None
+
+
+@dataclass(slots=True)
+class DecodedMessage:
+    """The logical content of a parsed RPC request."""
+
+    operation: str
+    params: List[DecodedParam] = field(default_factory=list)
+
+    def param(self, name: str) -> DecodedParam:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise SOAPError(f"decoded message has no parameter {name!r}")
+
+    def value(self, name: str):
+        return self.param(name).value
+
+
+@dataclass(slots=True)
+class _ParamLayout:
+    """Leaf → storage mapping for in-place differential updates."""
+
+    param: DecodedParam
+    leaf_base: int
+    leaf_count: int
+    arity: int
+    leaf_types: Tuple[XSDType, ...]
+    field_names: Tuple[str, ...]  # empty for primitive arrays/scalars
+
+
+class ParseResult:
+    """Full-parse output: message + leaf spans + in-place setters."""
+
+    def __init__(
+        self,
+        message: DecodedMessage,
+        spans: np.ndarray,
+        layouts: List[_ParamLayout],
+        regions: Optional[np.ndarray] = None,
+    ) -> None:
+        self.message = message
+        #: (k, 2) int64 array of raw value-text spans, document order.
+        self.spans = spans
+        #: (k, 2) int64 array of *field-region* spans: value + closing
+        #: tag + trailing whitespace pad.  All bytes that may legally
+        #: change when only this leaf's value changes fall inside its
+        #: region — what differential deserialization diffs against.
+        self.regions = regions if regions is not None else spans
+        self._layouts = layouts
+        self._bases = np.asarray([l.leaf_base for l in layouts], dtype=np.int64)
+
+    @property
+    def leaf_count(self) -> int:
+        return int(self.spans.shape[0])
+
+    def leaf_type(self, j: int) -> XSDType:
+        layout = self._layout_for(j)
+        return layout.leaf_types[(j - layout.leaf_base) % layout.arity]
+
+    def _layout_for(self, j: int) -> _ParamLayout:
+        pos = int(np.searchsorted(self._bases, j, side="right")) - 1
+        return self._layouts[pos]
+
+    def set_leaf(self, j: int, raw: bytes) -> None:
+        """Re-parse one leaf from raw bytes and store it in place."""
+        layout = self._layout_for(j)
+        local = j - layout.leaf_base
+        item = local // layout.arity
+        fpos = local % layout.arity
+        value = layout.leaf_types[fpos].parse(raw)
+        param = layout.param
+        if param.kind == "array":
+            param.value[item] = value  # type: ignore[index]
+        elif param.kind == "struct_array":
+            param.value[layout.field_names[fpos]][item] = value  # type: ignore[index]
+        else:
+            param.value = value
+
+
+class SOAPRequestParser:
+    """Parses SOAP 1.1 RPC requests against a type registry."""
+
+    def __init__(self, registry: Optional[TypeRegistry] = None) -> None:
+        self.registry = registry or TypeRegistry()
+
+    # ------------------------------------------------------------------
+    # tree building
+    # ------------------------------------------------------------------
+    def _build_tree(self, data: bytes) -> _Node:
+        events: List[Event] = list(XMLScanner(data, keep_whitespace=True))
+        i = 0
+        while i < len(events) and not isinstance(events[i], StartElement):
+            i += 1
+        if i == len(events):
+            raise SOAPError("no root element")
+        node, next_i = self._element(events, i)
+        return node
+
+    def _element(self, events: List[Event], i: int) -> Tuple[_Node, int]:
+        start = events[i]
+        assert isinstance(start, StartElement)
+        i += 1
+        children: List[_Node] = []
+        text_parts: List[str] = []
+        span: Optional[Tuple[int, int]] = None
+        while i < len(events):
+            ev = events[i]
+            if isinstance(ev, EndElement):
+                if span is None and not children:
+                    # Empty leaf: zero-length span at the close tag.
+                    off = ev.offset if ev.offset >= 0 else 0
+                    span = (off, off)
+                return (
+                    _Node(start.name, dict(start.attrs), children,
+                          "".join(text_parts), span),
+                    i + 1,
+                )
+            if isinstance(ev, Characters):
+                text_parts.append(ev.text)
+                nxt = events[i + 1]
+                end_off = getattr(nxt, "offset", ev.offset + len(ev.text))
+                span = (span[0] if span else ev.offset, end_off)
+                i += 1
+            elif isinstance(ev, StartElement):
+                child, i = self._element(events, i)
+                children.append(child)
+            else:
+                i += 1
+        raise SOAPError("unterminated element tree")
+
+    # ------------------------------------------------------------------
+    # typed decoding
+    # ------------------------------------------------------------------
+    def parse(self, data: bytes) -> ParseResult:
+        """Full parse: decode the message and record all leaf spans."""
+        root = self._build_tree(data)
+        if root.local != "Envelope":
+            raise SOAPError(f"root element is {root.name!r}, expected Envelope")
+        body = self._child_by_local(root, "Body")
+        if body is None or not body.children:
+            raise SOAPError("missing or empty SOAP Body")
+        op_node = body.children[0]
+        message = DecodedMessage(operation=op_node.local)
+
+        spans: List[Tuple[int, int]] = []
+        layouts: List[_ParamLayout] = []
+        for pnode in op_node.children:
+            param, layout_entries = self._decode_param(pnode, len(spans))
+            message.params.append(param)
+            layouts.append(layout_entries[0])
+            spans.extend(layout_entries[1])
+        span_arr = (
+            np.asarray(spans, dtype=np.int64)
+            if spans
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        regions = self._field_regions(data, span_arr)
+        return ParseResult(message, span_arr, layouts, regions)
+
+    @staticmethod
+    def _field_regions(data: bytes, spans: np.ndarray) -> np.ndarray:
+        """Extend each value span to its full field region.
+
+        The region runs from the value start through the closing tag
+        and any whitespace stuffing, up to the next markup byte —
+        mirroring the sender-side DUT field layout.
+        """
+        if spans.shape[0] == 0:
+            return spans
+        regions = spans.copy()
+        n = len(data)
+        ws = b" \t\r\n"
+        for j in range(spans.shape[0]):
+            end = int(spans[j, 1])
+            # Skip the closing tag that immediately follows the value.
+            gt = data.find(b">", end)
+            if gt < 0:  # pragma: no cover - malformed, keep text span
+                continue
+            pos = gt + 1
+            while pos < n and data[pos] in ws:
+                pos += 1
+            regions[j, 1] = pos
+        return regions
+
+    @staticmethod
+    def _child_by_local(node: _Node, local: str) -> Optional[_Node]:
+        for child in node.children:
+            if child.local == local:
+                return child
+        return None
+
+    def _resolve_type(self, prefixed: str) -> Union[XSDType, StructType]:
+        local = prefixed.rsplit(":", 1)[-1]
+        resolved = self.registry.lookup(local) if local in self.registry else None
+        if resolved is None:
+            resolved = primitive_by_name(local)
+        if isinstance(resolved, (XSDType, StructType)):
+            return resolved
+        raise SOAPError(f"type {prefixed!r} is not usable as an element type")
+
+    def _decode_param(
+        self, node: _Node, leaf_base: int
+    ) -> Tuple[DecodedParam, Tuple[_ParamLayout, List[Tuple[int, int]]]]:
+        attrs = node.attrs
+        array_decl = None
+        for key, value in attrs.items():
+            if key.rsplit(":", 1)[-1] == "arrayType":
+                array_decl = value
+                break
+
+        if array_decl is not None:
+            type_name, declared = parse_array_type_attr(array_decl)
+            element = self._resolve_type(type_name)
+            if isinstance(element, StructType):
+                return self._decode_struct_array(node, element, declared, leaf_base)
+            return self._decode_primitive_array(node, element, declared, leaf_base)
+
+        xsi = None
+        for key, value in attrs.items():
+            if key.rsplit(":", 1)[-1] == "type":
+                xsi = value
+                break
+        if xsi is not None and xsi.rsplit(":", 1)[-1] in self.registry:
+            maybe = self.registry.lookup(xsi.rsplit(":", 1)[-1])
+            if isinstance(maybe, StructType):
+                return self._decode_scalar_struct(node, maybe, leaf_base)
+        element = self._resolve_type(xsi) if xsi else primitive_by_name("string")
+        if isinstance(element, StructType):
+            return self._decode_scalar_struct(node, element, leaf_base)
+        value = _leaf_from_text(element, node.text)
+        param = DecodedParam(node.local, "scalar", value, element)
+        span = node.span or (0, 0)
+        layout = _ParamLayout(param, leaf_base, 1, 1, (element,), ())
+        return param, (layout, [span])
+
+    def _decode_primitive_array(
+        self, node: _Node, element: XSDType, declared: Optional[int], leaf_base: int
+    ) -> Tuple[DecodedParam, Tuple[_ParamLayout, List[Tuple[int, int]]]]:
+        items = node.children
+        if declared is not None and declared != len(items):
+            raise SOAPError(
+                f"arrayType declared {declared} items, found {len(items)}"
+            )
+        spans: List[Tuple[int, int]] = []
+        item_texts: List[str] = []
+        for item in items:
+            item_texts.append(item.text)
+            spans.append(item.span or (0, 0))
+        values = [_leaf_from_text(element, t) for t in item_texts]
+        if element.np_dtype is not None:
+            container: object = np.asarray(values, dtype=element.np_dtype)
+        else:
+            container = values
+        param = DecodedParam(node.local, "array", container, element)
+        layout = _ParamLayout(param, leaf_base, len(items), 1, (element,), ())
+        return param, (layout, spans)
+
+    def _decode_struct_array(
+        self, node: _Node, struct: StructType, declared: Optional[int], leaf_base: int
+    ) -> Tuple[DecodedParam, Tuple[_ParamLayout, List[Tuple[int, int]]]]:
+        items = node.children
+        if declared is not None and declared != len(items):
+            raise SOAPError(
+                f"arrayType declared {declared} items, found {len(items)}"
+            )
+        arity = struct.arity
+        fields = struct.fields
+        cols: Dict[str, List[object]] = {f.name: [] for f in fields}
+        spans: List[Tuple[int, int]] = []
+        for item in items:
+            if len(item.children) != arity:
+                raise SOAPError(
+                    f"struct item has {len(item.children)} fields, expected {arity}"
+                )
+            for f, child in zip(fields, item.children):
+                if child.local != f.name:
+                    raise SOAPError(
+                        f"struct field {child.local!r} does not match schema "
+                        f"field {f.name!r}"
+                    )
+                cols[f.name].append(_leaf_from_text(f.xsd_type, child.text))
+                spans.append(child.span or (0, 0))
+        columns: Dict[str, object] = {}
+        for f in fields:
+            if f.xsd_type.np_dtype is not None:
+                columns[f.name] = np.asarray(cols[f.name], dtype=f.xsd_type.np_dtype)
+            else:
+                columns[f.name] = cols[f.name]
+        param = DecodedParam(node.local, "struct_array", columns, struct)
+        layout = _ParamLayout(
+            param,
+            leaf_base,
+            len(items) * arity,
+            arity,
+            tuple(f.xsd_type for f in fields),
+            tuple(f.name for f in fields),
+        )
+        return param, (layout, spans)
+
+    def _decode_scalar_struct(
+        self, node: _Node, struct: StructType, leaf_base: int
+    ) -> Tuple[DecodedParam, Tuple[_ParamLayout, List[Tuple[int, int]]]]:
+        arity = struct.arity
+        if len(node.children) != arity:
+            raise SOAPError("scalar struct field count mismatch")
+        columns: Dict[str, object] = {}
+        spans: List[Tuple[int, int]] = []
+        for f, child in zip(struct.fields, node.children):
+            if child.local != f.name:
+                raise SOAPError(f"unexpected struct field {child.local!r}")
+            value = _leaf_from_text(f.xsd_type, child.text)
+            columns[f.name] = (
+                np.asarray([value], dtype=f.xsd_type.np_dtype)
+                if f.xsd_type.np_dtype is not None
+                else [value]
+            )
+            spans.append(child.span or (0, 0))
+        param = DecodedParam(node.local, "struct_array", columns, struct)
+        layout = _ParamLayout(
+            param,
+            leaf_base,
+            arity,
+            arity,
+            tuple(f.xsd_type for f in struct.fields),
+            tuple(f.name for f in struct.fields),
+        )
+        return param, (layout, spans)

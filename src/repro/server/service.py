@@ -1,0 +1,323 @@
+"""SOAP service dispatch and an HTTP server front end.
+
+A :class:`SOAPService` maps operation names to Python handlers.
+Incoming bodies are decoded by a per-service
+:class:`~repro.server.diffdeser.DifferentialDeserializer`; responses
+are serialized through an internal :class:`~repro.core.BSoapClient`,
+so a service answering the same-shaped response repeatedly gets
+content/structural matches on the *outgoing* side — the paper's §3.4
+"heavily-used servers" scenario (Google/Amazon-style fixed response
+schemas).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.client import BSoapClient
+from repro.core.policy import DiffPolicy
+from repro.errors import SOAPError, TransportError
+from repro.schema.composite import ArrayType, StructType
+from repro.schema.registry import TypeRegistry
+from repro.schema.types import XSDType
+from repro.server.diffdeser import DifferentialDeserializer
+from repro.server.parser import DecodedMessage
+from repro.server.tagdispatch import OperationPeeker
+from repro.soap.fault import SOAPFault
+from repro.soap.message import Parameter, SOAPMessage
+from repro.soap.rpc import RESPONSE_SUFFIX
+from repro.transport.http import parse_http_request
+from repro.transport.loopback import CollectSink
+
+__all__ = ["Operation", "SOAPService", "HTTPSoapServer"]
+
+ParamType = Union[XSDType, StructType, ArrayType]
+Handler = Callable[..., object]
+
+
+class Operation:
+    """One service operation: typed inputs, a handler, a typed result."""
+
+    def __init__(
+        self,
+        name: str,
+        handler: Handler,
+        *,
+        result_type: Optional[ParamType] = None,
+        result_name: str = "return",
+    ) -> None:
+        self.name = name
+        self.handler = handler
+        self.result_type = result_type
+        self.result_name = result_name
+
+
+class SOAPService:
+    """Operation registry + request dispatch (see module docstring)."""
+
+    def __init__(
+        self,
+        namespace: str,
+        registry: Optional[TypeRegistry] = None,
+        *,
+        response_policy: Optional[DiffPolicy] = None,
+        differential_deser: bool = True,
+        definition: Optional[object] = None,
+    ) -> None:
+        self.namespace = namespace
+        #: Optional :class:`~repro.wsdl.model.ServiceDef` for WSDL serving.
+        self.definition = definition
+        self.registry = registry or TypeRegistry()
+        self._operations: Dict[str, Operation] = {}
+        self._peeker = OperationPeeker(())
+        self._deser = DifferentialDeserializer(self.registry)
+        self._differential_deser = differential_deser
+        self._response_sink = CollectSink()
+        self._responder = BSoapClient(self._response_sink, response_policy)
+        self.requests_handled = 0
+        self.faults_returned = 0
+
+    # ------------------------------------------------------------------
+    def register(self, operation: Operation) -> Operation:
+        if operation.name in self._operations:
+            raise SOAPError(f"operation {operation.name!r} already registered")
+        self._operations[operation.name] = operation
+        self._peeker.add(operation.name)
+        return operation
+
+    def operation(
+        self,
+        name: str,
+        *,
+        result_type: Optional[ParamType] = None,
+        result_name: str = "return",
+    ):
+        """Decorator form of :meth:`register`."""
+
+        def wrap(fn: Handler) -> Handler:
+            self.register(
+                Operation(name, fn, result_type=result_type, result_name=result_name)
+            )
+            return fn
+
+        return wrap
+
+    @classmethod
+    def from_definition(cls, definition, handlers: Dict[str, Handler], **kw) -> "SOAPService":
+        """Build a service from a WSDL :class:`ServiceDef` + handlers.
+
+        Operation result names/types come from the definition's output
+        parts; *handlers* maps operation names to callables.  The
+        resulting service can serve its own WSDL over HTTP
+        (``GET <path>?wsdl``).
+        """
+        service = cls(
+            definition.namespace,
+            definition.registry,
+            definition=definition,
+            **kw,
+        )
+        for op_def in definition.operations:
+            handler = handlers.get(op_def.name)
+            if handler is None:
+                raise SOAPError(f"no handler supplied for operation {op_def.name!r}")
+            result_type = op_def.output.ptype if op_def.output else None
+            result_name = op_def.output.name if op_def.output else "return"
+            service.register(
+                Operation(
+                    op_def.name,
+                    handler,
+                    result_type=result_type,
+                    result_name=result_name,
+                )
+            )
+        return service
+
+    def wsdl(self) -> bytes:
+        """The service's WSDL document (requires a definition)."""
+        if self.definition is None:
+            raise SOAPError("service has no WSDL definition attached")
+        from repro.wsdl.emit import emit_wsdl
+
+        return emit_wsdl(self.definition)
+
+    @property
+    def deserializer(self) -> DifferentialDeserializer:
+        return self._deser
+
+    @property
+    def response_stats(self):
+        """Match-kind counters for outgoing responses."""
+        return self._responder.stats
+
+    # ------------------------------------------------------------------
+    def handle(self, body: bytes) -> bytes:
+        """Decode a request body, dispatch, return the response bytes."""
+        try:
+            # Trie peek (Chiu et al.'s tag-trie optimization applied
+            # to dispatch): an unknown operation tag faults before any
+            # parsing work is spent on the body.
+            status, peeked = self._peeker.classify(body)
+            if status == "unknown":
+                raise SOAPError(f"unknown operation {peeked!r}")
+            decoded = self._decode(body)
+            op = self._operations.get(decoded.operation)
+            if op is None:
+                raise SOAPError(f"unknown operation {decoded.operation!r}")
+            kwargs = {p.name: p.value for p in decoded.params}
+            result = op.handler(**kwargs)
+            self.requests_handled += 1
+            return self._serialize_response(op, result)
+        except SOAPError as exc:
+            self.faults_returned += 1
+            return SOAPFault.client(str(exc)).to_xml()
+        except Exception as exc:  # handler bug → Server fault
+            self.faults_returned += 1
+            return SOAPFault.server(f"{type(exc).__name__}: {exc}").to_xml()
+
+    def _decode(self, body: bytes) -> DecodedMessage:
+        if self._differential_deser:
+            message, _report = self._deser.deserialize(body)
+            return message
+        return self._deser.parser.parse(body).message
+
+    def _serialize_response(self, op: Operation, result: object) -> bytes:
+        params: List[Parameter] = []
+        if op.result_type is not None:
+            params.append(Parameter(op.result_name, op.result_type, result))
+        message = SOAPMessage(
+            operation=op.name + RESPONSE_SUFFIX,
+            namespace=self.namespace,
+            params=params,
+        )
+        self._responder.send(message)
+        return self._response_sink.last
+
+
+class HTTPSoapServer:
+    """Threaded HTTP front end dispatching POSTs to a service."""
+
+    def __init__(self, service: SOAPService, host: str = "127.0.0.1") -> None:
+        self.service = service
+        self.host = host
+        self.port = 0
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._running = threading.Event()
+
+    # ------------------------------------------------------------------
+    def start(self) -> "HTTPSoapServer":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, 0))
+        listener.listen(8)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._running.set()
+        accept = threading.Thread(target=self._accept_loop, daemon=True)
+        accept.start()
+        self._threads.append(accept)
+        return self
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            thread = threading.Thread(target=self._serve, args=(conn,), daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve(self, conn: socket.socket) -> None:
+        conn.settimeout(0.2)
+        buffered = b""
+        try:
+            while self._running.is_set():
+                try:
+                    data = conn.recv(1 << 20)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                if not data:
+                    break
+                buffered += data
+                buffered = self._drain_requests(conn, buffered)
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+
+    def _drain_requests(self, conn: socket.socket, buffered: bytes) -> bytes:
+        from repro.errors import HTTPFramingError
+
+        while True:
+            try:
+                request, consumed = parse_http_request(buffered)
+            except HTTPFramingError:
+                return buffered  # wait for more bytes
+            if request.method == "GET" and request.path.endswith("?wsdl"):
+                response_body = self._wsdl_response(conn)
+                buffered = buffered[consumed:]
+                if response_body is None or not buffered:
+                    return b""
+                continue
+            response_body = self.service.handle(request.body)
+            head = (
+                "HTTP/1.1 200 OK\r\n"
+                'Content-Type: text/xml; charset="utf-8"\r\n'
+                f"Content-Length: {len(response_body)}\r\n\r\n"
+            ).encode("ascii")
+            try:
+                conn.sendall(head + response_body)
+            except OSError:
+                return b""
+            buffered = buffered[consumed:]
+            if not buffered:
+                return b""
+
+    def _wsdl_response(self, conn: socket.socket) -> Optional[bytes]:
+        """Serve the WSDL document (404 when none is attached)."""
+        try:
+            doc = self.service.wsdl()
+            head = (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/xml\r\n"
+                f"Content-Length: {len(doc)}\r\n\r\n"
+            ).encode("ascii")
+            payload = head + doc
+        except SOAPError:
+            payload = (
+                b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"
+            )
+        try:
+            conn.sendall(payload)
+            return payload
+        except OSError:
+            return None
+
+    def stop(self) -> None:
+        self._running.clear()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._listener = None
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self._threads.clear()
+
+    def __enter__(self) -> "HTTPSoapServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,108 @@
+"""Trie-based operation peeking.
+
+Chiu et al.'s tag-trie optimization, applied to dispatch: a service
+knows its operation names up front, so the first body-child tag of an
+incoming request can be classified with a single trie walk — without
+building an element tree.  :class:`SOAPService` uses this to reject
+unknown operations before paying for a full parse, and services with
+many operations use it as an O(tag-length) router.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.xmlkit.escape import XML_WHITESPACE
+from repro.xmlkit.trie import ByteTrie
+
+__all__ = ["OperationPeeker"]
+
+_WS = frozenset(XML_WHITESPACE)
+
+
+class OperationPeeker:
+    """Single-pass operation-name extraction from a request body."""
+
+    def __init__(self, operation_names: Iterable[str]) -> None:
+        self._trie = ByteTrie()
+        self._names: list[str] = []
+        for name in operation_names:
+            self.add(name)
+
+    def add(self, name: str) -> None:
+        """Register an operation name."""
+        self._trie.insert(name.encode("ascii"), len(self._names))
+        self._names.append(name)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _body_child_tag(data: bytes) -> Tuple[int, int]:
+        """Byte span of the first Body child's local tag name.
+
+        Returns ``(-1, -1)`` when the structure isn't recognizably a
+        SOAP request (the caller then falls back to a full parse).
+        """
+        # Locate the Body start tag (any prefix).
+        search = 0
+        while True:
+            idx = data.find(b":Body", search)
+            if idx < 0:
+                return -1, -1
+            # Must be inside a start tag: preceding '<' + prefix.
+            lt = data.rfind(b"<", 0, idx)
+            if lt >= 0 and data[lt + 1 : idx].isalnum() or (
+                lt >= 0 and b"-" in data[lt + 1 : idx]
+            ):
+                gt = data.find(b">", idx)
+                if gt < 0:
+                    return -1, -1
+                break
+            search = idx + 5
+        # First child element after <...:Body ...>.
+        pos = gt + 1
+        n = len(data)
+        while pos < n and data[pos] in _WS:
+            pos += 1
+        if pos >= n or data[pos] != 0x3C:  # '<'
+            return -1, -1
+        pos += 1
+        start = pos
+        while pos < n and data[pos] not in b" \t\r\n/>":
+            pos += 1
+        # Strip a namespace prefix if present.
+        colon = data.find(b":", start, pos)
+        if colon >= 0:
+            start = colon + 1
+        return start, pos
+
+    def classify(self, data: bytes) -> Tuple[str, Optional[str]]:
+        """Classify the request without parsing it.
+
+        Returns one of:
+
+        * ``("known", name)`` — the body's operation tag matched a
+          registered operation,
+        * ``("unknown", tag)`` — a clean tag was found but no
+          operation has that name (fault fast, skip the parse),
+        * ``("unscannable", None)`` — the byte scan could not locate
+          the operation tag; fall back to a full parse.
+        """
+        start, end = self._body_child_tag(data)
+        if start < 0:
+            return "unscannable", None
+        value, matched_end = self._trie.match_at(data, start)
+        if value is None or matched_end != end:
+            try:
+                tag = data[start:end].decode("ascii")
+            except UnicodeDecodeError:
+                return "unscannable", None
+            return "unknown", tag
+        return "known", self._names[value]
+
+    def peek(self, data: bytes) -> Optional[str]:
+        """The request's operation name when recognized, else ``None``."""
+        status, name = self.classify(data)
+        return name if status == "known" else None
+
+    def __len__(self) -> int:
+        return len(self._names)

@@ -1,0 +1,42 @@
+"""SOAP 1.1 protocol layer: envelopes, RPC encoding, multi-ref, faults.
+
+This package defines the *logical* message model
+(:class:`~repro.soap.message.SOAPMessage` — an operation plus typed
+parameters) and the envelope conventions every serializer in the
+repository shares, so the bSOAP templates, the gSOAP-like baseline and
+the XSOAP-like baseline all emit interoperable documents.
+"""
+
+from repro.soap.constants import (
+    SOAP_ENC_URI,
+    SOAP_ENV_URI,
+    STANDARD_NSDECLS,
+    XSD_URI,
+    XSI_URI,
+)
+from repro.soap.message import Parameter, SOAPMessage, structure_signature
+from repro.soap.envelope import EnvelopeLayout, envelope_layout
+from repro.soap.encoding import array_type_attr, xsi_type_attr
+from repro.soap.fault import SOAPFault
+from repro.soap.multiref import MultiRefTable
+from repro.soap.rpc import RPCRequest, RPCResponse, response_message
+
+__all__ = [
+    "SOAP_ENV_URI",
+    "SOAP_ENC_URI",
+    "XSD_URI",
+    "XSI_URI",
+    "STANDARD_NSDECLS",
+    "Parameter",
+    "SOAPMessage",
+    "structure_signature",
+    "EnvelopeLayout",
+    "envelope_layout",
+    "array_type_attr",
+    "xsi_type_attr",
+    "SOAPFault",
+    "MultiRefTable",
+    "RPCRequest",
+    "RPCResponse",
+    "response_message",
+]

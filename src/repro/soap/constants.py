@@ -1,0 +1,38 @@
+"""SOAP 1.1 namespace constants and standard prefix bindings."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = [
+    "SOAP_ENV_URI",
+    "SOAP_ENC_URI",
+    "XSD_URI",
+    "XSI_URI",
+    "SOAP_ENV_PREFIX",
+    "SOAP_ENC_PREFIX",
+    "SERVICE_PREFIX",
+    "STANDARD_NSDECLS",
+    "ENCODING_STYLE_ATTR",
+]
+
+SOAP_ENV_URI = "http://schemas.xmlsoap.org/soap/envelope/"
+SOAP_ENC_URI = "http://schemas.xmlsoap.org/soap/encoding/"
+XSD_URI = "http://www.w3.org/2001/XMLSchema"
+XSI_URI = "http://www.w3.org/2001/XMLSchema-instance"
+
+SOAP_ENV_PREFIX = "SOAP-ENV"
+SOAP_ENC_PREFIX = "SOAP-ENC"
+#: Prefix bound to the target service namespace in request bodies.
+SERVICE_PREFIX = "ns"
+
+#: Prefix → URI declarations emitted once on the Envelope element.
+STANDARD_NSDECLS: Dict[str, str] = {
+    SOAP_ENV_PREFIX: SOAP_ENV_URI,
+    SOAP_ENC_PREFIX: SOAP_ENC_URI,
+    "xsd": XSD_URI,
+    "xsi": XSI_URI,
+}
+
+#: The SOAP 1.1 section-5 encoding-style declaration on the Envelope.
+ENCODING_STYLE_ATTR = (SOAP_ENV_PREFIX + ":encodingStyle", SOAP_ENC_URI)

@@ -1,0 +1,57 @@
+"""SOAP section-5 encoding helpers (arrays and ``xsi:type``)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SOAPError
+from repro.schema.composite import ArrayType, StructType
+from repro.schema.types import XSDType
+from repro.soap.constants import SOAP_ENC_PREFIX
+
+__all__ = [
+    "array_type_attr",
+    "xsi_type_attr",
+    "array_open_attrs",
+    "parse_array_type_attr",
+]
+
+
+def array_type_attr(array: ArrayType, length: int) -> Tuple[str, str]:
+    """The ``SOAP-ENC:arrayType="T[N]"`` attribute for an array element."""
+    return (f"{SOAP_ENC_PREFIX}:arrayType", array.soap_array_type(length))
+
+
+def xsi_type_attr(xsd_type: XSDType) -> Tuple[str, str]:
+    """The ``xsi:type="xsd:T"`` attribute for a typed scalar element."""
+    return ("xsi:type", xsd_type.xsi_type)
+
+
+def array_open_attrs(array: ArrayType, length: int) -> Dict[str, str]:
+    """All attributes for an array's container element."""
+    name, value = array_type_attr(array, length)
+    return {"xsi:type": f"{SOAP_ENC_PREFIX}:Array", name: value}
+
+
+def parse_array_type_attr(value: str) -> Tuple[str, Optional[int]]:
+    """Parse ``"xsd:double[100]"`` → ``("xsd:double", 100)``.
+
+    A missing or empty length (``T[]``) yields ``None`` — SOAP permits
+    open-ended arrays whose size comes from the item count.
+    """
+    bracket = value.find("[")
+    if bracket < 0 or not value.endswith("]"):
+        raise SOAPError(f"malformed arrayType value {value!r}")
+    type_part = value[:bracket]
+    size_part = value[bracket + 1 : -1].strip()
+    if not type_part:
+        raise SOAPError(f"malformed arrayType value {value!r}")
+    if not size_part:
+        return type_part, None
+    try:
+        size = int(size_part)
+    except ValueError:
+        raise SOAPError(f"malformed arrayType size in {value!r}") from None
+    if size < 0:
+        raise SOAPError(f"negative arrayType size in {value!r}")
+    return type_part, size

@@ -1,0 +1,74 @@
+"""Envelope skeleton construction.
+
+Every serializer in the repository wraps its payload in the same SOAP
+1.1 skeleton::
+
+    <?xml version="1.0" encoding="UTF-8"?>
+    <SOAP-ENV:Envelope xmlns:SOAP-ENV="..." xmlns:SOAP-ENC="..."
+                       xmlns:xsd="..." xmlns:xsi="..." xmlns:ns="SERVICE"
+                       SOAP-ENV:encodingStyle="...">
+      <SOAP-ENV:Body>
+        <ns:OPERATION>
+          ...parameters...
+        </ns:OPERATION>
+      </SOAP-ENV:Body>
+    </SOAP-ENV:Envelope>
+
+(with no inter-element pretty-printing whitespace — templates are
+byte-exact).  :func:`envelope_layout` returns the pre-rendered prefix
+and suffix byte strings for an operation so the hot serializers emit
+them with two writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.soap.constants import (
+    ENCODING_STYLE_ATTR,
+    SERVICE_PREFIX,
+    SOAP_ENV_PREFIX,
+    STANDARD_NSDECLS,
+)
+from repro.xmlkit.escape import escape_attr
+from repro.xmlkit.writer import XMLWriter
+
+__all__ = ["EnvelopeLayout", "envelope_layout"]
+
+
+@dataclass(frozen=True, slots=True)
+class EnvelopeLayout:
+    """Pre-rendered envelope skeleton for one (namespace, operation)."""
+
+    prefix: bytes  # prolog .. <ns:OPERATION>
+    suffix: bytes  # </ns:OPERATION> .. </SOAP-ENV:Envelope>
+    operation_tag: str  # lexical tag of the operation element
+
+    @property
+    def overhead(self) -> int:
+        """Envelope bytes independent of the payload."""
+        return len(self.prefix) + len(self.suffix)
+
+
+@lru_cache(maxsize=256)
+def envelope_layout(namespace: str, operation: str) -> EnvelopeLayout:
+    """Build (and cache) the skeleton for *operation* in *namespace*."""
+    op_tag = f"{SERVICE_PREFIX}:{operation}"
+
+    writer = XMLWriter()
+    writer.prolog()
+    nsdecls = dict(STANDARD_NSDECLS)
+    nsdecls[SERVICE_PREFIX] = namespace
+    attr_name, attr_value = ENCODING_STYLE_ATTR
+    writer.start(f"{SOAP_ENV_PREFIX}:Envelope", {attr_name: attr_value}, nsdecls)
+    writer.start(f"{SOAP_ENV_PREFIX}:Body")
+    writer.start(op_tag)
+    prefix = writer.getvalue()
+
+    suffix = (
+        f"</{op_tag}></{SOAP_ENV_PREFIX}:Body></{SOAP_ENV_PREFIX}:Envelope>"
+    ).encode("ascii")
+    # Sanity: namespace must have been escaped if needed.
+    assert escape_attr(namespace.encode("utf-8")) in prefix
+    return EnvelopeLayout(prefix=prefix, suffix=suffix, operation_tag=op_tag)

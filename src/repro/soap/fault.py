@@ -1,0 +1,81 @@
+"""SOAP 1.1 Faults."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import SOAPError, SOAPFaultError
+from repro.soap.constants import SOAP_ENV_PREFIX, STANDARD_NSDECLS
+from repro.xmlkit.scanner import Characters, EndElement, StartElement, XMLScanner
+from repro.xmlkit.writer import XMLWriter
+
+__all__ = ["SOAPFault"]
+
+
+@dataclass(frozen=True, slots=True)
+class SOAPFault:
+    """A SOAP 1.1 ``Fault`` element's standard fields."""
+
+    faultcode: str
+    faultstring: str
+    detail: str = ""
+
+    @classmethod
+    def client(cls, message: str, detail: str = "") -> "SOAPFault":
+        return cls(f"{SOAP_ENV_PREFIX}:Client", message, detail)
+
+    @classmethod
+    def server(cls, message: str, detail: str = "") -> "SOAPFault":
+        return cls(f"{SOAP_ENV_PREFIX}:Server", message, detail)
+
+    def to_xml(self) -> bytes:
+        """Serialize a complete fault envelope."""
+        writer = XMLWriter()
+        writer.prolog()
+        writer.start(f"{SOAP_ENV_PREFIX}:Envelope", nsdecls=STANDARD_NSDECLS)
+        writer.start(f"{SOAP_ENV_PREFIX}:Body")
+        writer.start(f"{SOAP_ENV_PREFIX}:Fault")
+        writer.element("faultcode", self.faultcode)
+        writer.element("faultstring", self.faultstring)
+        if self.detail:
+            writer.element("detail", self.detail)
+        writer.close()
+        return writer.getvalue()
+
+    @classmethod
+    def from_xml(cls, data: bytes) -> Optional["SOAPFault"]:
+        """Extract a fault from an envelope, or ``None`` if not a fault."""
+        stack: List[str] = []
+        fields = {"faultcode": "", "faultstring": "", "detail": ""}
+        in_fault = False
+        found = False
+        current: Optional[str] = None
+        for event in XMLScanner(data):
+            if isinstance(event, StartElement):
+                stack.append(event.name)
+                local = event.name.rsplit(":", 1)[-1]
+                if local == "Fault" and len(stack) >= 2:
+                    in_fault = True
+                    found = True
+                elif in_fault and local in fields:
+                    current = local
+            elif isinstance(event, Characters):
+                if current is not None:
+                    fields[current] += event.text
+            elif isinstance(event, EndElement):
+                local = event.name.rsplit(":", 1)[-1]
+                if local in fields:
+                    current = None
+                if local == "Fault":
+                    in_fault = False
+                stack.pop()
+        if not found:
+            return None
+        if not fields["faultcode"]:
+            raise SOAPError("Fault element missing faultcode")
+        return cls(fields["faultcode"], fields["faultstring"], fields["detail"])
+
+    def raise_(self) -> None:
+        """Raise this fault as a :class:`SOAPFaultError`."""
+        raise SOAPFaultError(self.faultcode, self.faultstring, self.detail)

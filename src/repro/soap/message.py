@@ -1,0 +1,119 @@
+"""The logical SOAP message model.
+
+A :class:`SOAPMessage` is what applications hand to a client stub: an
+operation name in a service namespace plus an ordered list of typed
+:class:`Parameter` values.  The **structure signature** — the key the
+bSOAP template store uses — captures everything that determines the
+serialized *layout* (operation, parameter names/types, array lengths)
+while excluding the values themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.schema.composite import ArrayType, StructType
+from repro.schema.types import XSDType
+
+__all__ = ["Parameter", "SOAPMessage", "structure_signature"]
+
+ParamType = Union[XSDType, StructType, ArrayType]
+
+
+def _value_length(ptype: ParamType, value: object) -> int:
+    """Array length contribution of a parameter (0 for scalars)."""
+    if isinstance(ptype, ArrayType):
+        if isinstance(value, dict):
+            # Struct-of-arrays form: {"x": ndarray, ...}
+            lengths = {len(v) for v in value.values()}
+            if len(lengths) != 1:
+                raise SchemaError("struct-of-arrays columns have differing lengths")
+            return lengths.pop()
+        if isinstance(value, (str, bytes)):
+            raise SchemaError("array parameter value may not be a plain string")
+        try:
+            return len(value)  # ndarray, list, tuple, tracked wrapper...
+        except TypeError:
+            raise SchemaError(
+                f"array parameter value must be sized, got {type(value)!r}"
+            ) from None
+    return 0
+
+
+@dataclass(slots=True)
+class Parameter:
+    """One named, typed call parameter.
+
+    Array-of-struct values may be supplied either as a sequence of
+    struct instances or — the HPC-friendly form — as a dict of NumPy
+    columns keyed by field name (struct-of-arrays).
+    """
+
+    name: str
+    ptype: ParamType
+    value: object
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("parameter name must be non-empty")
+        # Validate array values early so stubs fail fast.
+        _value_length(self.ptype, self.value) if isinstance(
+            self.ptype, ArrayType
+        ) else None
+
+    @property
+    def length(self) -> int:
+        """Array length (0 for scalar parameters)."""
+        return _value_length(self.ptype, self.value)
+
+    def type_label(self) -> str:
+        """Stable textual label of the parameter type."""
+        if isinstance(self.ptype, ArrayType):
+            return self.ptype.type_label()
+        if isinstance(self.ptype, StructType):
+            inner = ",".join(f"{f.name}:{f.xsd_type.name}" for f in self.ptype.fields)
+            return f"{self.ptype.name}{{{inner}}}"
+        return self.ptype.name
+
+
+@dataclass(slots=True)
+class SOAPMessage:
+    """An RPC request (or response) body: operation + parameters."""
+
+    operation: str
+    namespace: str
+    params: Sequence[Parameter] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.operation:
+            raise SchemaError("operation name must be non-empty")
+        names = [p.name for p in self.params]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate parameter names in message")
+
+    def param(self, name: str) -> Parameter:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise SchemaError(f"message has no parameter {name!r}")
+
+
+Signature = Tuple[str, str, Tuple[Tuple[str, str, int], ...]]
+
+
+def structure_signature(message: SOAPMessage) -> Signature:
+    """The template-store key: layout-determining structure only.
+
+    Two messages with equal signatures serialize to templates with
+    identical tag skeletons and DUT shapes; only field values (and
+    value widths) may differ.
+    """
+    return (
+        message.namespace,
+        message.operation,
+        tuple((p.name, p.type_label(), p.length) for p in message.params),
+    )

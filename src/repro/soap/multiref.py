@@ -1,0 +1,63 @@
+"""Multi-reference accessor support.
+
+SOAP 1.1 section 5 lets a serializer emit a shared value once as an
+independent element carrying ``id="ref-N"`` and refer to it from each
+use site with ``href="#ref-N"``.  The paper notes gSOAP supports
+multi-ref fully while bSOAP does not (footnote 3); accordingly the
+gSOAP-like baseline here uses this table when enabled, and the bSOAP
+serializer leaves it off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["MultiRefTable"]
+
+
+class MultiRefTable:
+    """Tracks aliased Python objects during one serialization pass.
+
+    Identity (``id()``) based: two parameters referencing the same
+    list/array object are multi-ref candidates; equal but distinct
+    objects are not (matching gSOAP's graph-serialization semantics).
+    """
+
+    def __init__(self) -> None:
+        self._ids: Dict[int, str] = {}
+        self._emitted: set[str] = set()
+        self._pinned: List[object] = []  # keep targets alive while tabled
+        self._counter = 0
+
+    def reference(self, obj: object) -> Tuple[str, bool]:
+        """Return ``(ref_id, first_time)`` for *obj*.
+
+        The first call for an object allocates ``ref-N`` and reports
+        ``first_time=True`` (caller serializes the value and attaches
+        ``id``); later calls report ``False`` (caller emits ``href``).
+        """
+        key = id(obj)
+        ref = self._ids.get(key)
+        if ref is None:
+            self._counter += 1
+            ref = f"ref-{self._counter}"
+            self._ids[key] = ref
+            self._pinned.append(obj)
+            return ref, True
+        return ref, False
+
+    def seen(self, obj: object) -> Optional[str]:
+        """Ref id if *obj* was referenced before, else ``None``."""
+        return self._ids.get(id(obj))
+
+    def mark_emitted(self, ref: str) -> None:
+        """Record that the value for *ref* has been written."""
+        self._emitted.add(ref)
+
+    @property
+    def dangling(self) -> List[str]:
+        """Refs handed out but never emitted (must be empty at end)."""
+        return [r for r in self._ids.values() if r not in self._emitted]
+
+    def __len__(self) -> int:
+        return len(self._ids)

@@ -1,0 +1,35 @@
+"""The transport interface.
+
+A transport consumes an *iterable* of byte segments (memoryviews or
+bytes).  Iterables may be lazy generators — chunk overlaying rewrites
+its chunk between yields — so a transport must fully consume/copy each
+segment before advancing.  ``total_bytes`` is supplied when the sender
+knows the exact payload size (needed for HTTP Content-Length framing).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Protocol, runtime_checkable
+
+__all__ = ["Transport", "ViewStream"]
+
+ViewStream = Iterable["memoryview | bytes"]
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Anything that can carry a serialized SOAP message."""
+
+    def send_message(
+        self, views: ViewStream, total_bytes: Optional[int] = None
+    ) -> int:
+        """Transmit the message; return payload bytes carried.
+
+        The return value counts *message* bytes, not framing overhead
+        (HTTP headers/chunk headers), so callers can compare against
+        the template's size.
+        """
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:  # pragma: no cover - protocol
+        ...

@@ -1,0 +1,152 @@
+"""The dummy server: accepts connections and drains bytes.
+
+    "each client connects to a dummy SOAP server on a different
+    machine ... the server does not deserialize or parse the incoming
+    SOAP packet."  (§4)
+
+Ours runs as a thread in the same process (localhost stands in for the
+paper's gigabit link; see DESIGN.md substitutions).  It can optionally
+echo a canned HTTP response per request so request/response tests work.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import List, Optional
+
+from repro.errors import TransportError
+from repro.transport.tcp import apply_paper_options
+
+__all__ = ["DummyServer"]
+
+_CANNED_RESPONSE = (
+    b"HTTP/1.1 200 OK\r\n"
+    b"Content-Type: text/xml\r\n"
+    b"Content-Length: 0\r\n"
+    b"\r\n"
+)
+
+
+class DummyServer:
+    """Threaded drain server.
+
+    Parameters
+    ----------
+    respond:
+        When True, replies with an empty 200 after each *complete*
+        HTTP request (requires well-formed framing from the client).
+        Default False: pure drain, never writes.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", respond: bool = False) -> None:
+        self.host = host
+        self.respond = respond
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_threads: List[threading.Thread] = []
+        self._running = threading.Event()
+        self._lock = threading.Lock()
+        self.bytes_drained = 0
+        self.connections = 0
+        self.port: int = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> "DummyServer":
+        if self._listener is not None:
+            raise TransportError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, 0))
+        listener.listen(16)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._running.set()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="dummy-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with self._lock:
+                self.connections += 1
+            thread = threading.Thread(
+                target=self._drain_loop, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._conn_threads.append(thread)
+
+    def _drain_loop(self, conn: socket.socket) -> None:
+        apply_paper_options(conn)
+        conn.settimeout(0.2)
+        buffered = b""
+        try:
+            while self._running.is_set():
+                try:
+                    data = conn.recv(1 << 20)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                if not data:
+                    break
+                with self._lock:
+                    self.bytes_drained += len(data)
+                if self.respond:
+                    buffered += data
+                    buffered = self._maybe_respond(conn, buffered)
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+
+    def _maybe_respond(self, conn: socket.socket, buffered: bytes) -> bytes:
+        """Reply once per complete HTTP request found in the buffer."""
+        from repro.transport.http import parse_http_request
+        from repro.errors import HTTPFramingError
+
+        while True:
+            try:
+                _req, consumed = parse_http_request(buffered)
+            except HTTPFramingError:
+                return buffered  # incomplete — wait for more bytes
+            try:
+                conn.sendall(_CANNED_RESPONSE)
+            except OSError:
+                return b""
+            buffered = buffered[consumed:]
+            if not buffered:
+                return b""
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        self._running.clear()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+            self._listener = None
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+        for thread in self._conn_threads:
+            thread.join(timeout=2.0)
+        self._conn_threads.clear()
+
+    def __enter__(self) -> "DummyServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

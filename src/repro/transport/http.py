@@ -1,0 +1,232 @@
+"""SOAP-over-HTTP framing.
+
+Two modes, mirroring the paper's discussion of HTTP 1.0 vs 1.1:
+
+``"content-length"`` (HTTP/1.0 semantics)
+    One ``Content-Length`` header; the payload size must be known up
+    front, so the whole message must exist before the first byte goes
+    out.
+
+``"chunked"`` (HTTP/1.1)
+    ``Transfer-Encoding: chunked``; each buffer segment is framed as a
+    hex-sized HTTP chunk and can be transmitted as soon as it is
+    serialized — the streaming behaviour chunk overlaying relies on.
+
+The framer wraps any inner :class:`~repro.transport.base.Transport`
+(TCP for real sends, sinks for tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import HTTPFramingError
+from repro.transport.base import Transport, ViewStream
+
+__all__ = ["HTTPTransport", "parse_http_request", "decode_chunked", "HTTPRequest"]
+
+_CRLF = b"\r\n"
+
+
+class HTTPTransport:
+    """Wraps a byte transport with SOAP HTTP-POST framing."""
+
+    def __init__(
+        self,
+        inner: Transport,
+        *,
+        host: str = "localhost",
+        path: str = "/soap",
+        mode: str = "chunked",
+        soap_action: str = '""',
+        user_agent: str = "bSOAP-repro/1.0",
+    ) -> None:
+        if mode not in ("chunked", "content-length"):
+            raise HTTPFramingError(f"unknown HTTP mode {mode!r}")
+        self.inner = inner
+        self.mode = mode
+        self.host = host
+        self.path = path
+        self.soap_action = soap_action
+        self.user_agent = user_agent
+
+    # ------------------------------------------------------------------
+    def _headers(self, content_length: Optional[int]) -> bytes:
+        lines = [
+            f"POST {self.path} HTTP/1.1" if self.mode == "chunked"
+            else f"POST {self.path} HTTP/1.0",
+            f"Host: {self.host}",
+            f"User-Agent: {self.user_agent}",
+            'Content-Type: text/xml; charset="utf-8"',
+            f"SOAPAction: {self.soap_action}",
+        ]
+        if self.mode == "chunked":
+            lines.append("Transfer-Encoding: chunked")
+        else:
+            if content_length is None:
+                raise HTTPFramingError(
+                    "content-length mode requires the total payload size"
+                )
+            lines.append(f"Content-Length: {content_length}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+    def send_message(self, views: ViewStream, total_bytes: Optional[int] = None) -> int:
+        if self.mode == "content-length":
+            if total_bytes is None:
+                views = [bytes(v) for v in views]
+                total_bytes = sum(len(v) for v in views)
+            framed = self._frame_identity(views, total_bytes)
+        else:
+            framed = self._frame_chunked(views)
+        self.inner.send_message(framed)
+        assert total_bytes is None or total_bytes >= 0
+        return self._payload_sent
+
+    # The framer tracks payload bytes (excluding framing) per message.
+    _payload_sent: int = 0
+
+    def _frame_identity(
+        self, views: ViewStream, total_bytes: int
+    ) -> Iterator[memoryview | bytes]:
+        self._payload_sent = 0
+        yield self._headers(total_bytes)
+        for view in views:
+            self._payload_sent += len(view)
+            yield view
+        if self._payload_sent != total_bytes:
+            raise HTTPFramingError(
+                f"payload was {self._payload_sent} bytes, "
+                f"Content-Length said {total_bytes}"
+            )
+
+    def _frame_chunked(self, views: ViewStream) -> Iterator[memoryview | bytes]:
+        self._payload_sent = 0
+        yield self._headers(None)
+        for view in views:
+            n = len(view)
+            if n == 0:
+                continue
+            self._payload_sent += n
+            yield b"%x\r\n" % n
+            yield view
+            yield _CRLF
+        yield b"0\r\n\r\n"
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+# ----------------------------------------------------------------------
+# server-side parsing (dummy server boundaries + the SOAP service)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class HTTPRequest:
+    """A parsed HTTP request: line, headers, raw body."""
+
+    method: str
+    path: str
+    version: str
+    headers: Dict[str, str]
+    body: bytes
+
+
+def decode_chunked(data: bytes) -> Tuple[bytes, int]:
+    """Decode a chunked body; return ``(payload, bytes_consumed)``."""
+    out: List[bytes] = []
+    pos = 0
+    while True:
+        eol = data.find(_CRLF, pos)
+        if eol < 0:
+            raise HTTPFramingError("truncated chunk-size line")
+        size_line = data[pos:eol].split(b";", 1)[0].strip()
+        try:
+            size = int(size_line, 16)
+        except ValueError:
+            raise HTTPFramingError(f"bad chunk size {size_line!r}") from None
+        pos = eol + 2
+        if size == 0:
+            # Optional trailers until blank line.
+            end = data.find(_CRLF, pos)
+            if end < 0:
+                raise HTTPFramingError("truncated chunked trailer")
+            while end != pos:
+                pos = end + 2
+                end = data.find(_CRLF, pos)
+                if end < 0:
+                    raise HTTPFramingError("truncated chunked trailer")
+            return b"".join(out), end + 2
+        if pos + size + 2 > len(data):
+            raise HTTPFramingError("truncated chunk body")
+        out.append(data[pos : pos + size])
+        if data[pos + size : pos + size + 2] != _CRLF:
+            raise HTTPFramingError("chunk body missing CRLF terminator")
+        pos += size + 2
+
+
+def parse_http_response(data: bytes) -> Tuple[int, Dict[str, str], bytes, int]:
+    """Parse an HTTP response: ``(status, headers, body, consumed)``.
+
+    Raises :class:`HTTPFramingError` when the response is incomplete —
+    callers receiving from a socket retry with more data.
+    """
+    head_end = data.find(b"\r\n\r\n")
+    if head_end < 0:
+        raise HTTPFramingError("incomplete HTTP response header block")
+    head = data[:head_end].decode("latin-1")
+    lines = head.split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise HTTPFramingError(f"bad status line {lines[0]!r}")
+    status = int(parts[1])
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if ":" not in line:
+            raise HTTPFramingError(f"bad header line {line!r}")
+        key, value = line.split(":", 1)
+        headers[key.strip().lower()] = value.strip()
+    body_start = head_end + 4
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        body, consumed = decode_chunked(data[body_start:])
+        return status, headers, body, body_start + consumed
+    length = int(headers.get("content-length", "0"))
+    if body_start + length > len(data):
+        raise HTTPFramingError("truncated response body")
+    return status, headers, data[body_start : body_start + length], body_start + length
+
+
+def parse_http_request(data: bytes) -> Tuple[HTTPRequest, int]:
+    """Parse one HTTP request from *data*.
+
+    Returns the request and the number of bytes consumed (so a server
+    can handle pipelined requests on one connection).  Raises
+    :class:`HTTPFramingError` on malformed or incomplete input.
+    """
+    head_end = data.find(b"\r\n\r\n")
+    if head_end < 0:
+        raise HTTPFramingError("incomplete HTTP header block")
+    head = data[:head_end].decode("latin-1")
+    lines = head.split("\r\n")
+    try:
+        method, path, version = lines[0].split(" ", 2)
+    except ValueError:
+        raise HTTPFramingError(f"bad request line {lines[0]!r}") from None
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if ":" not in line:
+            raise HTTPFramingError(f"bad header line {line!r}")
+        key, value = line.split(":", 1)
+        headers[key.strip().lower()] = value.strip()
+
+    body_start = head_end + 4
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        body, consumed = decode_chunked(data[body_start:])
+        return (
+            HTTPRequest(method, path, version, headers, body),
+            body_start + consumed,
+        )
+    length = int(headers.get("content-length", "0"))
+    if body_start + length > len(data):
+        raise HTTPFramingError("truncated identity body")
+    body = data[body_start : body_start + length]
+    return HTTPRequest(method, path, version, headers, body), body_start + length

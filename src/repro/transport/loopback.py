@@ -1,0 +1,92 @@
+"""In-process sinks: Null (discard), Memcpy (drain copy), Collect.
+
+These isolate serialization cost from network cost.  ``MemcpySink``
+models what a kernel ``send()`` does to the caller — one copy of every
+byte — without syscall or scheduling noise; ``NullSink`` measures pure
+preparation; ``CollectSink`` keeps the bytes for tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.transport.base import ViewStream
+
+__all__ = ["NullSink", "MemcpySink", "CollectSink"]
+
+
+class NullSink:
+    """Counts and discards.  Zero per-byte cost."""
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.bytes_total = 0
+
+    def send_message(self, views: ViewStream, total_bytes: Optional[int] = None) -> int:
+        sent = 0
+        for view in views:
+            sent += len(view)
+        self.messages += 1
+        self.bytes_total += sent
+        return sent
+
+    def close(self) -> None:
+        pass
+
+
+class MemcpySink:
+    """Copies every segment into a reusable drain buffer.
+
+    The drain is grown geometrically and reused across messages so the
+    steady-state cost is exactly one memcpy per byte — the user-space
+    analogue of the kernel socket-buffer copy.
+    """
+
+    def __init__(self, initial_capacity: int = 1 << 16) -> None:
+        self._drain = bytearray(initial_capacity)
+        self.messages = 0
+        self.bytes_total = 0
+        self.last_size = 0
+
+    def send_message(self, views: ViewStream, total_bytes: Optional[int] = None) -> int:
+        drain = self._drain
+        pos = 0
+        for view in views:
+            n = len(view)
+            end = pos + n
+            if end > len(drain):
+                grown = bytearray(max(end, 2 * len(drain)))
+                grown[:pos] = drain[:pos]
+                self._drain = drain = grown
+            drain[pos:end] = view
+            pos = end
+        self.messages += 1
+        self.bytes_total += pos
+        self.last_size = pos
+        return pos
+
+    def last_message(self) -> bytes:
+        """Copy of the most recent message (tests)."""
+        return bytes(self._drain[: self.last_size])
+
+    def close(self) -> None:
+        pass
+
+
+class CollectSink:
+    """Keeps every message verbatim (tests and round-trip checks)."""
+
+    def __init__(self) -> None:
+        self.messages: List[bytes] = []
+
+    def send_message(self, views: ViewStream, total_bytes: Optional[int] = None) -> int:
+        data = b"".join(bytes(v) for v in views)
+        self.messages.append(data)
+        return len(data)
+
+    @property
+    def last(self) -> bytes:
+        return self.messages[-1]
+
+    def close(self) -> None:
+        pass

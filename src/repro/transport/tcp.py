@@ -1,0 +1,168 @@
+"""TCP transport with the paper's socket configuration.
+
+The performance study (§4) sets ``SO_KEEPALIVE``, ``TCP_NODELAY`` and
+32 KiB send/receive buffers, and sends to a dummy server over a fast
+link.  This transport reproduces that: a persistent connection, the
+same options, and scatter-gather ``sendmsg`` so a multi-chunk message
+goes out without coalescing copies.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List, Optional, Sequence, Tuple
+
+from repro.buffers.iovec import IOV_MAX
+from repro.errors import TransportError
+from repro.transport.base import ViewStream
+
+__all__ = ["TCPTransport", "PAPER_SOCKET_OPTIONS", "apply_paper_options"]
+
+#: (level, option, value) triples from the paper's §4 test setup.
+PAPER_SOCKET_OPTIONS: Tuple[Tuple[int, int, int], ...] = (
+    (socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1),
+    (socket.IPPROTO_TCP, socket.TCP_NODELAY, 1),
+    (socket.SOL_SOCKET, socket.SO_SNDBUF, 32768),
+    (socket.SOL_SOCKET, socket.SO_RCVBUF, 32768),
+)
+
+
+def apply_paper_options(sock: socket.socket) -> None:
+    """Apply the paper's socket options to *sock*."""
+    for level, option, value in PAPER_SOCKET_OPTIONS:
+        sock.setsockopt(level, option, value)
+
+
+class TCPTransport:
+    """A persistent client connection carrying raw message bytes.
+
+    Parameters
+    ----------
+    host, port:
+        Peer address (usually a :class:`DummyServer`).
+    gather:
+        Use ``sendmsg`` with iovec batching (default).  When False,
+        falls back to ``sendall`` per segment — the ablation bench
+        compares the two.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        gather: bool = True,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        self.gather = gather
+        try:
+            self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        except OSError as exc:
+            raise TransportError(f"connect to {host}:{port} failed: {exc}") from exc
+        self._sock.settimeout(30.0)
+        apply_paper_options(self._sock)
+        self.messages = 0
+        self.bytes_total = 0
+
+    # ------------------------------------------------------------------
+    def _sendmsg_all(self, batch: Sequence[memoryview | bytes]) -> int:
+        """sendmsg with partial-send recovery; returns bytes sent."""
+        sock = self._sock
+        total = sum(len(b) for b in batch)
+        sent = 0
+        pending: List[memoryview | bytes] = list(batch)
+        while pending:
+            try:
+                n = sock.sendmsg(pending)
+            except OSError as exc:
+                raise TransportError(f"sendmsg failed: {exc}") from exc
+            sent += n
+            if sent >= total:
+                break
+            # Drop fully-sent segments, trim the partial one.
+            while pending and n >= len(pending[0]):
+                n -= len(pending[0])
+                pending.pop(0)
+            if pending and n:
+                head = pending[0]
+                pending[0] = memoryview(head)[n:]
+        return total
+
+    def send_message(self, views: ViewStream, total_bytes: Optional[int] = None) -> int:
+        sent = 0
+        if self.gather:
+            batch: List[memoryview | bytes] = []
+            lazy = not isinstance(views, (list, tuple))
+            for view in views:
+                if len(view) == 0:
+                    continue
+                batch.append(view)
+                # A lazy stream may reuse buffers after the yield, so
+                # each segment must hit the socket before advancing.
+                if lazy or len(batch) >= IOV_MAX:
+                    sent += self._sendmsg_all(batch)
+                    batch = []
+            if batch:
+                sent += self._sendmsg_all(batch)
+        else:
+            for view in views:
+                try:
+                    self._sock.sendall(view)
+                except OSError as exc:
+                    raise TransportError(f"sendall failed: {exc}") from exc
+                sent += len(view)
+        self.messages += 1
+        self.bytes_total += sent
+        return sent
+
+    # ------------------------------------------------------------------
+    def recv_http_response(self, limit: int = 1 << 24):
+        """Read one complete HTTP response from the connection.
+
+        Returns ``(status, headers, body)``.  Used by the RPC helpers
+        for request/response round trips against a real service.
+        """
+        from repro.errors import HTTPFramingError
+        from repro.transport.http import parse_http_response
+
+        buffered = b""
+        while len(buffered) < limit:
+            try:
+                return parse_http_response(buffered)[:3]
+            except HTTPFramingError:
+                pass
+            try:
+                data = self._sock.recv(65536)
+            except OSError as exc:
+                raise TransportError(f"recv failed: {exc}") from exc
+            if not data:
+                raise TransportError("connection closed mid-response")
+            buffered += data
+        raise TransportError("response exceeds size limit")
+
+    def recv_until_close(self, limit: int = 1 << 20) -> bytes:
+        """Read a response until EOF (request/response tests)."""
+        parts: List[bytes] = []
+        remaining = limit
+        while remaining > 0:
+            try:
+                data = self._sock.recv(min(65536, remaining))
+            except OSError as exc:
+                raise TransportError(f"recv failed: {exc}") from exc
+            if not data:
+                break
+            parts.append(data)
+            remaining -= len(data)
+        return b"".join(parts)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+
+    def __enter__(self) -> "TCPTransport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,62 @@
+"""Send-Time measurement.
+
+    "We isolate and measure the Send Time in the client by starting a
+    timer before preparing the message for sending, and stopping the
+    timer right after the final send() system call on the socket."
+    (§4)
+
+:class:`SendTimer` wraps exactly that window; the bench harness in
+:mod:`repro.bench.runner` builds repetition/statistics on top.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+__all__ = ["SendTimer"]
+
+
+class SendTimer:
+    """Accumulates per-call wall-clock durations (perf_counter_ns)."""
+
+    def __init__(self) -> None:
+        self.samples_ns: List[int] = []
+        self._start: Optional[int] = None
+
+    def __enter__(self) -> "SendTimer":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.samples_ns.append(time.perf_counter_ns() - self._start)
+        self._start = None
+
+    def time_call(self, fn: Callable[[], object]) -> object:
+        """Time one call of *fn*."""
+        with self:
+            return fn()
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self.samples_ns)
+
+    @property
+    def mean_ms(self) -> float:
+        if not self.samples_ns:
+            return 0.0
+        return sum(self.samples_ns) / len(self.samples_ns) / 1e6
+
+    @property
+    def min_ms(self) -> float:
+        return min(self.samples_ns) / 1e6 if self.samples_ns else 0.0
+
+    @property
+    def max_ms(self) -> float:
+        return max(self.samples_ns) / 1e6 if self.samples_ns else 0.0
+
+    def reset(self) -> None:
+        self.samples_ns.clear()
+        self._start = None

@@ -1,0 +1,17 @@
+"""Minimal WSDL 1.1 support.
+
+WSDL is the companion standard the paper's introduction describes
+("a precise description of a Web Service interface").  This package
+provides a model of services/operations, XML emission of a WSDL 1.1
+document (types, messages, portType, binding, service sections), and
+client stub generation: callable proxies that build
+:class:`~repro.soap.message.SOAPMessage` objects and send them through
+a bSOAP client, so generated stubs transparently benefit from
+differential serialization.
+"""
+
+from repro.wsdl.model import OperationDef, ServiceDef
+from repro.wsdl.emit import emit_wsdl
+from repro.wsdl.stubgen import ServiceProxy, build_proxy
+
+__all__ = ["ServiceDef", "OperationDef", "emit_wsdl", "ServiceProxy", "build_proxy"]

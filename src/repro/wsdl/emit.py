@@ -1,0 +1,128 @@
+"""WSDL 1.1 document emission."""
+
+from __future__ import annotations
+
+from repro.schema.composite import ArrayType, StructType
+from repro.soap.constants import SOAP_ENC_URI, XSD_URI
+from repro.wsdl.model import ServiceDef
+from repro.xmlkit.writer import XMLWriter
+
+__all__ = ["emit_wsdl"]
+
+_WSDL_URI = "http://schemas.xmlsoap.org/wsdl/"
+_WSDL_SOAP_URI = "http://schemas.xmlsoap.org/wsdl/soap/"
+
+
+def emit_wsdl(service: ServiceDef) -> bytes:
+    """Render a WSDL 1.1 document for *service*."""
+    w = XMLWriter()
+    w.prolog()
+    w.start(
+        "wsdl:definitions",
+        attrs={"name": service.name, "targetNamespace": service.namespace},
+        nsdecls={
+            "wsdl": _WSDL_URI,
+            "soap": _WSDL_SOAP_URI,
+            "xsd": XSD_URI,
+            "SOAP-ENC": SOAP_ENC_URI,
+            "tns": service.namespace,
+        },
+    )
+
+    # -- <types>: structs + array wrappers -----------------------------
+    w.start("wsdl:types")
+    w.start(
+        "xsd:schema", {"targetNamespace": service.namespace}
+    )
+    for struct in service.registry.structs():
+        w.start("xsd:complexType", {"name": struct.name})
+        w.start("xsd:sequence")
+        for f in struct.fields:
+            w.empty(
+                "xsd:element", {"name": f.name, "type": f.xsd_type.qname.prefixed}
+            )
+        w.end()  # sequence
+        w.end()  # complexType
+    for ref, array in service.array_part_types().items():
+        local = ref.rsplit(":", 1)[-1]
+        element = array.element
+        inner = (
+            f"tns:{element.name}[]"
+            if isinstance(element, StructType)
+            else f"{element.qname.prefixed}[]"
+        )
+        w.start("xsd:complexType", {"name": local})
+        w.start("xsd:complexContent")
+        w.start("xsd:restriction", {"base": "SOAP-ENC:Array"})
+        w.empty(
+            "xsd:attribute",
+            {"ref": "SOAP-ENC:arrayType", "wsdl:arrayType": inner},
+        )
+        w.end()
+        w.end()
+        w.end()
+    w.end()  # schema
+    w.end()  # types
+
+    # -- <message> ------------------------------------------------------
+    for op in service.operations:
+        w.start("wsdl:message", {"name": f"{op.name}Request"})
+        for part in op.inputs:
+            w.empty("wsdl:part", {"name": part.name, "type": part.type_ref()})
+        w.end()
+        w.start("wsdl:message", {"name": f"{op.name}Response"})
+        if op.output is not None:
+            w.empty(
+                "wsdl:part",
+                {"name": op.output.name, "type": op.output.type_ref()},
+            )
+        w.end()
+
+    # -- <portType> -------------------------------------------------------
+    port_type = f"{service.name}PortType"
+    w.start("wsdl:portType", {"name": port_type})
+    for op in service.operations:
+        w.start("wsdl:operation", {"name": op.name})
+        if op.documentation:
+            w.element("wsdl:documentation", op.documentation)
+        w.empty("wsdl:input", {"message": f"tns:{op.name}Request"})
+        w.empty("wsdl:output", {"message": f"tns:{op.name}Response"})
+        w.end()
+    w.end()
+
+    # -- <binding> ----------------------------------------------------------
+    binding = f"{service.name}Binding"
+    w.start("wsdl:binding", {"name": binding, "type": f"tns:{port_type}"})
+    w.empty(
+        "soap:binding",
+        {"style": "rpc", "transport": "http://schemas.xmlsoap.org/soap/http"},
+    )
+    for op in service.operations:
+        w.start("wsdl:operation", {"name": op.name})
+        w.empty(
+            "soap:operation",
+            {"soapAction": f"{service.namespace}#{op.name}"},
+        )
+        for io in ("input", "output"):
+            w.start(f"wsdl:{io}")
+            w.empty(
+                "soap:body",
+                {
+                    "use": "encoded",
+                    "namespace": service.namespace,
+                    "encodingStyle": SOAP_ENC_URI,
+                },
+            )
+            w.end()
+        w.end()
+    w.end()
+
+    # -- <service> ---------------------------------------------------------
+    w.start("wsdl:service", {"name": service.name})
+    w.start("wsdl:port", {"name": f"{service.name}Port", "binding": f"tns:{binding}"})
+    w.empty("soap:address", {"location": service.endpoint})
+    w.end()
+    w.end()
+
+    w.end()  # definitions
+    return w.getvalue()

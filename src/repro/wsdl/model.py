@@ -1,0 +1,94 @@
+"""WSDL service/operation model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import WSDLError
+from repro.schema.composite import ArrayType, StructType
+from repro.schema.registry import TypeRegistry
+from repro.schema.types import XSDType
+
+__all__ = ["OperationDef", "ServiceDef", "ParamDef"]
+
+ParamType = Union[XSDType, StructType, ArrayType]
+
+
+@dataclass(frozen=True, slots=True)
+class ParamDef:
+    """One named input/output part."""
+
+    name: str
+    ptype: ParamType
+
+    def type_ref(self) -> str:
+        """The WSDL ``type=`` reference for this part."""
+        if isinstance(self.ptype, ArrayType):
+            element = self.ptype.element
+            inner = (
+                f"tns:{element.name}"
+                if isinstance(element, StructType)
+                else element.qname.prefixed
+            )
+            return f"tns:ArrayOf_{inner.rsplit(':', 1)[-1]}"
+        if isinstance(self.ptype, StructType):
+            return f"tns:{self.ptype.name}"
+        return self.ptype.qname.prefixed
+
+
+@dataclass(frozen=True, slots=True)
+class OperationDef:
+    """One RPC operation: inputs and an optional output part."""
+
+    name: str
+    inputs: Tuple[ParamDef, ...]
+    output: Optional[ParamDef] = None
+    documentation: str = ""
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.inputs]
+        if len(set(names)) != len(names):
+            raise WSDLError(f"operation {self.name!r} has duplicate part names")
+
+
+@dataclass(slots=True)
+class ServiceDef:
+    """A named service in a target namespace with a set of operations."""
+
+    name: str
+    namespace: str
+    operations: List[OperationDef] = field(default_factory=list)
+    endpoint: str = "http://localhost/soap"
+    registry: TypeRegistry = field(default_factory=TypeRegistry)
+
+    def add(self, operation: OperationDef) -> OperationDef:
+        if any(op.name == operation.name for op in self.operations):
+            raise WSDLError(f"operation {operation.name!r} already defined")
+        self.operations.append(operation)
+        # Auto-register referenced struct types.
+        for part in (*operation.inputs, *([operation.output] if operation.output else [])):
+            ptype = part.ptype
+            element = ptype.element if isinstance(ptype, ArrayType) else ptype
+            if isinstance(element, StructType) and element.name not in self.registry:
+                self.registry.register_struct(element)
+        return operation
+
+    def operation(self, name: str) -> OperationDef:
+        for op in self.operations:
+            if op.name == name:
+                return op
+        raise WSDLError(f"service {self.name!r} has no operation {name!r}")
+
+    def array_part_types(self) -> Dict[str, ArrayType]:
+        """Distinct array types referenced by any part (for <types>)."""
+        out: Dict[str, ArrayType] = {}
+        for op in self.operations:
+            parts: Sequence[ParamDef] = (
+                *op.inputs,
+                *([op.output] if op.output else []),
+            )
+            for part in parts:
+                if isinstance(part.ptype, ArrayType):
+                    out[part.type_ref()] = part.ptype
+        return out

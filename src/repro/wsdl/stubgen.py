@@ -1,0 +1,87 @@
+"""Client stub generation from a service definition.
+
+``build_proxy(service, client)`` returns a :class:`ServiceProxy` whose
+attributes are callables, one per operation.  A call builds the typed
+:class:`~repro.soap.message.SOAPMessage` and sends it through the
+supplied bSOAP client — so generated stubs get content and structural
+matches for free when an application re-invokes an operation with
+same-shaped arguments (the paper's stub-level deployment story).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.client import BSoapClient
+from repro.core.stats import SendReport
+from repro.errors import WSDLError
+from repro.soap.message import Parameter, SOAPMessage
+from repro.wsdl.model import OperationDef, ServiceDef
+
+__all__ = ["ServiceProxy", "build_proxy"]
+
+
+class _OperationStub:
+    """One generated operation callable."""
+
+    def __init__(
+        self, service: ServiceDef, operation: OperationDef, client: BSoapClient
+    ) -> None:
+        self._service = service
+        self._operation = operation
+        self._client = client
+        self.__name__ = operation.name
+        self.__doc__ = operation.documentation or (
+            f"Invoke {operation.name} on {service.name} "
+            f"({', '.join(p.name for p in operation.inputs)})"
+        )
+
+    def __call__(self, **kwargs) -> SendReport:
+        op = self._operation
+        expected = {p.name for p in op.inputs}
+        given = set(kwargs)
+        if given != expected:
+            missing = expected - given
+            extra = given - expected
+            detail = []
+            if missing:
+                detail.append(f"missing {sorted(missing)}")
+            if extra:
+                detail.append(f"unexpected {sorted(extra)}")
+            raise WSDLError(f"{op.name}: {'; '.join(detail)}")
+        params = [Parameter(p.name, p.ptype, kwargs[p.name]) for p in op.inputs]
+        message = SOAPMessage(op.name, self._service.namespace, params)
+        return self._client.send(message)
+
+
+class ServiceProxy:
+    """Namespace object holding one stub per operation."""
+
+    def __init__(
+        self, service: ServiceDef, client: BSoapClient
+    ) -> None:
+        self._service = service
+        self._client = client
+        self._stubs: Dict[str, _OperationStub] = {}
+        for op in service.operations:
+            stub = _OperationStub(service, op, client)
+            self._stubs[op.name] = stub
+            setattr(self, op.name, stub)
+
+    @property
+    def client(self) -> BSoapClient:
+        return self._client
+
+    @property
+    def service(self) -> ServiceDef:
+        return self._service
+
+    def operations(self) -> Dict[str, Callable[..., SendReport]]:
+        return dict(self._stubs)
+
+
+def build_proxy(
+    service: ServiceDef, client: Optional[BSoapClient] = None
+) -> ServiceProxy:
+    """Generate a callable proxy for *service* over *client*."""
+    return ServiceProxy(service, client or BSoapClient())

@@ -1,0 +1,94 @@
+"""Whitespace-insensitive document comparison.
+
+The central correctness property of differential serialization is that
+the *rewritten* template and a *from-scratch* serialization are the
+same message.  They are not byte-identical — stuffing inserts legal
+whitespace between elements and numeric values may carry leading or
+trailing pad — so equivalence is defined over canonical event streams:
+
+* inter-element whitespace dropped,
+* adjacent character runs merged,
+* character data stripped of surrounding XML whitespace (legal for the
+  whiteSpace-collapse simple types SOAP arrays carry),
+* attributes compared as sorted mappings.
+
+This module is used by tests, the property-based equivalence suite,
+and the differential deserializer's self-checks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from repro.xmlkit.scanner import (
+    Characters,
+    Comment,
+    EndElement,
+    ProcessingInstruction,
+    StartElement,
+    XMLScanner,
+)
+
+__all__ = ["canonical_events", "documents_equivalent", "diff_documents"]
+
+CanonicalEvent = Union[
+    Tuple[str, str, Tuple[Tuple[str, str], ...]],  # ("start", name, attrs)
+    Tuple[str, str],  # ("end", name) / ("text", text)
+]
+
+
+def canonical_events(data: bytes, *, strip_text: bool = True) -> List[CanonicalEvent]:
+    """Reduce *data* to a canonical event list (see module docstring)."""
+    events: List[CanonicalEvent] = []
+    pending_text: List[str] = []
+
+    def flush() -> None:
+        if pending_text:
+            text = "".join(pending_text)
+            if strip_text:
+                text = text.strip(" \t\r\n")
+            if text:
+                events.append(("text", text))
+            pending_text.clear()
+
+    for event in XMLScanner(data, keep_whitespace=True):
+        if isinstance(event, Characters):
+            pending_text.append(event.text)
+        elif isinstance(event, StartElement):
+            flush()
+            events.append(("start", event.name, tuple(sorted(event.attrs.items()))))
+        elif isinstance(event, EndElement):
+            flush()
+            events.append(("end", event.name))
+        elif isinstance(event, (Comment, ProcessingInstruction)):
+            continue
+    flush()
+    return events
+
+
+def documents_equivalent(a: bytes, b: bytes) -> bool:
+    """``True`` iff *a* and *b* are canonically the same document."""
+    return canonical_events(a) == canonical_events(b)
+
+
+def diff_documents(a: bytes, b: bytes, *, context: int = 2) -> str:
+    """Human-readable first-difference report for test failures."""
+    ea = canonical_events(a)
+    eb = canonical_events(b)
+    limit = min(len(ea), len(eb))
+    for i in range(limit):
+        if ea[i] != eb[i]:
+            lo = max(0, i - context)
+            lines = [f"documents diverge at canonical event {i}:"]
+            for j in range(lo, min(limit, i + context + 1)):
+                marker = ">>" if j == i else "  "
+                lines.append(f"{marker} a[{j}]={ea[j]!r}")
+                lines.append(f"{marker} b[{j}]={eb[j]!r}")
+            return "\n".join(lines)
+    if len(ea) != len(eb):
+        return (
+            f"documents diverge in length: {len(ea)} vs {len(eb)} canonical events; "
+            f"first extra event: "
+            f"{(ea + eb)[limit]!r}"
+        )
+    return "documents are equivalent"

@@ -1,0 +1,165 @@
+"""XML escaping, unescaping, and whitespace predicates.
+
+The serializers in this library operate on ``bytes`` end to end (the
+wire format is ASCII/UTF-8), so the hot-path escape functions accept
+and return :class:`bytes`.  Convenience ``str`` wrappers are provided
+for the schema layer.
+
+Whitespace matters to bSOAP: the *stuffing* technique pads serialized
+fields with spaces, and the padding between a field's closing tag and
+the next opening tag must consist only of characters XML treats as
+whitespace (space, tab, CR, LF).  :func:`is_xml_whitespace` is the
+predicate the layout invariants are checked against.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMLError
+
+__all__ = [
+    "escape_text",
+    "escape_attr",
+    "unescape",
+    "escape_text_str",
+    "escape_attr_str",
+    "unescape_str",
+    "is_xml_whitespace",
+    "XML_WHITESPACE",
+    "PAD_BYTE",
+]
+
+#: The four characters the XML 1.0 grammar treats as white space (``S``).
+XML_WHITESPACE: bytes = b" \t\r\n"
+
+#: The byte used by stuffing/padding throughout the library.
+PAD_BYTE: int = 0x20  # space
+
+# Translation tables used for a cheap "does it need escaping" test.
+_TEXT_SPECIALS = b"&<>"
+_ATTR_SPECIALS = b"&<>\"'"
+
+_TEXT_MAP = {
+    ord("&"): b"&amp;",
+    ord("<"): b"&lt;",
+    ord(">"): b"&gt;",
+}
+_ATTR_MAP = {
+    ord("&"): b"&amp;",
+    ord("<"): b"&lt;",
+    ord(">"): b"&gt;",
+    ord('"'): b"&quot;",
+    ord("'"): b"&apos;",
+}
+
+_NAMED_ENTITIES = {
+    b"amp": b"&",
+    b"lt": b"<",
+    b"gt": b">",
+    b"quot": b'"',
+    b"apos": b"'",
+}
+
+
+def escape_text(data: bytes) -> bytes:
+    """Escape *data* for use as XML element content.
+
+    ``&``, ``<`` and ``>`` are replaced by their named entities.  The
+    common case — no special characters — is detected with a single C
+    scan and returns the input object unchanged (no copy).
+    """
+    for b in _TEXT_SPECIALS:
+        if b in data:
+            break
+    else:
+        return data
+    out = bytearray()
+    for byte in data:
+        repl = _TEXT_MAP.get(byte)
+        if repl is None:
+            out.append(byte)
+        else:
+            out += repl
+    return bytes(out)
+
+
+def escape_attr(data: bytes) -> bytes:
+    """Escape *data* for use inside a double-quoted XML attribute."""
+    for b in _ATTR_SPECIALS:
+        if b in data:
+            break
+    else:
+        return data
+    out = bytearray()
+    for byte in data:
+        repl = _ATTR_MAP.get(byte)
+        if repl is None:
+            out.append(byte)
+        else:
+            out += repl
+    return bytes(out)
+
+
+def unescape(data: bytes) -> bytes:
+    """Resolve the five predefined entities and numeric char refs.
+
+    Raises :class:`~repro.errors.XMLError` on an unterminated or
+    unknown entity reference.
+    """
+    amp = data.find(b"&")
+    if amp < 0:
+        return data
+    out = bytearray(data[:amp])
+    i = amp
+    n = len(data)
+    while i < n:
+        byte = data[i]
+        if byte != 0x26:  # '&'
+            out.append(byte)
+            i += 1
+            continue
+        end = data.find(b";", i + 1)
+        if end < 0:
+            raise XMLError(f"unterminated entity reference near byte {i}")
+        name = data[i + 1 : end]
+        if name.startswith(b"#x") or name.startswith(b"#X"):
+            try:
+                cp = int(name[2:], 16)
+            except ValueError as exc:
+                raise XMLError(f"bad hex character reference {name!r}") from exc
+            out += chr(cp).encode("utf-8")
+        elif name.startswith(b"#"):
+            try:
+                cp = int(name[1:], 10)
+            except ValueError as exc:
+                raise XMLError(f"bad character reference {name!r}") from exc
+            out += chr(cp).encode("utf-8")
+        else:
+            repl = _NAMED_ENTITIES.get(name)
+            if repl is None:
+                raise XMLError(f"unknown entity &{name.decode('ascii', 'replace')};")
+            out += repl
+        i = end + 1
+    return bytes(out)
+
+
+def escape_text_str(data: str) -> str:
+    """``str`` convenience wrapper around :func:`escape_text`."""
+    return escape_text(data.encode("utf-8")).decode("utf-8")
+
+
+def escape_attr_str(data: str) -> str:
+    """``str`` convenience wrapper around :func:`escape_attr`."""
+    return escape_attr(data.encode("utf-8")).decode("utf-8")
+
+
+def unescape_str(data: str) -> str:
+    """``str`` convenience wrapper around :func:`unescape`."""
+    return unescape(data.encode("utf-8")).decode("utf-8")
+
+
+def is_xml_whitespace(data: bytes) -> bool:
+    """Return ``True`` iff every byte of *data* is XML white space.
+
+    The empty string counts as whitespace (an empty pad is legal).
+    """
+    return all(b in XML_WHITESPACE for b in data)

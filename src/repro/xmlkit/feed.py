@@ -1,0 +1,221 @@
+"""Incremental (push/feed) XML scanning.
+
+:class:`FeedScanner` accepts document bytes in arbitrary fragments —
+as they arrive from a socket or an HTTP chunked body — and emits the
+same event stream as :class:`~repro.xmlkit.scanner.XMLScanner` does
+over the whole document.  Events are produced as soon as their bytes
+are complete; a token split across fragments is held until its
+terminator arrives.
+
+Equivalence with the whole-document scanner is property-tested over
+random fragmentations (``tests/test_feed.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import XMLSyntaxError
+from repro.xmlkit.escape import XML_WHITESPACE, unescape
+from repro.xmlkit.scanner import (
+    Characters,
+    Comment,
+    EndElement,
+    Event,
+    ProcessingInstruction,
+    StartElement,
+    parse_start_tag_at,
+)
+
+__all__ = ["FeedScanner"]
+
+_WS = frozenset(XML_WHITESPACE)
+
+
+def _find_tag_end(data: bytes, pos: int) -> int:
+    """Index of the ``>`` closing the tag at *pos*, quote-aware; -1 if
+    not yet present in the buffer."""
+    quote = 0
+    for i in range(pos, len(data)):
+        byte = data[i]
+        if quote:
+            if byte == quote:
+                quote = 0
+        elif byte in (0x22, 0x27):  # " '
+            quote = byte
+        elif byte == 0x3E:  # '>'
+            return i
+    return -1
+
+
+class FeedScanner:
+    """Streaming tokenizer with the whole-document scanner's semantics."""
+
+    def __init__(self, *, keep_whitespace: bool = False) -> None:
+        self._buf = bytearray()
+        self._base = 0  # global offset of _buf[0]
+        self._stack: List[str] = []
+        self._seen_root = False
+        self._keep_ws = keep_whitespace
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    def feed(self, data: bytes) -> List[Event]:
+        """Add bytes; return every event completed by them."""
+        if self._finished:
+            raise XMLSyntaxError("feed() after close()")
+        self._buf += data
+        return self._drain(final=False)
+
+    def close(self) -> List[Event]:
+        """Signal end of input; return trailing events; validate."""
+        if self._finished:
+            return []
+        self._finished = True
+        events = self._drain(final=True)
+        if self._buf.strip(XML_WHITESPACE):
+            raise XMLSyntaxError(
+                "document ended inside an incomplete construct", self._base
+            )
+        if self._stack:
+            raise XMLSyntaxError(
+                f"unexpected end of document: {len(self._stack)} unclosed element(s)"
+            )
+        if not self._seen_root:
+            raise XMLSyntaxError("document has no root element")
+        return events
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    # ------------------------------------------------------------------
+    def _consume(self, count: int) -> None:
+        del self._buf[:count]
+        self._base += count
+
+    def _drain(self, final: bool) -> List[Event]:
+        events: List[Event] = []
+        while True:
+            batch = self._try_token(final)
+            if batch is None:
+                return events
+            events.extend(batch)
+
+    def _try_token(self, final: bool) -> Optional[List[Event]]:
+        buf = self._buf
+        if not buf:
+            return None
+        base = self._base
+
+        if buf[0] != 0x3C:  # character data
+            lt = buf.find(b"<")
+            if lt < 0:
+                if not final:
+                    return None  # run may continue in the next fragment
+                lt = len(buf)
+            run = bytes(buf[:lt])
+            self._consume(lt)
+            if not self._stack:
+                if all(b in _WS for b in run):
+                    return []
+                raise XMLSyntaxError("character data outside root element", base)
+            if not self._keep_ws and all(b in _WS for b in run):
+                return []
+            return [Characters(unescape(run).decode("utf-8"), base)]
+
+        # Markup. Decide the construct kind; some prefixes are ambiguous
+        # until more bytes arrive ("<!" could open a comment or CDATA).
+        data = bytes(buf)
+
+        if data.startswith(b"<!--") or b"<!--".startswith(data[:4]):
+            if len(data) < 4:
+                return self._need_more(final)
+            end = data.find(b"-->", 4)
+            if end < 0:
+                return self._need_more(final)
+            text = data[4:end].decode("utf-8")
+            if "--" in text:
+                raise XMLSyntaxError("'--' inside comment", base)
+            self._consume(end + 3)
+            return [Comment(text, base)]
+
+        if data.startswith(b"<![CDATA[") or b"<![CDATA[".startswith(data[:9]):
+            if len(data) < 9:
+                return self._need_more(final)
+            end = data.find(b"]]>", 9)
+            if end < 0:
+                return self._need_more(final)
+            if not self._stack:
+                raise XMLSyntaxError("CDATA outside root element", base)
+            text = data[9:end].decode("utf-8")
+            self._consume(end + 3)
+            return [Characters(text, base)]
+
+        if data.startswith(b"<!DOCTYPE") or (
+            data[:9] and b"<!DOCTYPE".startswith(data[:9]) and len(data) < 9
+        ):
+            if len(data) < 9:
+                return self._need_more(final)
+            raise XMLSyntaxError("DOCTYPE is not allowed in SOAP messages", base)
+
+        if data.startswith(b"<?"):
+            end = data.find(b"?>", 2)
+            if end < 0:
+                return self._need_more(final)
+            body = data[2:end]
+            space = -1
+            for i, byte in enumerate(body):
+                if byte in _WS:
+                    space = i
+                    break
+            if space < 0:
+                target, rest = body, b""
+            else:
+                target, rest = body[:space], body[space + 1 :]
+            self._consume(end + 2)
+            return [
+                ProcessingInstruction(
+                    target.decode("utf-8"), rest.decode("utf-8").strip(), base
+                )
+            ]
+
+        if data.startswith(b"</"):
+            end = data.find(b">", 2)
+            if end < 0:
+                return self._need_more(final)
+            name = data[2:end].strip(XML_WHITESPACE).decode("utf-8")
+            if not self._stack:
+                raise XMLSyntaxError(f"unexpected </{name}>", base)
+            expected = self._stack.pop()
+            if name != expected:
+                raise XMLSyntaxError(
+                    f"mismatched end tag </{name}>, expected </{expected}>", base
+                )
+            self._consume(end + 1)
+            return [EndElement(name, base)]
+
+        # Start tag: wait for its (quote-aware) '>' before parsing.
+        end = _find_tag_end(data, 1)
+        if end < 0:
+            return self._need_more(final)
+        name, attrs, self_closing, consumed = parse_start_tag_at(data, 0)
+        if not self._stack:
+            if self._seen_root:
+                raise XMLSyntaxError("multiple root elements", base)
+            self._seen_root = True
+        self._consume(consumed)
+        if self_closing:
+            return [
+                StartElement(name, attrs, True, base),
+                EndElement(name, base),
+            ]
+        self._stack.append(name)
+        return [StartElement(name, attrs, False, base)]
+
+    def _need_more(self, final: bool) -> Optional[List[Event]]:
+        if final:
+            raise XMLSyntaxError(
+                "document ended inside an incomplete construct", self._base
+            )
+        return None

@@ -1,0 +1,155 @@
+"""Qualified names and namespace prefix bindings.
+
+SOAP messages are namespace-heavy (``SOAP-ENV``, ``SOAP-ENC``, ``xsd``,
+``xsi`` plus the service namespace).  The writer keeps a
+:class:`NamespaceBindings` scope stack so prefixes are declared once on
+the envelope element, exactly as the paper's toolkits do; templates
+then never need to re-emit declarations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import XMLError
+
+__all__ = ["QName", "NamespaceBindings", "split_prefixed"]
+
+
+def split_prefixed(name: str) -> Tuple[str, str]:
+    """Split ``prefix:local`` into ``(prefix, local)``.
+
+    An unprefixed name yields an empty prefix.  More than one colon is
+    rejected (per XML Namespaces).
+    """
+    first = name.find(":")
+    if first < 0:
+        return "", name
+    if name.find(":", first + 1) >= 0:
+        raise XMLError(f"invalid QName {name!r}: multiple colons")
+    if first == 0 or first == len(name) - 1:
+        raise XMLError(f"invalid QName {name!r}: empty prefix or local part")
+    return name[:first], name[first + 1 :]
+
+
+@dataclass(frozen=True, slots=True)
+class QName:
+    """An expanded XML name: ``(namespace_uri, local)`` plus a preferred prefix.
+
+    ``QName`` instances are immutable and hashable so they can be used
+    as dictionary keys in type registries and WSDL models.
+    """
+
+    uri: str
+    local: str
+    prefix: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.local:
+            raise XMLError("QName local part must be non-empty")
+        if ":" in self.local:
+            raise XMLError(f"QName local part {self.local!r} may not contain ':'")
+
+    @property
+    def prefixed(self) -> str:
+        """The lexical ``prefix:local`` (or bare ``local``) form."""
+        return f"{self.prefix}:{self.local}" if self.prefix else self.local
+
+    @property
+    def clark(self) -> str:
+        """Clark notation ``{uri}local`` — prefix-independent identity."""
+        return f"{{{self.uri}}}{self.local}" if self.uri else self.local
+
+    def with_prefix(self, prefix: str) -> "QName":
+        """Return a copy bound to a different preferred prefix."""
+        return QName(self.uri, self.local, prefix)
+
+    def matches(self, other: "QName") -> bool:
+        """Namespace-aware equality (ignores the cosmetic prefix)."""
+        return self.uri == other.uri and self.local == other.local
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.prefixed
+
+
+class NamespaceBindings:
+    """A stack of prefix → URI scopes mirroring element nesting.
+
+    The writer pushes a scope per element that declares namespaces and
+    pops it on the end tag; lookups walk the stack innermost-first.
+    """
+
+    def __init__(self, initial: Optional[Dict[str, str]] = None) -> None:
+        self._scopes: List[Dict[str, str]] = [dict(initial or {})]
+
+    def push(self, declarations: Optional[Dict[str, str]] = None) -> None:
+        """Enter a new scope, optionally declaring prefixes in it."""
+        self._scopes.append(dict(declarations or {}))
+
+    def pop(self) -> None:
+        """Leave the innermost scope."""
+        if len(self._scopes) == 1:
+            raise XMLError("namespace scope underflow")
+        self._scopes.pop()
+
+    def declare(self, prefix: str, uri: str) -> None:
+        """Declare *prefix* → *uri* in the current scope."""
+        self._scopes[-1][prefix] = uri
+
+    def resolve(self, prefix: str) -> str:
+        """Return the URI bound to *prefix* (innermost wins).
+
+        The empty prefix resolves to the default namespace, which is
+        ``""`` (no namespace) when never declared.
+        """
+        for scope in reversed(self._scopes):
+            if prefix in scope:
+                return scope[prefix]
+        if prefix == "":
+            return ""
+        if prefix == "xml":
+            return "http://www.w3.org/XML/1998/namespace"
+        raise XMLError(f"unbound namespace prefix {prefix!r}")
+
+    def prefix_for(self, uri: str) -> Optional[str]:
+        """Return some in-scope prefix bound to *uri*, or ``None``.
+
+        Innermost declarations win; a prefix shadowed by an inner
+        redeclaration is not returned.
+        """
+        seen: set[str] = set()
+        for scope in reversed(self._scopes):
+            for prefix, bound in scope.items():
+                if prefix in seen:
+                    continue
+                seen.add(prefix)
+                if bound == uri:
+                    return prefix
+        return None
+
+    def expand(self, prefixed: str, *, is_attribute: bool = False) -> QName:
+        """Expand a lexical ``prefix:local`` form using current scopes.
+
+        Unprefixed attribute names are in *no* namespace (per XML
+        Namespaces), while unprefixed element names take the default
+        namespace.
+        """
+        prefix, local = split_prefixed(prefixed)
+        if is_attribute and not prefix:
+            return QName("", local, "")
+        return QName(self.resolve(prefix), local, prefix)
+
+    def iter_bindings(self) -> Iterator[Tuple[str, str]]:
+        """Yield effective ``(prefix, uri)`` pairs, innermost wins."""
+        seen: set[str] = set()
+        for scope in reversed(self._scopes):
+            for prefix, uri in scope.items():
+                if prefix not in seen:
+                    seen.add(prefix)
+                    yield prefix, uri
+
+    @property
+    def depth(self) -> int:
+        """Number of scopes currently on the stack (≥ 1)."""
+        return len(self._scopes)

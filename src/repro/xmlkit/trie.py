@@ -1,0 +1,116 @@
+"""Byte trie for single-pass tag recognition.
+
+Chiu et al. (HPDC 2002) — the paper's own prior work — reduce XML tag
+comparison cost with a trie so each incoming tag is classified in one
+pass over its bytes instead of one ``strcmp`` per candidate.  The
+server-side parser and the differential deserializer use this to map
+expected tags to handler ids.
+
+The trie maps ``bytes`` keys to integer ids (ids are opaque to the
+trie; callers keep a side table).  Lookup can start at any offset in a
+larger buffer and reports how many bytes were consumed, so the
+deserializer can classify ``<tag`` runs in place without slicing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["ByteTrie"]
+
+
+class _Node:
+    __slots__ = ("children", "value")
+
+    def __init__(self) -> None:
+        self.children: Dict[int, "_Node"] = {}
+        self.value: Optional[int] = None
+
+
+class ByteTrie:
+    """A byte-keyed trie mapping keys to non-negative integer ids."""
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._size = 0
+
+    def insert(self, key: bytes, value: int) -> None:
+        """Insert or replace *key* → *value* (value must be ≥ 0)."""
+        if value < 0:
+            raise ValueError("trie values must be non-negative")
+        node = self._root
+        for byte in key:
+            nxt = node.children.get(byte)
+            if nxt is None:
+                nxt = _Node()
+                node.children[byte] = nxt
+            node = nxt
+        if node.value is None:
+            self._size += 1
+        node.value = value
+
+    def get(self, key: bytes) -> Optional[int]:
+        """Exact lookup; ``None`` when absent."""
+        node = self._root
+        for byte in key:
+            node = node.children.get(byte)  # type: ignore[assignment]
+            if node is None:
+                return None
+        return node.value
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def match_at(
+        self, buffer: bytes, offset: int, terminators: bytes = b" \t\r\n/>"
+    ) -> Tuple[Optional[int], int]:
+        """Match the longest key starting at ``buffer[offset]``.
+
+        Returns ``(value, end_offset)``.  A key only matches if the
+        byte following it (when any) is one of *terminators* — this is
+        what makes ``<item`` not match inside ``<items``.  When nothing
+        matches, returns ``(None, offset)``.
+        """
+        node = self._root
+        best: Optional[int] = None
+        best_end = offset
+        i = offset
+        n = len(buffer)
+        term = frozenset(terminators)
+        while i < n:
+            if node.value is not None and (i >= n or buffer[i] in term):
+                best, best_end = node.value, i
+            nxt = node.children.get(buffer[i])
+            if nxt is None:
+                break
+            node = nxt
+            i += 1
+        if node.value is not None and (i >= n or buffer[i] in term):
+            best, best_end = node.value, i
+        if best is None:
+            return None, offset
+        return best, best_end
+
+    def items(self) -> Iterator[Tuple[bytes, int]]:
+        """Yield ``(key, value)`` pairs in lexicographic key order."""
+        stack: List[Tuple[_Node, bytes]] = [(self._root, b"")]
+        out: List[Tuple[bytes, int]] = []
+        while stack:
+            node, prefix = stack.pop()
+            if node.value is not None:
+                out.append((prefix, node.value))
+            for byte in sorted(node.children, reverse=True):
+                stack.append((node.children[byte], prefix + bytes([byte])))
+        out.sort()
+        return iter(out)
+
+    @classmethod
+    def from_tags(cls, tags: List[bytes]) -> "ByteTrie":
+        """Build a trie assigning sequential ids to *tags*."""
+        trie = cls()
+        for i, tag in enumerate(tags):
+            trie.insert(tag, i)
+        return trie

@@ -1,0 +1,225 @@
+"""Streaming XML writer.
+
+The writer emits bytes to any object exposing ``write(bytes) -> Any``
+(a :class:`bytearray`-backed sink, a chunked buffer appender, a
+socket file...).  It performs well-formedness bookkeeping (balanced
+tags, single root, attribute escaping) but intentionally does *no*
+pretty-printing: bSOAP templates depend on byte-exact layouts.
+
+Hot-path notes (see the optimization guide): the writer pre-encodes
+tag names once, avoids intermediate string concatenation where a
+sequence of ``write`` calls suffices, and exposes :meth:`raw` so the
+serializers can emit pre-built byte segments without re-checking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Protocol, Tuple
+
+from repro.errors import XMLError
+from repro.xmlkit.escape import escape_attr, escape_text
+
+__all__ = ["ByteSink", "XMLWriter"]
+
+
+class ByteSink(Protocol):
+    """Anything the writer can emit bytes to."""
+
+    def write(self, data: bytes) -> object:  # pragma: no cover - protocol
+        ...
+
+
+class _ListSink:
+    """Default sink: accumulates parts; ``getvalue()`` joins them."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self) -> None:
+        self.parts: list[bytes] = []
+
+    def write(self, data: bytes) -> None:
+        self.parts.append(data)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self.parts)
+
+
+class XMLWriter:
+    """Event-style XML writer with namespace declarations.
+
+    Parameters
+    ----------
+    sink:
+        Byte sink; when omitted an internal list sink is used and the
+        document is retrieved with :meth:`getvalue`.
+    check:
+        When ``True`` (default) the writer enforces balanced tags and
+        a single root element.  The template serializer disables this
+        on re-serialization hot paths where the structure is known
+        valid by construction.
+    """
+
+    __slots__ = ("_sink", "_stack", "_check", "_root_closed", "_prolog_written")
+
+    def __init__(self, sink: Optional[ByteSink] = None, *, check: bool = True) -> None:
+        self._sink: ByteSink = sink if sink is not None else _ListSink()
+        self._stack: list[bytes] = []
+        self._check = check
+        self._root_closed = False
+        self._prolog_written = False
+
+    # ------------------------------------------------------------------
+    # document structure
+    # ------------------------------------------------------------------
+    def prolog(self, encoding: str = "UTF-8") -> None:
+        """Emit the XML declaration.  Must precede the root element."""
+        if self._check and (self._prolog_written or self._stack or self._root_closed):
+            raise XMLError("prolog must be the first thing written")
+        self._prolog_written = True
+        self._sink.write(b'<?xml version="1.0" encoding="' + encoding.encode("ascii") + b'"?>')
+
+    def start(
+        self,
+        tag: str,
+        attrs: Optional[Mapping[str, str]] = None,
+        nsdecls: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Open element *tag* (a lexical, possibly prefixed, name).
+
+        ``attrs`` are written in iteration order; ``nsdecls`` maps
+        prefixes to URIs and is emitted as ``xmlns``/``xmlns:p``
+        attributes before the regular attributes.
+        """
+        if self._check and self._root_closed:
+            raise XMLError("document already has a closed root element")
+        btag = tag.encode("utf-8")
+        w = self._sink.write
+        w(b"<" + btag)
+        if nsdecls:
+            for prefix, uri in nsdecls.items():
+                name = b"xmlns" if not prefix else b"xmlns:" + prefix.encode("utf-8")
+                w(b" " + name + b'="' + escape_attr(uri.encode("utf-8")) + b'"')
+        if attrs:
+            for key, value in attrs.items():
+                w(
+                    b" "
+                    + key.encode("utf-8")
+                    + b'="'
+                    + escape_attr(value.encode("utf-8"))
+                    + b'"'
+                )
+        w(b">")
+        self._stack.append(btag)
+
+    def end(self, tag: Optional[str] = None) -> None:
+        """Close the innermost open element.
+
+        When *tag* is given it is checked against the element actually
+        being closed (a cheap well-formedness assertion).
+        """
+        if not self._stack:
+            raise XMLError("end() with no open element")
+        btag = self._stack.pop()
+        if self._check and tag is not None and btag != tag.encode("utf-8"):
+            raise XMLError(
+                f"mismatched end tag: expected </{btag.decode()}>, got </{tag}>"
+            )
+        self._sink.write(b"</" + btag + b">")
+        if not self._stack:
+            self._root_closed = True
+
+    def empty(self, tag: str, attrs: Optional[Mapping[str, str]] = None) -> None:
+        """Emit a self-closed element ``<tag .../>``."""
+        if self._check and self._root_closed:
+            raise XMLError("document already has a closed root element")
+        w = self._sink.write
+        w(b"<" + tag.encode("utf-8"))
+        if attrs:
+            for key, value in attrs.items():
+                w(
+                    b" "
+                    + key.encode("utf-8")
+                    + b'="'
+                    + escape_attr(value.encode("utf-8"))
+                    + b'"'
+                )
+        w(b"/>")
+        if not self._stack:
+            self._root_closed = True
+
+    # ------------------------------------------------------------------
+    # content
+    # ------------------------------------------------------------------
+    def text(self, data: str) -> None:
+        """Write escaped character data."""
+        if self._check and not self._stack:
+            raise XMLError("character data outside the root element")
+        self._sink.write(escape_text(data.encode("utf-8")))
+
+    def text_bytes(self, data: bytes) -> None:
+        """Write escaped character data already held as bytes."""
+        if self._check and not self._stack:
+            raise XMLError("character data outside the root element")
+        self._sink.write(escape_text(data))
+
+    def raw(self, data: bytes) -> None:
+        """Write *data* verbatim (caller guarantees well-formedness).
+
+        This is the hot path used by the serializers for pre-escaped
+        lexical values and pre-built tag segments.
+        """
+        self._sink.write(data)
+
+    def comment(self, data: str) -> None:
+        """Emit an XML comment (``--`` is rejected)."""
+        if "--" in data:
+            raise XMLError("'--' not allowed inside a comment")
+        self._sink.write(b"<!--" + data.encode("utf-8") + b"-->")
+
+    def element(
+        self,
+        tag: str,
+        text: str = "",
+        attrs: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Convenience: ``<tag attrs>text</tag>``."""
+        self.start(tag, attrs)
+        if text:
+            self.text(text)
+        self.end()
+
+    def elements(self, tag: str, texts: Iterable[str]) -> None:
+        """Emit a run of identical simple elements (array items)."""
+        btag = tag.encode("utf-8")
+        open_ = b"<" + btag + b">"
+        close = b"</" + btag + b">"
+        w = self._sink.write
+        for value in texts:
+            w(open_)
+            w(escape_text(value.encode("utf-8")))
+            w(close)
+
+    # ------------------------------------------------------------------
+    # finishing
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close all open elements (deepest first)."""
+        while self._stack:
+            self.end()
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open elements."""
+        return len(self._stack)
+
+    @property
+    def open_tags(self) -> Tuple[str, ...]:
+        """Lexical names of the currently open elements, outermost first."""
+        return tuple(tag.decode("utf-8") for tag in self._stack)
+
+    def getvalue(self) -> bytes:
+        """Return accumulated bytes (only for the internal list sink)."""
+        sink = self._sink
+        if isinstance(sink, _ListSink):
+            return sink.getvalue()
+        raise XMLError("getvalue() requires the internal sink")

@@ -1,0 +1,67 @@
+"""Shared fixtures for the bSOAP reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.client import BSoapClient
+from repro.core.policy import DiffPolicy
+from repro.schema.composite import ArrayType
+from repro.schema.mio import make_mio_array_type
+from repro.schema.types import DOUBLE, INT
+from repro.soap.message import Parameter, SOAPMessage
+from repro.transport.loopback import CollectSink
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sink():
+    return CollectSink()
+
+
+@pytest.fixture
+def client(sink):
+    return BSoapClient(sink)
+
+
+@pytest.fixture
+def double_message(rng):
+    """A 64-double array message."""
+    return SOAPMessage(
+        "putDoubles",
+        "urn:test",
+        [Parameter("data", ArrayType(DOUBLE), rng.random(64))],
+    )
+
+
+@pytest.fixture
+def int_message(rng):
+    return SOAPMessage(
+        "putInts",
+        "urn:test",
+        [Parameter("data", ArrayType(INT), rng.integers(-1000, 1000, 64))],
+    )
+
+
+@pytest.fixture
+def mio_message_small(rng):
+    cols = {
+        "x": rng.integers(0, 100, 16),
+        "y": rng.integers(0, 100, 16),
+        "v": rng.random(16),
+    }
+    return SOAPMessage(
+        "putMesh", "urn:test", [Parameter("mesh", make_mio_array_type(), cols)]
+    )
+
+
+def fresh_full_bytes(message: SOAPMessage, policy: DiffPolicy | None = None) -> bytes:
+    """From-scratch serialization of *message* (equivalence oracle)."""
+    from repro.core.serializer import build_template
+
+    return build_template(message, policy).tobytes()

@@ -1,0 +1,192 @@
+"""Unit tests for the §3.4 application workloads."""
+
+import numpy as np
+import pytest
+
+from repro.apps.classads import (
+    CLAIMED,
+    MACHINE_AD_TYPE,
+    ClassAd,
+    CondorPool,
+    FlockSimulation,
+)
+from repro.apps.lsa import LinearSystemAnalyzer, jacobi_step, make_test_system
+from repro.apps.mcs import MCS_SCHEMA, FileRecord, MCSClient, MetadataCatalog
+from repro.core.client import BSoapClient
+from repro.core.stats import MatchKind
+from repro.errors import SchemaError
+from repro.transport.loopback import CollectSink, MemcpySink
+
+
+class TestLSA:
+    def test_jacobi_converges_on_dd_system(self):
+        a, b = make_test_system(50, seed=3)
+        x = np.zeros(50)
+        for _ in range(200):
+            x = jacobi_step(a, b, x)
+        assert np.linalg.norm(a @ x - b) < 1e-8
+
+    def test_solver_pipeline(self):
+        a, b = make_test_system(80, seed=1)
+        lsa = LinearSystemAnalyzer(BSoapClient(MemcpySink()))
+        report = lsa.solve(a, b, tol=1e-9, max_iters=300)
+        assert report.converged
+        assert report.final_residual < 1e-9
+        assert report.sends == report.iterations
+
+    def test_structural_matches_dominate(self):
+        a, b = make_test_system(60, seed=2)
+        lsa = LinearSystemAnalyzer(BSoapClient(MemcpySink()))
+        report = lsa.solve(a, b, tol=1e-9, max_iters=300)
+        assert report.match_counts[MatchKind.FIRST_TIME] == 1
+        structural = report.match_counts.get(
+            MatchKind.PERFECT_STRUCTURAL, 0
+        ) + report.match_counts.get(MatchKind.PARTIAL_STRUCTURAL, 0)
+        assert structural == report.sends - 1
+        assert report.structural_fraction > 0.5
+
+    def test_dirty_set_shrinks_as_convergence_nears(self):
+        a, b = make_test_system(60, seed=4)
+        lsa = LinearSystemAnalyzer(
+            BSoapClient(MemcpySink()), freeze_threshold=1e-10
+        )
+        report = lsa.solve(a, b, tol=1e-9, max_iters=300)
+        # Far fewer rewrites than sends × n would imply.
+        assert report.values_rewritten_total < report.sends * 60
+
+    def test_cg_method(self):
+        pytest.importorskip("scipy")
+        a, b = make_test_system(40, seed=5)
+        lsa = LinearSystemAnalyzer(BSoapClient(MemcpySink()), method="cg")
+        report = lsa.solve(a, b, tol=1e-8, max_iters=200)
+        assert report.converged
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            LinearSystemAnalyzer(method="gmres")
+
+
+class TestMCS:
+    def _record(self, i, owner="alice"):
+        return FileRecord(
+            logicalName=f"lfn://x/f{i}.dat",
+            owner=owner,
+            collection="run1",
+            sizeBytes=100 + i,
+            checksum=f"sha1:{i:x}",
+            creationTime=1e9 + i,
+            version=1,
+        )
+
+    def test_catalog_crud(self):
+        cat = MetadataCatalog()
+        cat.add(self._record(1))
+        cat.add(self._record(2, owner="bob"))
+        assert len(cat) == 2
+        assert cat.get("lfn://x/f1.dat").owner == "alice"
+        assert cat.delete("lfn://x/f1.dat")
+        assert not cat.delete("lfn://x/f1.dat")
+
+    def test_catalog_queries(self):
+        cat = MetadataCatalog()
+        for i in range(10):
+            cat.add(self._record(i, owner="alice" if i % 2 else "bob"))
+        assert len(cat.query(owner="alice")) == 5
+        assert len(cat.query(min_size=105)) == 5
+        assert len(cat.query(owner="bob", max_size=104)) == 3
+
+    def test_schema_enforced(self):
+        cat = MetadataCatalog()
+        with pytest.raises(SchemaError):
+            cat.add(
+                FileRecord(
+                    logicalName="x",
+                    owner="y",
+                    collection="z",
+                    sizeBytes="not-an-int",  # type: ignore[arg-type]
+                    checksum="c",
+                    creationTime=0.0,
+                    version=1,
+                )
+            )
+
+    def test_requests_reuse_template(self):
+        mcs = MCSClient(BSoapClient(MemcpySink()), MetadataCatalog())
+        for i in range(10):
+            mcs.add_record(self._record(i))
+        hist = mcs.match_histogram()
+        assert hist["first-time"] == 1
+        assert (
+            hist.get("perfect-structural", 0) + hist.get("partial-structural", 0) == 9
+        )
+        assert len(mcs.backend) == 10
+
+    def test_query_round_trip(self):
+        mcs = MCSClient(BSoapClient(MemcpySink()), MetadataCatalog())
+        for i in range(6):
+            mcs.add_record(self._record(i, owner="alice" if i < 4 else "bob"))
+        _report, hits = mcs.query_by_owner("alice")
+        assert len(hits) == 4
+
+    def test_schema_covers_expected_attributes(self):
+        assert set(MCS_SCHEMA) == {
+            "logicalName",
+            "owner",
+            "collection",
+            "sizeBytes",
+            "checksum",
+            "creationTime",
+            "version",
+        }
+
+
+class TestClassAds:
+    def test_pool_tick_churn(self):
+        pool = CondorPool("p", 100, seed=1, churn=0.5)
+        changed = pool.tick()
+        assert 10 < len(changed) < 90  # ~50 expected
+
+    def test_zero_churn_stable(self):
+        pool = CondorPool("p", 50, seed=1, churn=0.0)
+        assert len(pool.tick()) == 0
+
+    def test_claimed_bounded_by_cpus(self):
+        pool = CondorPool("p", 200, seed=2, churn=1.0)
+        pool.tick()
+        assert (pool.columns["claimed"] <= pool.columns["cpus"]).all()
+
+    def test_message_shape(self):
+        pool = CondorPool("p", 10, seed=1)
+        message = pool.ads_message("q")
+        assert message.operation == "exchangeAds"
+        assert message.params[0].length == 10
+
+    def test_flock_content_matches_without_churn(self):
+        pools = [CondorPool("a", 20, seed=1, churn=0.0), CondorPool("b", 20, seed=2, churn=0.0)]
+        sim = FlockSimulation(pools)
+        history = sim.run(4)
+        # Round 0 is first-time; later rounds are pure content matches.
+        assert history[0].content_matches == 0
+        for stats in history[1:]:
+            assert stats.content_matches == stats.sends
+        assert sim.total_values_rewritten == 0
+
+    def test_flock_differential_with_churn(self):
+        pools = [
+            CondorPool("a", 50, seed=1, churn=0.1),
+            CondorPool("b", 50, seed=2, churn=0.1),
+        ]
+        sim = FlockSimulation(pools)
+        sim.run(6)
+        rewritten = sim.total_values_rewritten
+        possible = sim.total_values_possible
+        assert 0 < rewritten < possible * 0.25
+        assert "leaf values" in sim.savings_summary()
+
+    def test_machine_ad_schema(self):
+        names = [f.name for f in MACHINE_AD_TYPE.fields]
+        assert names == ["machineId", "cpus", "claimed", "memoryMb", "state", "loadAvg"]
+
+    def test_classad_record(self):
+        ad = ClassAd(1, 8, 2, 4096, CLAIMED, 0.5)
+        assert ad.cpus == 8

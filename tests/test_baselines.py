@@ -1,0 +1,168 @@
+"""Unit tests for the baseline serializers (gSOAP/XSOAP/naive roles)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gsoap_like import GSoapLikeClient
+from repro.baselines.naive import NaiveClient
+from repro.baselines.xsoap_like import Element, XSoapLikeClient
+from repro.core.serializer import build_template
+from repro.schema.composite import ArrayType
+from repro.schema.mio import MIO, make_mio_array_type
+from repro.schema.types import DOUBLE, INT, STRING
+from repro.soap.message import Parameter, SOAPMessage
+from repro.transport.loopback import CollectSink
+from repro.xmlkit.canonical import diff_documents, documents_equivalent
+from repro.xmlkit.scanner import parse_document
+
+CLIENTS = [GSoapLikeClient, XSoapLikeClient, NaiveClient]
+
+
+def messages(rng):
+    return [
+        SOAPMessage("d", "urn:t", [Parameter("a", ArrayType(DOUBLE), rng.random(17))]),
+        SOAPMessage("i", "urn:t", [Parameter("a", ArrayType(INT), rng.integers(-9, 9, 5))]),
+        SOAPMessage(
+            "m",
+            "urn:t",
+            [
+                Parameter(
+                    "mesh",
+                    make_mio_array_type(),
+                    {"x": [1, 2], "y": [3, 4], "v": [0.5, 1.5]},
+                )
+            ],
+        ),
+        SOAPMessage("s", "urn:t", [Parameter("txt", ArrayType(STRING), ["a<b", "c"])]),
+        SOAPMessage("v", "urn:t", [Parameter("n", INT, 42), Parameter("f", DOUBLE, 2.5)]),
+        SOAPMessage("empty", "urn:t", []),
+    ]
+
+
+class TestCrossEquivalence:
+    """Every baseline must emit the same logical document as bSOAP."""
+
+    @pytest.mark.parametrize("client_cls", CLIENTS)
+    def test_equivalent_to_template(self, client_cls):
+        rng = np.random.default_rng(3)
+        for message in messages(rng):
+            sink = CollectSink()
+            client_cls(sink).send(message)
+            fresh = build_template(message).tobytes()
+            assert documents_equivalent(sink.last, fresh), (
+                f"{client_cls.__name__} on {message.operation}: "
+                + diff_documents(sink.last, fresh)
+            )
+
+    @pytest.mark.parametrize("client_cls", CLIENTS)
+    def test_output_wellformed(self, client_cls):
+        sink = CollectSink()
+        client_cls(sink).send(
+            SOAPMessage("op", "urn:t", [Parameter("a", ArrayType(DOUBLE), [1.0])])
+        )
+        parse_document(sink.last)
+
+    @pytest.mark.parametrize("client_cls", CLIENTS)
+    def test_send_counts(self, client_cls):
+        client = client_cls(CollectSink())
+        m = SOAPMessage("op", "urn:t", [Parameter("n", INT, 1)])
+        n1 = client.send(m)
+        n2 = client.send(m)
+        assert n1 == n2 > 0
+        assert client.sends == 2
+
+
+class TestGSoapMultiref:
+    def test_shared_array_href(self):
+        shared = np.arange(3.0)
+        m = SOAPMessage(
+            "op",
+            "urn:t",
+            [
+                Parameter("a", ArrayType(DOUBLE), shared),
+                Parameter("b", ArrayType(DOUBLE), shared),
+            ],
+        )
+        sink = CollectSink()
+        GSoapLikeClient(sink, multiref=True).send(m)
+        assert b'id="ref-1"' in sink.last
+        assert b'href="#ref-1"' in sink.last
+        # The shared array is serialized once.
+        assert sink.last.count(b"<item>0</item>") == 1
+
+    def test_distinct_arrays_not_multireffed(self):
+        m = SOAPMessage(
+            "op",
+            "urn:t",
+            [
+                Parameter("a", ArrayType(DOUBLE), np.arange(3.0)),
+                Parameter("b", ArrayType(DOUBLE), np.arange(3.0)),
+            ],
+        )
+        sink = CollectSink()
+        GSoapLikeClient(sink, multiref=True).send(m)
+        assert b"href" not in sink.last
+
+    def test_multiref_off_by_default(self):
+        shared = np.arange(2.0)
+        m = SOAPMessage(
+            "op",
+            "urn:t",
+            [
+                Parameter("a", ArrayType(DOUBLE), shared),
+                Parameter("b", ArrayType(DOUBLE), shared),
+            ],
+        )
+        sink = CollectSink()
+        GSoapLikeClient(sink).send(m)
+        assert b"href" not in sink.last
+
+
+class TestXSoapDOM:
+    def test_tree_shape(self):
+        client = XSoapLikeClient(CollectSink())
+        m = SOAPMessage(
+            "op", "urn:t", [Parameter("a", ArrayType(INT), [1, 2, 3])]
+        )
+        tree = client.build_tree(m)
+        assert tree.tag == "SOAP-ENV:Envelope"
+        body = tree.find("SOAP-ENV:Body")
+        op = body.find("ns:op")
+        arr = op.find("a")
+        assert len(arr.children) == 3
+        assert arr.children[0].text == b"1"
+
+    def test_element_render(self):
+        e = Element("a", {"k": 'v"'})
+        e.append(Element("b", text=b"t"))
+        parts = []
+        e.render(parts)
+        assert b"".join(parts) == b'<a k="v&quot;"><b>t</b></a>'
+
+    def test_find_missing(self):
+        assert Element("a").find("b") is None
+
+
+class TestRelativeCost:
+    def test_dom_slower_than_streaming(self):
+        """The paper's ordering: DOM-based serializers lose to streaming."""
+        import time
+
+        rng = np.random.default_rng(0)
+        m = SOAPMessage(
+            "op", "urn:t", [Parameter("a", ArrayType(DOUBLE), rng.random(20000))]
+        )
+        sink = CollectSink()
+        gsoap = GSoapLikeClient(sink)
+        xsoap = XSoapLikeClient(sink)
+
+        def timed(fn, reps=3):
+            fn()
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                fn()
+            return time.perf_counter() - t0
+
+        t_gsoap = timed(lambda: gsoap.send(m))
+        t_xsoap = timed(lambda: xsoap.send(m))
+        assert t_xsoap > 1.5 * t_gsoap

@@ -1,0 +1,189 @@
+"""Unit tests for the bench harness (workloads, runner, report, figures)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.profile90 import decompose_serialization
+from repro.bench.report import format_ratios, format_series, ratio
+from repro.bench.runner import Sample, TransportRig, adaptive_reps, time_loop
+from repro.bench.workloads import (
+    MIO_INTERMEDIATE_SPLIT,
+    MIO_MAX_SPLIT,
+    MIO_MIN_SPLIT,
+    PAPER_SIZES,
+    double_array_message,
+    doubles_of_width,
+    int_array_message,
+    ints_of_width,
+    mio_columns_of_widths,
+    mio_message,
+    random_mio_columns,
+)
+from repro.errors import SchemaError, TransportError
+from repro.lexical.floats import format_double
+from repro.lexical.integers import format_int
+
+
+class TestWidthGenerators:
+    @pytest.mark.parametrize("width", [1, 2, 5, 10, 14, 18, 19, 20, 24])
+    def test_doubles_exact_width(self, width):
+        values = doubles_of_width(100, width, seed=4)
+        assert all(len(format_double(float(v))) == width for v in values)
+
+    def test_doubles_deterministic(self):
+        a = doubles_of_width(20, 18, seed=1)
+        b = doubles_of_width(20, 18, seed=1)
+        assert (a == b).all()
+
+    def test_doubles_bad_width(self):
+        with pytest.raises(SchemaError):
+            doubles_of_width(5, 0)
+        with pytest.raises(SchemaError):
+            doubles_of_width(5, 25)
+
+    @pytest.mark.parametrize("width", [1, 3, 6, 10, 11])
+    def test_ints_exact_width(self, width):
+        values = ints_of_width(100, width, seed=4)
+        assert all(len(format_int(int(v))) == width for v in values)
+
+    def test_ints_within_int32(self):
+        values = ints_of_width(100, 11)
+        assert (values >= -(2**31)).all() and (values < 2**31).all()
+
+    @pytest.mark.parametrize(
+        "split,total", [(MIO_MIN_SPLIT, 3), (MIO_INTERMEDIATE_SPLIT, 36), (MIO_MAX_SPLIT, 46)]
+    )
+    def test_mio_splits_match_paper_totals(self, split, total):
+        assert sum(split) == total
+        cols = mio_columns_of_widths(10, split, seed=2)
+        widths = (
+            len(format_int(int(cols["x"][0])))
+            + len(format_int(int(cols["y"][0])))
+            + len(format_double(float(cols["v"][0])))
+        )
+        assert widths == total
+
+    def test_paper_sizes(self):
+        assert PAPER_SIZES == (1, 100, 500, 1000, 10000, 50000, 100000)
+
+    def test_message_builders(self):
+        assert double_array_message(np.zeros(3)).params[0].length == 3
+        assert int_array_message(np.zeros(3, int)).operation == "sendInts"
+        assert mio_message(random_mio_columns(4)).params[0].length == 4
+
+
+class TestRunner:
+    def test_time_loop_counts(self):
+        calls = []
+        timer = time_loop(lambda: calls.append(1), reps=5, warmup=2)
+        assert timer.count == 5
+        assert len(calls) == 7
+
+    def test_time_loop_setup_untimed(self):
+        import time as _time
+
+        def slow_setup():
+            _time.sleep(0.005)
+
+        timer = time_loop(lambda: None, setup=slow_setup, reps=3, warmup=0)
+        assert timer.mean_ms < 4.0  # setup excluded from timing
+
+    def test_adaptive_reps_bounds(self):
+        assert adaptive_reps(0.0001, target_s=0.1) == 100
+        assert adaptive_reps(10.0, target_s=0.1, min_reps=3) == 3
+        assert adaptive_reps(0) == 100
+
+    def test_time_loop_adaptive(self):
+        timer = time_loop(lambda: None, target_s=0.01)
+        assert timer.count >= 3
+
+    @pytest.mark.parametrize("kind", ["null", "memcpy"])
+    def test_rig_sinks(self, kind):
+        with TransportRig(kind) as transport:
+            assert transport.send_message([b"abc"]) == 3
+
+    def test_rig_tcp(self):
+        with TransportRig("tcp") as transport:
+            assert transport.send_message([b"hello"]) == 5
+
+    def test_rig_http(self):
+        with TransportRig("http") as transport:
+            assert transport.send_message([b"hello"]) == 5
+
+    def test_rig_unknown(self):
+        with pytest.raises(TransportError):
+            TransportRig("carrier-pigeon")
+
+
+class TestReport:
+    def _series(self):
+        return {
+            "fast": [(10, 1.0), (100, 10.0)],
+            "slow": [(10, 5.0), (100, 50.0)],
+        }
+
+    def test_format_series_table(self):
+        text = format_series("T", self._series())
+        assert "T" in text and "fast" in text and "slow" in text
+        assert "10" in text and "50.0000" in text
+
+    def test_ratio(self):
+        assert ratio(self._series(), "slow", "fast", 100) == 5.0
+
+    def test_format_ratios(self):
+        text = format_ratios(self._series(), [("slow", "fast")], [10, 100])
+        assert "5.0x" in text
+
+    def test_missing_points_dash(self):
+        series = {"a": [(10, 1.0)], "b": [(20, 2.0)]}
+        text = format_series("T", series)
+        assert "-" in text
+
+
+class TestProfile90:
+    def test_decomposition_sums(self):
+        phases = decompose_serialization(2000, reps=3)
+        assert phases.total_ms > 0
+        assert 0 < phases.conversion_share < 1
+
+    def test_conversion_dominates_at_scale(self):
+        """The §2 claim: conversion is the bottleneck for large arrays."""
+        phases = decompose_serialization(20000, reps=3)
+        assert phases.conversion_share > 0.6
+        assert phases.conversion_ms > phases.packing_ms
+        assert phases.conversion_ms > phases.send_ms
+
+
+class TestFiguresSmoke:
+    """Every figure function runs end to end at tiny sizes."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "fig01", "fig02", "fig03", "fig04", "fig05", "fig06",
+            "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "sec2",
+        ],
+    )
+    def test_figure_runs(self, name):
+        from repro.bench.figures import run_figure
+
+        title, series = run_figure(name, sizes=(1, 50), reps=2)
+        assert title
+        assert series
+        for label, points in series.items():
+            assert len(points) == 2, label
+            for n, ms in points:
+                assert ms >= 0.0
+
+    def test_unknown_figure(self):
+        from repro.bench.figures import run_figure
+
+        with pytest.raises(KeyError):
+            run_figure("fig99")
+
+    def test_cli_main(self, capsys):
+        from repro.bench.figures import main
+
+        assert main(["fig03", "--sizes", "1,20", "--reps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out

@@ -1,0 +1,239 @@
+"""Unit tests for chunks and chunked buffers (shifting machinery)."""
+
+import pytest
+
+from repro.buffers.chunk import Chunk
+from repro.buffers.chunked import ChunkedBuffer, Location
+from repro.buffers.config import ChunkPolicy
+from repro.buffers.iovec import IOV_MAX, batch_iovecs, coalesce_views, gather_bytes, total_size
+from repro.errors import BufferError_, ChunkOverflowError
+
+
+def small_policy(**kw):
+    defaults = dict(chunk_size=64, reserve=8, split_threshold=16)
+    defaults.update(kw)
+    return ChunkPolicy(**defaults)
+
+
+class TestChunkPolicy:
+    def test_soft_limit(self):
+        assert ChunkPolicy(chunk_size=100, reserve=10).soft_limit == 90
+
+    def test_validation(self):
+        with pytest.raises(BufferError_):
+            ChunkPolicy(chunk_size=0)
+        with pytest.raises(BufferError_):
+            ChunkPolicy(chunk_size=10, reserve=10)
+        with pytest.raises(BufferError_):
+            ChunkPolicy(split_threshold=0)
+        with pytest.raises(BufferError_):
+            ChunkPolicy(growth_factor=1.0)
+
+    def test_with_chunk_size(self):
+        p = ChunkPolicy(chunk_size=1024, reserve=512).with_chunk_size(256)
+        assert p.chunk_size == 256 and p.reserve < 256
+
+
+class TestChunk:
+    def test_append_and_read(self):
+        c = Chunk(0, 32)
+        off = c.append(b"hello")
+        assert off == 0 and c.tobytes() == b"hello"
+        assert c.append(b"!") == 5
+
+    def test_append_overflow(self):
+        c = Chunk(0, 4)
+        with pytest.raises(ChunkOverflowError):
+            c.append(b"12345")
+
+    def test_write_at(self):
+        c = Chunk(0, 16)
+        c.append(b"abcdef")
+        c.write_at(2, b"XY")
+        assert c.tobytes() == b"abXYef"
+
+    def test_write_outside_used_rejected(self):
+        c = Chunk(0, 16)
+        c.append(b"abc")
+        with pytest.raises(BufferError_):
+            c.write_at(2, b"ZZ")  # would cross used boundary
+
+    def test_fill_at(self):
+        c = Chunk(0, 16)
+        c.append(b"abcdef")
+        c.fill_at(1, 3, 0x20)
+        assert c.tobytes() == b"a   ef"
+
+    def test_open_gap_moves_tail(self):
+        c = Chunk(0, 16)
+        c.append(b"abcdef")
+        c.open_gap(2, 3)
+        data = c.tobytes()
+        assert len(data) == 9
+        assert data[:2] == b"ab" and data[5:] == b"cdef"
+
+    def test_open_gap_overflow(self):
+        c = Chunk(0, 8)
+        c.append(b"abcdef")
+        with pytest.raises(ChunkOverflowError):
+            c.open_gap(0, 10)
+
+    def test_open_gap_zero_noop(self):
+        c = Chunk(0, 8)
+        c.append(b"ab")
+        c.open_gap(1, 0)
+        assert c.tobytes() == b"ab"
+
+    def test_move_range_overlapping(self):
+        c = Chunk(0, 16)
+        c.append(b"0123456789")
+        c.move_range(2, 4, 5)  # overlapping forward move
+        assert c.tobytes()[4:9] == b"23456"
+
+    def test_grow_preserves(self):
+        c = Chunk(0, 4)
+        c.append(b"abcd")
+        c.grow(16)
+        assert c.capacity == 16 and c.tobytes() == b"abcd"
+        with pytest.raises(BufferError_):
+            c.grow(2)
+
+    def test_take_tail(self):
+        c = Chunk(0, 16)
+        c.append(b"abcdef")
+        assert c.take_tail(2) == b"cdef"
+        assert c.tobytes() == b"ab"
+
+    def test_view_zero_copy(self):
+        c = Chunk(0, 8)
+        c.append(b"abc")
+        view = c.view()
+        c.write_at(0, b"X")
+        assert bytes(view) == b"Xbc"  # view reflects mutation
+
+
+class TestChunkedBufferAppend:
+    def test_single_chunk(self):
+        buf = ChunkedBuffer(small_policy())
+        loc = buf.append(b"hello")
+        assert loc == Location(0, 0)
+        assert buf.tobytes() == b"hello"
+
+    def test_reserve_respected(self):
+        buf = ChunkedBuffer(small_policy())
+        # soft limit = 56; three 20-byte appends → third goes to chunk 1
+        locs = [buf.append(b"x" * 20) for _ in range(3)]
+        assert [l.cid for l in locs] == [0, 0, 1]
+        assert buf.chunk(0).free >= 8
+
+    def test_oversized_payload_gets_dedicated_chunk(self):
+        buf = ChunkedBuffer(small_policy())
+        loc = buf.append(b"y" * 200)
+        assert buf.chunk(loc.cid).capacity >= 200
+
+    def test_total_length_and_views(self):
+        buf = ChunkedBuffer(small_policy())
+        buf.append(b"a" * 30)
+        buf.append(b"b" * 30)
+        assert buf.total_length == 60
+        assert gather_bytes(buf.views()) == buf.tobytes()
+
+    def test_read_write_fill(self):
+        buf = ChunkedBuffer(small_policy())
+        loc = buf.append(b"abcdef")
+        buf.write_at(loc.cid, 1, b"ZZ")
+        buf.fill_at(loc.cid, 3, 2)
+        assert buf.read_at(loc.cid, 0, 6) == b"aZZ  f"
+        with pytest.raises(BufferError_):
+            buf.read_at(loc.cid, 4, 10)
+        with pytest.raises(BufferError_):
+            buf.chunk(99)
+
+
+class TestInsertGap:
+    def test_inplace(self):
+        buf = ChunkedBuffer(small_policy())
+        buf.append(b"0123456789")
+        result = buf.insert_gap(0, 4, 3, 2)
+        assert result.mode == "inplace"
+        data = buf.tobytes()
+        assert data[:4] == b"0123" and data[7:] == b"456789"
+        assert buf.bytes_moved == 6
+
+    def test_realloc_when_small_chunk(self):
+        buf = ChunkedBuffer(small_policy(split_threshold=1000))
+        buf.append(b"x" * 60)  # nearly full, below split threshold
+        result = buf.insert_gap(0, 30, 100, 20)
+        assert result.mode == "realloc"
+        assert buf.total_length == 160
+        assert buf.chunk(0).capacity >= 160
+
+    def test_split_when_large_chunk(self):
+        buf = ChunkedBuffer(small_policy(split_threshold=16))
+        buf.append(b"A" * 56)
+        result = buf.insert_gap(0, 30, 100, 20)
+        assert result.mode == "split"
+        assert result.new_cid is not None
+        # Old chunk keeps [0, region_start); new chunk has the rest + gap.
+        assert buf.chunk(0).used == 20
+        new = buf.chunk(result.new_cid)
+        assert new.used == (56 - 20) + 100
+        # Order: new chunk immediately after old.
+        assert buf.chunk_ids.index(result.new_cid) == buf.chunk_ids.index(0) + 1
+        data = buf.tobytes()
+        assert len(data) == 156
+        assert data[:30] == b"A" * 30 and data[130:] == b"A" * 26
+
+    def test_split_region_start_zero_falls_back_to_realloc(self):
+        buf = ChunkedBuffer(small_policy(split_threshold=16))
+        buf.append(b"B" * 56)
+        result = buf.insert_gap(0, 10, 100, 0)
+        assert result.mode == "realloc"
+
+    def test_zero_delta_noop(self):
+        buf = ChunkedBuffer(small_policy())
+        buf.append(b"abc")
+        assert buf.insert_gap(0, 1, 0, 0).mode == "inplace"
+        assert buf.tobytes() == b"abc"
+
+    def test_invalid_args(self):
+        buf = ChunkedBuffer(small_policy())
+        buf.append(b"abc")
+        with pytest.raises(BufferError_):
+            buf.insert_gap(0, 1, -1, 0)
+        with pytest.raises(BufferError_):
+            buf.insert_gap(0, 1, 1, 2)  # region_start > pos
+
+    def test_steal_move(self):
+        buf = ChunkedBuffer(small_policy())
+        buf.append(b"0123456789")
+        buf.steal_move(0, 2, 4, 3)
+        assert buf.tobytes()[4:7] == b"234"
+
+
+class TestIovec:
+    def test_total_and_gather(self):
+        views = [b"ab", memoryview(b"cde")]
+        assert total_size(views) == 5
+        assert gather_bytes(views) == b"abcde"
+
+    def test_coalesce_small_runs(self):
+        big = b"X" * 10000
+        views = [b"a", b"b", big, b"c"]
+        out = coalesce_views(views, max_copy=100)
+        assert out[0] == b"ab"
+        assert out[1] is big or bytes(out[1]) == big
+        assert out[2] == b"c"
+
+    def test_coalesce_drops_empty(self):
+        assert coalesce_views([b"", b"a"], max_copy=10) == [b"a"]
+
+    def test_batching(self):
+        views = [b"x"] * (IOV_MAX + 5)
+        batches = batch_iovecs(views)
+        assert len(batches) == 2
+        assert len(batches[0]) == IOV_MAX
+
+    def test_batching_small_passthrough(self):
+        views = [b"x", b"y"]
+        assert batch_iovecs(views) == [views]

@@ -1,0 +1,79 @@
+"""Additional buffer-layer coverage: iteration stability, accessors."""
+
+import pytest
+
+from repro.buffers.chunked import ChunkedBuffer
+from repro.buffers.config import ChunkPolicy
+from repro.errors import BufferError_
+
+
+def small_buffer():
+    return ChunkedBuffer(ChunkPolicy(chunk_size=64, reserve=8, split_threshold=16))
+
+
+class TestChunkIdAt:
+    def test_matches_order(self):
+        buf = small_buffer()
+        for _ in range(5):
+            buf.append(b"x" * 30)
+        ids = buf.chunk_ids
+        for i, cid in enumerate(ids):
+            assert buf.chunk_id_at(i) == cid
+
+    def test_split_inserts_after_current(self):
+        """Index-based iteration (the pipelined send driver) must see a
+        split's new chunk at the next index."""
+        buf = small_buffer()
+        buf.append(b"A" * 56)
+        before = buf.chunk_ids
+        result = buf.insert_gap(0, 30, 100, 20)
+        assert result.mode == "split"
+        after = buf.chunk_ids
+        assert after[0] == before[0]
+        assert after[1] == result.new_cid
+
+    def test_out_of_range(self):
+        buf = small_buffer()
+        buf.append(b"x")
+        with pytest.raises(IndexError):
+            buf.chunk_id_at(5)
+
+
+class TestBytesMovedAccounting:
+    def test_inplace_counts_tail(self):
+        buf = small_buffer()
+        buf.append(b"0123456789")
+        buf.insert_gap(0, 4, 2, 2)
+        assert buf.bytes_moved == 6  # bytes [4:10) moved
+
+    def test_steal_move_counts(self):
+        buf = small_buffer()
+        buf.append(b"0123456789")
+        buf.steal_move(0, 2, 3, 4)
+        assert buf.bytes_moved == 4
+
+    def test_split_counts_tail(self):
+        buf = small_buffer()
+        buf.append(b"A" * 56)
+        before = buf.bytes_moved
+        buf.insert_gap(0, 30, 100, 20)
+        assert buf.bytes_moved - before == 36  # take_tail(20) moved 36 bytes
+
+
+class TestViewsSemantics:
+    def test_empty_chunks_skipped(self):
+        buf = small_buffer()
+        buf.append(b"abc")
+        chunk = buf.chunk(0)
+        chunk.take_tail(0)  # now empty
+        assert buf.views() == []
+
+    def test_views_are_live(self):
+        buf = small_buffer()
+        loc = buf.append(b"abc")
+        views = buf.views()
+        buf.write_at(loc.cid, 0, b"X")
+        assert bytes(views[0]) == b"Xbc"
+
+    def test_repr_smoke(self):
+        assert "ChunkedBuffer" in repr(small_buffer())

@@ -1,0 +1,67 @@
+"""Unit tests for canonical document comparison."""
+
+from repro.xmlkit.canonical import canonical_events, diff_documents, documents_equivalent
+
+
+class TestEquivalence:
+    def test_identical(self):
+        assert documents_equivalent(b"<a><b>1</b></a>", b"<a><b>1</b></a>")
+
+    def test_interelement_whitespace_ignored(self):
+        assert documents_equivalent(b"<a> <b>1</b>  </a>", b"<a><b>1</b></a>")
+
+    def test_value_padding_ignored(self):
+        # Stuffed numeric values carry trailing whitespace.
+        assert documents_equivalent(b"<a><b>1   </b></a>", b"<a><b>1</b></a>")
+
+    def test_attribute_order_ignored(self):
+        assert documents_equivalent(b'<a x="1" y="2"/>', b'<a y="2" x="1"/>')
+
+    def test_comments_ignored(self):
+        assert documents_equivalent(b"<a><!--c--><b>1</b></a>", b"<a><b>1</b></a>")
+
+    def test_prolog_ignored(self):
+        assert documents_equivalent(
+            b'<?xml version="1.0"?><a/>', b"<a></a>"
+        )
+
+    def test_different_values_differ(self):
+        assert not documents_equivalent(b"<a><b>1</b></a>", b"<a><b>2</b></a>")
+
+    def test_different_structure_differ(self):
+        assert not documents_equivalent(b"<a><b>1</b></a>", b"<a><c>1</c></a>")
+
+    def test_adjacent_text_merged(self):
+        assert documents_equivalent(
+            b"<a>x<![CDATA[y]]>z</a>", b"<a>xyz</a>"
+        )
+
+
+class TestCanonicalEvents:
+    def test_shape(self):
+        events = canonical_events(b'<a k="1"><b>t</b></a>')
+        assert events == [
+            ("start", "a", (("k", "1"),)),
+            ("start", "b", ()),
+            ("text", "t"),
+            ("end", "b"),
+            ("end", "a"),
+        ]
+
+    def test_strip_disabled(self):
+        events = canonical_events(b"<a> x </a>", strip_text=False)
+        assert ("text", " x ") in events
+
+
+class TestDiffReport:
+    def test_reports_divergence_point(self):
+        report = diff_documents(b"<a><b>1</b></a>", b"<a><b>2</b></a>")
+        assert "diverge" in report
+        assert "1" in report and "2" in report
+
+    def test_reports_extra_sibling(self):
+        report = diff_documents(b"<a><b>1</b></a>", b"<a><b>1</b><c/></a>")
+        assert "diverge" in report
+
+    def test_equivalent_message(self):
+        assert "equivalent" in diff_documents(b"<a/>", b"<a></a>")

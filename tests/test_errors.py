@@ -1,0 +1,63 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_cls",
+        [
+            errors.XMLError,
+            errors.XMLSyntaxError,
+            errors.LexicalError,
+            errors.SchemaError,
+            errors.BufferError_,
+            errors.ChunkOverflowError,
+            errors.SOAPError,
+            errors.SOAPFaultError,
+            errors.TemplateError,
+            errors.StructureMismatchError,
+            errors.DUTError,
+            errors.TransportError,
+            errors.HTTPFramingError,
+            errors.WSDLError,
+            errors.OverlayError,
+        ],
+    )
+    def test_everything_is_a_repro_error(self, exc_cls):
+        assert issubclass(exc_cls, errors.ReproError)
+
+    def test_layer_relations(self):
+        assert issubclass(errors.XMLSyntaxError, errors.XMLError)
+        assert issubclass(errors.ChunkOverflowError, errors.BufferError_)
+        assert issubclass(errors.SOAPFaultError, errors.SOAPError)
+        assert issubclass(errors.StructureMismatchError, errors.TemplateError)
+        assert issubclass(errors.HTTPFramingError, errors.TransportError)
+
+    def test_buffer_error_does_not_shadow_builtin(self):
+        assert errors.BufferError_ is not BufferError
+        assert not issubclass(errors.BufferError_, BufferError)
+
+    def test_syntax_error_offset(self):
+        exc = errors.XMLSyntaxError("bad byte", offset=17)
+        assert exc.offset == 17
+        assert "byte 17" in str(exc)
+        assert errors.XMLSyntaxError("no offset").offset == -1
+
+    def test_fault_error_fields(self):
+        exc = errors.SOAPFaultError("SOAP-ENV:Client", "bad input", "detail text")
+        assert exc.faultcode.endswith("Client")
+        assert exc.faultstring == "bad input"
+        assert exc.detail == "detail text"
+        assert "bad input" in str(exc)
+
+    def test_one_except_catches_all(self):
+        caught = []
+        for exc_cls in (errors.LexicalError, errors.TransportError):
+            try:
+                raise exc_cls("x")
+            except errors.ReproError as exc:
+                caught.append(exc)
+        assert len(caught) == 2

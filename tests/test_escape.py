@@ -1,0 +1,110 @@
+"""Unit tests for XML escaping and whitespace predicates."""
+
+import pytest
+
+from repro.errors import XMLError
+from repro.xmlkit.escape import (
+    PAD_BYTE,
+    XML_WHITESPACE,
+    escape_attr,
+    escape_attr_str,
+    escape_text,
+    escape_text_str,
+    is_xml_whitespace,
+    unescape,
+    unescape_str,
+)
+
+
+class TestEscapeText:
+    def test_plain_passthrough_is_same_object(self):
+        data = b"hello world 123"
+        assert escape_text(data) is data
+
+    def test_escapes_amp_lt_gt(self):
+        assert escape_text(b"a<b&c>d") == b"a&lt;b&amp;c&gt;d"
+
+    def test_leaves_quotes_alone(self):
+        assert escape_text(b"say \"hi\" & 'bye'") == b"say \"hi\" &amp; 'bye'"
+
+    def test_empty(self):
+        assert escape_text(b"") == b""
+
+    def test_only_specials(self):
+        assert escape_text(b"&&&") == b"&amp;&amp;&amp;"
+
+
+class TestEscapeAttr:
+    def test_escapes_quotes_too(self):
+        assert escape_attr(b'a"b\'c') == b"a&quot;b&apos;c"
+
+    def test_plain_passthrough(self):
+        data = b"urn:some-namespace"
+        assert escape_attr(data) is data
+
+    def test_all_five(self):
+        assert (
+            escape_attr(b"<&>\"'") == b"&lt;&amp;&gt;&quot;&apos;"
+        )
+
+
+class TestUnescape:
+    def test_round_trip_text(self):
+        original = b"a<b&c>d with \"quotes\""
+        assert unescape(escape_text(original)) == original
+
+    def test_round_trip_attr(self):
+        original = b"a<b&c>'\"d"
+        assert unescape(escape_attr(original)) == original
+
+    def test_no_entities_passthrough(self):
+        data = b"plain"
+        assert unescape(data) is data
+
+    def test_decimal_charref(self):
+        assert unescape(b"&#65;") == b"A"
+
+    def test_hex_charref(self):
+        assert unescape(b"&#x41;&#x42;") == b"AB"
+
+    def test_unicode_charref_utf8(self):
+        assert unescape(b"&#8364;") == "€".encode("utf-8")
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(XMLError, match="unknown entity"):
+            unescape(b"&nbsp;")
+
+    def test_unterminated_raises(self):
+        with pytest.raises(XMLError, match="unterminated"):
+            unescape(b"a&amp")
+
+    def test_bad_charref_raises(self):
+        with pytest.raises(XMLError):
+            unescape(b"&#xZZ;")
+
+
+class TestStrWrappers:
+    def test_text(self):
+        assert escape_text_str("a<b") == "a&lt;b"
+
+    def test_attr(self):
+        assert escape_attr_str('a"b') == "a&quot;b"
+
+    def test_unescape(self):
+        assert unescape_str("a&lt;b") == "a<b"
+
+
+class TestWhitespace:
+    def test_all_four_chars(self):
+        assert is_xml_whitespace(b" \t\r\n \t")
+
+    def test_empty_is_whitespace(self):
+        assert is_xml_whitespace(b"")
+
+    def test_rejects_other(self):
+        assert not is_xml_whitespace(b" x ")
+
+    def test_pad_byte_is_whitespace(self):
+        assert bytes([PAD_BYTE]) in XML_WHITESPACE.decode().encode() or is_xml_whitespace(
+            bytes([PAD_BYTE])
+        )

@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a refactor that breaks one
+should fail the suite, not a reader.  Scripts are run in-process with
+reduced problem sizes where they accept one.
+"""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p for p in (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+FAST_ARGS = {
+    "lsa_pipeline.py": ["60"],  # smaller system
+}
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    args = FAST_ARGS.get(script.name, [])
+    result = subprocess.run(
+        [sys.executable, str(script), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 4  # quickstart + ≥3 domain scenarios

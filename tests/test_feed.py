@@ -1,0 +1,157 @@
+"""Unit + property tests for the incremental FeedScanner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import XMLSyntaxError
+from repro.xmlkit.feed import FeedScanner
+from repro.xmlkit.scanner import (
+    Characters,
+    Comment,
+    EndElement,
+    ProcessingInstruction,
+    StartElement,
+    XMLScanner,
+)
+
+DOC = (
+    b'<?xml version="1.0"?><!--hdr--><root a="1"><item>3.5</item>  '
+    b"<item>x &amp; y</item><empty/><![CDATA[<raw>]]></root>"
+)
+
+
+def feed_all(data: bytes, chunks) -> list:
+    scanner = FeedScanner(keep_whitespace=True)
+    events = []
+    pos = 0
+    for size in chunks:
+        events.extend(scanner.feed(data[pos : pos + size]))
+        pos += size
+    events.extend(scanner.feed(data[pos:]))
+    events.extend(scanner.close())
+    return events
+
+
+class TestBasics:
+    def test_single_feed_matches_scanner(self):
+        assert feed_all(DOC, []) == list(XMLScanner(DOC, keep_whitespace=True))
+
+    def test_byte_at_a_time(self):
+        events = feed_all(DOC, [1] * (len(DOC) - 1))
+        assert events == list(XMLScanner(DOC, keep_whitespace=True))
+
+    def test_events_arrive_as_completed(self):
+        scanner = FeedScanner()
+        assert scanner.feed(b"<root><ite") == [StartElement("root", {}, False, 0)]
+        assert scanner.feed(b"m>42</item></roo") == [
+            StartElement("item", {}, False, 6),
+            Characters("42", 12),
+            EndElement("item", 14),
+        ]
+        tail = scanner.feed(b"t>")
+        assert [type(e).__name__ for e in tail] == ["EndElement"]
+        assert scanner.close() == []
+
+    def test_attribute_value_containing_gt(self):
+        scanner = FeedScanner()
+        events = scanner.feed(b'<a k="1>2">')
+        assert events[0].attrs == {"1>2"[0:0] or "k": "1>2"}
+
+    def test_gt_split_across_fragments_in_quote(self):
+        scanner = FeedScanner()
+        assert scanner.feed(b'<a k="v') == []
+        events = scanner.feed(b'">')
+        assert events[0].attrs == {"k": "v"}
+
+    def test_self_closing_two_events(self):
+        scanner = FeedScanner()
+        events = scanner.feed(b"<a/>")
+        assert [type(e).__name__ for e in events] == ["StartElement", "EndElement"]
+
+    def test_offsets_are_global(self):
+        scanner = FeedScanner()
+        scanner.feed(b"<a>")
+        events = scanner.feed(b"hello</a>")
+        chars = [e for e in events if isinstance(e, Characters)]
+        assert chars[0].offset == 3
+
+    def test_depth(self):
+        scanner = FeedScanner()
+        scanner.feed(b"<a><b>")
+        assert scanner.depth == 2
+
+
+class TestErrors:
+    def test_close_with_unclosed_element(self):
+        scanner = FeedScanner()
+        scanner.feed(b"<a>")
+        with pytest.raises(XMLSyntaxError, match="unclosed"):
+            scanner.close()
+
+    def test_close_mid_tag(self):
+        scanner = FeedScanner()
+        scanner.feed(b"<a")
+        with pytest.raises(XMLSyntaxError, match="incomplete"):
+            scanner.close()
+
+    def test_close_without_root(self):
+        with pytest.raises(XMLSyntaxError, match="no root"):
+            FeedScanner().close()
+
+    def test_mismatched_nesting(self):
+        scanner = FeedScanner()
+        scanner.feed(b"<a><b>")
+        with pytest.raises(XMLSyntaxError, match="mismatched"):
+            scanner.feed(b"</a>")
+
+    def test_doctype_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="DOCTYPE"):
+            FeedScanner().feed(b"<!DOCTYPE html><a/>")
+
+    def test_multiple_roots(self):
+        scanner = FeedScanner()
+        scanner.feed(b"<a/>")
+        with pytest.raises(XMLSyntaxError, match="multiple root"):
+            scanner.feed(b"<b/>")
+
+    def test_feed_after_close(self):
+        scanner = FeedScanner()
+        scanner.feed(b"<a/>")
+        scanner.close()
+        with pytest.raises(XMLSyntaxError):
+            scanner.feed(b"x")
+
+
+class TestChunkingEquivalence:
+    """The central property: fragmentation never changes the events."""
+
+    @given(st.lists(st.integers(min_value=1, max_value=30), max_size=30))
+    @settings(max_examples=150, deadline=None)
+    def test_random_fragmentation(self, chunks):
+        expected = list(XMLScanner(DOC, keep_whitespace=True))
+        assert feed_all(DOC, chunks) == expected
+
+    @given(st.integers(min_value=1, max_value=len(DOC)))
+    @settings(max_examples=60, deadline=None)
+    def test_fixed_size_fragments(self, size):
+        expected = list(XMLScanner(DOC, keep_whitespace=True))
+        chunks = [size] * (len(DOC) // size)
+        assert feed_all(DOC, chunks) == expected
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=20), max_size=20),
+        st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_whitespace_mode_agreement(self, chunks, keep_ws):
+        doc = b"<a>  <b>1</b>  </a>"
+        scanner = FeedScanner(keep_whitespace=keep_ws)
+        events = []
+        pos = 0
+        for size in chunks:
+            events.extend(scanner.feed(doc[pos : pos + size]))
+            pos += size
+        events.extend(scanner.feed(doc[pos:]))
+        events.extend(scanner.close())
+        assert events == list(XMLScanner(doc, keep_whitespace=keep_ws))

@@ -1,0 +1,120 @@
+"""Unit tests for the LSA component pipeline model."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lsa import make_test_system
+from repro.apps.lsa_components import (
+    GaussSeidelSmoother,
+    JacobiSmoother,
+    MatrixSource,
+    ResidualMonitor,
+    SolverCycle,
+)
+from repro.core.stats import MatchKind
+
+
+def build_cycle(n=40, smoother_cls=JacobiSmoother, **kw):
+    a, b = make_test_system(n, seed=11)
+    source = MatrixSource(a, b)
+    smoother = smoother_cls(source)
+    monitor = ResidualMonitor(source)
+    return SolverCycle([source, smoother, monitor], **kw), source, monitor
+
+
+class TestComponents:
+    def test_jacobi_reduces_residual(self):
+        a, b = make_test_system(30, seed=1)
+        source = MatrixSource(a, b)
+        smoother = JacobiSmoother(source)
+        x = source.initial_guess()
+        r0 = source.residual(x)
+        x = smoother.accept(x)
+        assert source.residual(x) < r0
+        assert smoother.received == 1
+
+    def test_gauss_seidel_reduces_residual_faster(self):
+        a, b = make_test_system(30, seed=2)
+        source = MatrixSource(a, b)
+        x0 = source.initial_guess()
+        xj = JacobiSmoother(source).accept(x0.copy())
+        xg = GaussSeidelSmoother(source).accept(x0.copy())
+        assert source.residual(xg) <= source.residual(xj)
+
+    def test_monitor_records_history(self):
+        _cycle, source, monitor = build_cycle()
+        x = source.initial_guess()
+        monitor.accept(x)
+        monitor.accept(x)
+        assert len(monitor.history) == 2
+        assert monitor.latest == monitor.history[-1]
+
+
+class TestSolverCycle:
+    def test_converges(self):
+        cycle, _source, monitor = build_cycle()
+        report = cycle.run(tol=1e-9, max_cycles=300)
+        assert report.converged
+        assert report.final_residual < 1e-9
+        assert monitor.history  # monitor participated
+
+    def test_every_edge_has_its_own_client(self):
+        cycle, _s, _m = build_cycle()
+        assert len(cycle.edges) == 3  # 3 components → 3 directed edges
+
+    def test_structural_reuse_dominates(self):
+        cycle, _s, _m = build_cycle()
+        report = cycle.run(tol=1e-9, max_cycles=300)
+        first_time = report.match_counts.get(MatchKind.FIRST_TIME, 0)
+        assert first_time == len(cycle.edges)  # once per edge
+        assert report.reuse_fraction > 0.9
+
+    def test_gauss_seidel_variant(self):
+        cycle, _s, _m = build_cycle(smoother_cls=GaussSeidelSmoother)
+        report = cycle.run(tol=1e-9, max_cycles=200)
+        assert report.converged
+
+    def test_freeze_threshold_reduces_rewrites(self):
+        plain, _s1, _m1 = build_cycle()
+        frozen, _s2, _m2 = build_cycle(freeze_threshold=1e-10)
+        r_plain = plain.run(tol=1e-9, max_cycles=300)
+        r_frozen = frozen.run(tol=1e-8, max_cycles=300)
+        assert r_frozen.converged
+        per_transfer_plain = r_plain.values_rewritten / r_plain.transfers
+        per_transfer_frozen = r_frozen.values_rewritten / r_frozen.transfers
+        assert per_transfer_frozen <= per_transfer_plain
+
+    def test_requires_source(self):
+        a, b = make_test_system(10, seed=0)
+        source = MatrixSource(a, b)
+        smoother = JacobiSmoother(source)
+        monitor = ResidualMonitor(source)
+        cycle = SolverCycle([smoother, monitor])
+        with pytest.raises(ValueError, match="MatrixSource"):
+            cycle.run()
+
+    def test_requires_two_components(self):
+        a, b = make_test_system(10, seed=0)
+        with pytest.raises(ValueError):
+            SolverCycle([MatrixSource(a, b)])
+
+
+class TestMemoryFootprint:
+    def test_template_footprint_accounting(self):
+        from repro.core.client import BSoapClient
+        from repro.schema.composite import ArrayType
+        from repro.schema.types import DOUBLE
+        from repro.soap.message import Parameter, SOAPMessage
+        from repro.transport.loopback import CollectSink
+
+        client = BSoapClient(CollectSink())
+        call = client.prepare(
+            SOAPMessage(
+                "op", "urn:t", [Parameter("a", ArrayType(DOUBLE), np.arange(1000.0))]
+            )
+        )
+        call.send()
+        footprint = call.template.memory_footprint()
+        assert footprint["total"] == footprint["serialized"] + footprint["dut"]
+        assert footprint["serialized"] >= call.template.total_bytes
+        assert footprint["dut"] >= 1000 * 8  # at least the offsets column

@@ -1,0 +1,177 @@
+"""Unit tests for chunk overlaying."""
+
+import numpy as np
+import pytest
+
+from repro.buffers.config import ChunkPolicy
+from repro.core.overlay import build_overlay_template, overlay_eligible
+from repro.core.policy import DiffPolicy, OverlayPolicy, StuffingPolicy, StuffMode
+from repro.core.serializer import build_template
+from repro.core.stats import RewriteStats
+from repro.errors import OverlayError
+from repro.schema.composite import ArrayType
+from repro.schema.mio import make_mio_array_type
+from repro.schema.types import DOUBLE, STRING
+from repro.soap.message import Parameter, SOAPMessage
+from repro.xmlkit.canonical import documents_equivalent
+from repro.xmlkit.scanner import parse_document
+
+
+def dmsg(values):
+    return SOAPMessage(
+        "putBig", "urn:test", [Parameter("a", ArrayType(DOUBLE), values)]
+    )
+
+
+def policy(portion=8, min_items=1):
+    return DiffPolicy(
+        stuffing=StuffingPolicy(StuffMode.MAX),
+        overlay=OverlayPolicy(enabled=True, portion_items=portion, min_items=min_items),
+    )
+
+
+def collect(overlay):
+    stats = RewriteStats()
+    parts = [bytes(v) for v in overlay.iter_send_views(stats)]
+    return b"".join(parts), stats
+
+
+class TestEligibility:
+    def test_eligible(self):
+        assert overlay_eligible(dmsg(np.arange(100.0)), policy())
+
+    def test_disabled(self):
+        p = DiffPolicy(stuffing=StuffingPolicy(StuffMode.MAX))
+        assert not overlay_eligible(dmsg(np.arange(100.0)), p)
+
+    def test_needs_stuffing(self):
+        p = DiffPolicy(overlay=OverlayPolicy(enabled=True, min_items=1))
+        assert not overlay_eligible(dmsg(np.arange(100.0)), p)
+
+    def test_min_items(self):
+        assert not overlay_eligible(dmsg(np.arange(4.0)), policy(min_items=10))
+
+    def test_multi_param_not_eligible(self):
+        m = SOAPMessage(
+            "op", "urn:t",
+            [
+                Parameter("a", ArrayType(DOUBLE), np.arange(50.0)),
+                Parameter("b", DOUBLE, 1.0),
+            ],
+        )
+        assert not overlay_eligible(m, policy())
+
+    def test_string_arrays_not_eligible(self):
+        m = SOAPMessage(
+            "op", "urn:t", [Parameter("s", ArrayType(STRING), ["a"] * 50)]
+        )
+        assert not overlay_eligible(m, policy())
+
+
+class TestBuildAndSend:
+    def test_divisible_portions(self):
+        values = np.arange(32.0)
+        overlay = build_overlay_template(dmsg(values), policy(portion=8))
+        assert overlay.portion_items == 8
+        assert overlay.full_portions == 4
+        assert overlay.tail is None
+        data, stats = collect(overlay)
+        parse_document(data)
+        fresh = build_template(
+            dmsg(values), DiffPolicy(stuffing=StuffingPolicy(StuffMode.MAX))
+        ).tobytes()
+        assert documents_equivalent(data, fresh)
+        assert stats.values_rewritten == 32
+
+    def test_remainder_tail(self):
+        values = np.arange(29.0)
+        overlay = build_overlay_template(dmsg(values), policy(portion=8))
+        assert overlay.full_portions == 3
+        assert overlay.tail is not None and overlay.tail.items == 5
+        data, _ = collect(overlay)
+        fresh = build_template(
+            dmsg(values), DiffPolicy(stuffing=StuffingPolicy(StuffMode.MAX))
+        ).tobytes()
+        assert documents_equivalent(data, fresh)
+
+    def test_total_bytes_exact(self):
+        overlay = build_overlay_template(dmsg(np.arange(29.0)), policy(portion=8))
+        data, _ = collect(overlay)
+        assert overlay.total_bytes == len(data)
+
+    def test_resident_memory_bounded(self):
+        big = np.arange(1000.0)
+        overlay = build_overlay_template(dmsg(big), policy(portion=10))
+        plain = build_template(
+            dmsg(big), DiffPolicy(stuffing=StuffingPolicy(StuffMode.MAX))
+        )
+        # The whole point: resident bytes ≪ full serialized form.
+        assert overlay.resident_bytes < plain.total_bytes / 10
+
+    def test_values_update_between_sends(self):
+        values = np.arange(32.0)
+        overlay = build_overlay_template(dmsg(values), policy(portion=8))
+        collect(overlay)
+        overlay.tracked.update(np.array([0, 31]), [111.5, 222.5])
+        data, _ = collect(overlay)
+        assert b"111.5" in data and b"222.5" in data
+
+    def test_mio_overlay(self):
+        cols = {
+            "x": np.arange(20),
+            "y": np.arange(20) * 2,
+            "v": np.arange(20) * 0.5,
+        }
+        m = SOAPMessage(
+            "putMesh", "urn:t", [Parameter("mesh", make_mio_array_type(), cols)]
+        )
+        overlay = build_overlay_template(m, policy(portion=6))
+        data, stats = collect(overlay)
+        fresh = build_template(
+            m, DiffPolicy(stuffing=StuffingPolicy(StuffMode.MAX))
+        ).tobytes()
+        assert documents_equivalent(data, fresh)
+        assert stats.values_rewritten == 60
+
+    def test_derived_portion_from_chunk_size(self):
+        p = DiffPolicy(
+            chunk=ChunkPolicy(chunk_size=2048, reserve=64),
+            stuffing=StuffingPolicy(StuffMode.MAX),
+            overlay=OverlayPolicy(enabled=True, min_items=1),
+        )
+        overlay = build_overlay_template(dmsg(np.arange(500.0)), p)
+        # 24-char doubles + <item></item> = 37 bytes → ~53 items/portion.
+        assert 20 < overlay.portion_items < 120
+
+    def test_sends_counter(self):
+        overlay = build_overlay_template(dmsg(np.arange(16.0)), policy(portion=8))
+        collect(overlay)
+        collect(overlay)
+        assert overlay.sends == 2
+
+
+class TestOverlayErrors:
+    def test_multi_param_rejected(self):
+        m = SOAPMessage(
+            "op", "urn:t",
+            [
+                Parameter("a", ArrayType(DOUBLE), np.arange(10.0)),
+                Parameter("b", DOUBLE, 1.0),
+            ],
+        )
+        with pytest.raises(OverlayError):
+            build_overlay_template(m, policy())
+
+    def test_no_stuffing_rejected(self):
+        with pytest.raises(OverlayError):
+            build_overlay_template(dmsg(np.arange(10.0)), DiffPolicy())
+
+    def test_value_exceeding_width_rejected_on_rewrite(self):
+        p = DiffPolicy(
+            stuffing=StuffingPolicy(StuffMode.FIXED, {"double": 5}),
+            overlay=OverlayPolicy(enabled=True, portion_items=4, min_items=1),
+        )
+        overlay = build_overlay_template(dmsg(np.array([1.0] * 8)), p)
+        overlay.tracked.update(np.array([5]), [0.123456789012])  # 14 chars > 5
+        with pytest.raises(OverlayError):
+            collect(overlay)

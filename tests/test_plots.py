@@ -1,0 +1,52 @@
+"""Unit tests for ASCII log-log plotting."""
+
+import pytest
+
+from repro.bench.plots import ascii_plot
+
+
+def sample_series():
+    return {
+        "fast": [(1, 0.01), (100, 0.1), (10000, 1.0)],
+        "slow": [(1, 0.1), (100, 10.0), (10000, 1000.0)],
+    }
+
+
+class TestAsciiPlot:
+    def test_contains_title_and_legend(self):
+        text = ascii_plot("My Figure", sample_series())
+        assert "My Figure" in text
+        assert "fast" in text and "slow" in text
+
+    def test_distinct_markers(self):
+        text = ascii_plot("T", sample_series())
+        legend = [l for l in text.splitlines() if l.strip().startswith(("o", "x"))]
+        markers = {l.strip()[0] for l in legend}
+        assert len(markers) == 2
+
+    def test_axis_labels_present(self):
+        text = ascii_plot("T", sample_series())
+        assert "ms" in text
+        assert "(array size)" in text
+
+    def test_monotone_series_rows_ordered(self):
+        """The slow curve's right-most marker sits above the fast one's."""
+        text = ascii_plot("T", sample_series(), width=60, height=20)
+        lines = [l.split("|", 1)[1] for l in text.splitlines() if "|" in l]
+        slow_rows = [i for i, l in enumerate(lines) if "x" in l]
+        fast_rows = [i for i, l in enumerate(lines) if "o" in l]
+        assert min(slow_rows) < min(fast_rows)  # higher value = higher row
+
+    def test_empty_or_nonpositive(self):
+        assert "no positive data" in ascii_plot("T", {"a": [(0, 0.0)]})
+        assert "no positive data" in ascii_plot("T", {})
+
+    def test_single_point_series(self):
+        text = ascii_plot("T", {"only": [(10, 1.0)]})
+        assert "only" in text
+
+    def test_dimensions_respected(self):
+        text = ascii_plot("T", sample_series(), width=40, height=10)
+        plot_rows = [l for l in text.splitlines() if "|" in l]
+        assert len(plot_rows) == 10
+        assert all(len(l.split("|", 1)[1]) == 40 for l in plot_rows)

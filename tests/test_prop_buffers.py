@@ -1,0 +1,82 @@
+"""Property tests: chunked-buffer operations never lose bytes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffers.chunked import ChunkedBuffer
+from repro.buffers.config import ChunkPolicy
+
+payloads = st.lists(st.binary(min_size=1, max_size=40), min_size=1, max_size=30)
+
+
+def make_buffer(data_list, chunk_size=64, reserve=8, split_threshold=16):
+    buf = ChunkedBuffer(
+        ChunkPolicy(
+            chunk_size=chunk_size, reserve=reserve, split_threshold=split_threshold
+        )
+    )
+    locs = [buf.append(p) for p in data_list]
+    return buf, locs
+
+
+class TestAppendProperties:
+    @given(payloads)
+    def test_append_preserves_concatenation(self, data_list):
+        buf, _ = make_buffer(data_list)
+        assert buf.tobytes() == b"".join(data_list)
+
+    @given(payloads)
+    def test_appends_are_atomic(self, data_list):
+        buf, locs = make_buffer(data_list)
+        for payload, loc in zip(data_list, locs):
+            assert buf.read_at(loc.cid, loc.offset, len(payload)) == payload
+
+    @given(payloads)
+    def test_views_cover_everything(self, data_list):
+        buf, _ = make_buffer(data_list)
+        assert b"".join(bytes(v) for v in buf.views()) == buf.tobytes()
+        assert buf.total_length == sum(len(p) for p in data_list)
+
+
+class TestGapProperties:
+    @given(
+        payloads,
+        st.integers(min_value=0, max_value=200),
+        st.data(),
+    )
+    @settings(max_examples=60)
+    def test_insert_gap_preserves_surroundings(self, data_list, delta, data):
+        buf, locs = make_buffer(data_list)
+        # Pick one appended payload to expand at its end.
+        pick = data.draw(st.integers(min_value=0, max_value=len(locs) - 1))
+        loc = locs[pick]
+        payload = data_list[pick]
+        before = buf.tobytes()
+        chunk = buf.chunk(loc.cid)
+        # Gap at end of this payload's span.
+        pos = loc.offset + len(payload)
+        # Compute the split of the whole message around this chunk position.
+        prefix_len = 0
+        for cid in buf.chunk_ids:
+            if cid == loc.cid:
+                break
+            prefix_len += buf.chunk(cid).used
+        abs_pos = prefix_len + pos
+        result = buf.insert_gap(loc.cid, pos, delta, loc.offset)
+        after = buf.tobytes()
+        assert len(after) == len(before) + delta
+        assert after[:abs_pos] == before[:abs_pos]
+        assert after[abs_pos + delta :] == before[abs_pos:]
+        assert result.mode in ("inplace", "realloc", "split")
+
+    @given(payloads, st.integers(min_value=1, max_value=100))
+    @settings(max_examples=40)
+    def test_repeated_gaps_grow_monotonically(self, data_list, delta):
+        buf, locs = make_buffer(data_list)
+        total = buf.total_length
+        # Expand right-to-left so earlier locations stay valid (a gap
+        # or split never moves bytes before its own position).
+        for loc, payload in reversed(list(zip(locs, data_list))):
+            buf.insert_gap(loc.cid, loc.offset + len(payload), delta, loc.offset)
+            total += delta
+            assert buf.total_length == total

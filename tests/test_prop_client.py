@@ -1,0 +1,107 @@
+"""Property tests at the client API level (auto-diff send path).
+
+For random sequences of ``client.send(message)`` calls with random
+value arrays, under randomized policies (stuffing × chunking ×
+expansion × float format × variants × pipelining), the bytes on the
+wire must always canonically equal a from-scratch serialization of
+that message — and the match-kind accounting must stay sane.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffers.config import ChunkPolicy
+from repro.core.client import BSoapClient
+from repro.core.policy import DiffPolicy, Expansion, StuffingPolicy, StuffMode
+from repro.core.serializer import build_template
+from repro.core.stats import MatchKind
+from repro.lexical.floats import FloatFormat
+from repro.schema.composite import ArrayType
+from repro.schema.types import DOUBLE
+from repro.soap.message import Parameter, SOAPMessage
+from repro.transport.loopback import CollectSink
+from repro.xmlkit.canonical import diff_documents, documents_equivalent
+
+POLICIES = [
+    DiffPolicy(),
+    DiffPolicy(float_format=FloatFormat.G17),
+    DiffPolicy(float_format=FloatFormat.SHORTEST),
+    DiffPolicy(stuffing=StuffingPolicy(StuffMode.MAX)),
+    DiffPolicy(
+        stuffing=StuffingPolicy(StuffMode.FIXED, {"double": 12}),
+        expansion=Expansion.STEAL,
+    ),
+    DiffPolicy(chunk=ChunkPolicy(chunk_size=128, reserve=16, split_threshold=48)),
+    DiffPolicy(
+        pipelined_send=True,
+        chunk=ChunkPolicy(chunk_size=128, reserve=16, split_threshold=48),
+    ),
+    DiffPolicy(template_variants=2, variant_miss_threshold=0.4),
+]
+
+VALUES = [0.0, 1.0, -1.0, 0.5, 123.456, 1e200, -1e-200, 0.1234567890123456, 7.0]
+
+
+def wire_oracle(sink: CollectSink, message: SOAPMessage, policy: DiffPolicy):
+    fresh = build_template(message, policy).tobytes()
+    assert documents_equivalent(sink.last, fresh), diff_documents(sink.last, fresh)
+
+
+class TestAutoDiffProperty:
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.lists(
+            st.lists(st.sampled_from(VALUES), min_size=1, max_size=12),
+            min_size=1,
+            max_size=6,
+        ),
+        st.sampled_from(POLICIES),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_every_send_matches_fresh_serialization(self, n, rounds, policy):
+        sink = CollectSink()
+        client = BSoapClient(sink, policy)
+        for round_values in rounds:
+            values = (round_values * ((n // len(round_values)) + 1))[:n]
+            message = SOAPMessage(
+                "op", "urn:p", [Parameter("a", ArrayType(DOUBLE), list(values))]
+            )
+            report = client.send(message)
+            assert report.bytes_sent == len(sink.last)
+            wire_oracle(sink, message, policy)
+
+    @given(
+        st.lists(st.sampled_from(VALUES), min_size=2, max_size=8),
+        st.sampled_from(POLICIES),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_identical_resend_is_content_match(self, values, policy):
+        client = BSoapClient(CollectSink(), policy)
+        message = SOAPMessage(
+            "op", "urn:p", [Parameter("a", ArrayType(DOUBLE), list(values))]
+        )
+        client.send(message)
+        report = client.send(
+            SOAPMessage("op", "urn:p", [Parameter("a", ArrayType(DOUBLE), list(values))])
+        )
+        assert report.match_kind is MatchKind.CONTENT_MATCH
+        assert report.rewrite.values_rewritten == 0
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_length_changes_always_rebuild(self, n1, n2):
+        client = BSoapClient(CollectSink())
+        client.send(
+            SOAPMessage("op", "urn:p", [Parameter("a", ArrayType(DOUBLE), [1.0] * n1)])
+        )
+        report = client.send(
+            SOAPMessage("op", "urn:p", [Parameter("a", ArrayType(DOUBLE), [1.0] * n2)])
+        )
+        if n1 == n2:
+            assert report.match_kind is MatchKind.CONTENT_MATCH
+        else:
+            assert report.match_kind is MatchKind.FIRST_TIME

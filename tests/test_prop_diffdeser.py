@@ -1,0 +1,140 @@
+"""Property tests: client mutations survive the full differential
+pipeline — differential serialization on the wire, differential
+deserialization on the server — for arbitrary mutation sequences."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.client import BSoapClient
+from repro.core.policy import DiffPolicy, StuffingPolicy, StuffMode
+from repro.schema.composite import ArrayType
+from repro.schema.mio import MIO_TYPE, make_mio_array_type
+from repro.schema.registry import TypeRegistry
+from repro.schema.types import DOUBLE
+from repro.server.diffdeser import DeserKind, DifferentialDeserializer
+from repro.soap.message import Parameter, SOAPMessage
+from repro.transport.loopback import CollectSink
+
+VALUE_POOL = [0.0, 1.0, -2.5, 0.125, 1e50, -1e-50, 9.75, 3.0]
+
+
+class TestDoublePipeline:
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.lists(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=29),
+                    st.sampled_from(VALUE_POOL),
+                ),
+                max_size=6,
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_server_state_tracks_client(self, n, rounds):
+        sink = CollectSink()
+        client = BSoapClient(
+            sink, DiffPolicy(stuffing=StuffingPolicy(StuffMode.MAX))
+        )
+        call = client.prepare(
+            SOAPMessage(
+                "put", "urn:p",
+                [Parameter("a", ArrayType(DOUBLE), [1.0] * n)],
+            )
+        )
+        call.send()
+        server = DifferentialDeserializer()
+        decoded, report = server.deserialize(sink.last)
+        assert report.kind is DeserKind.FULL
+
+        current = np.full(n, 1.0)
+        tracked = call.tracked("a")
+        for mutations in rounds:
+            for idx, value in mutations:
+                idx %= n
+                tracked[idx] = value
+                current[idx] = value
+            call.send()
+            decoded, report = server.deserialize(sink.last)
+            # MAX stuffing ⇒ the server never needs a full re-parse.
+            assert report.kind in (
+                DeserKind.DIFFERENTIAL,
+                DeserKind.CONTENT_MATCH,
+            )
+            got = decoded.value("a")
+            assert np.array_equal(got, current), (got, current)
+
+    @given(st.integers(min_value=1, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_differential_parse_counts_bounded(self, n):
+        """Leaves parsed differentially ≤ leaves mutated."""
+        sink = CollectSink()
+        client = BSoapClient(
+            sink, DiffPolicy(stuffing=StuffingPolicy(StuffMode.MAX))
+        )
+        call = client.prepare(
+            SOAPMessage(
+                "put", "urn:p", [Parameter("a", ArrayType(DOUBLE), [2.0] * n)]
+            )
+        )
+        call.send()
+        server = DifferentialDeserializer()
+        server.deserialize(sink.last)
+        k = max(1, n // 3)
+        call.tracked("a").update(np.arange(k), np.full(k, 7.25))
+        call.send()
+        _, report = server.deserialize(sink.last)
+        assert report.kind is DeserKind.DIFFERENTIAL
+        assert report.leaves_parsed <= k
+
+
+class TestMioPipeline:
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.sampled_from(["x", "y", "v"]),
+                st.integers(min_value=-(10**6), max_value=10**6),
+            ),
+            max_size=12,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_struct_pipeline(self, n, mutations):
+        registry = TypeRegistry()
+        registry.register_struct(MIO_TYPE)
+        sink = CollectSink()
+        client = BSoapClient(
+            sink, DiffPolicy(stuffing=StuffingPolicy(StuffMode.MAX))
+        )
+        cols = {
+            "x": np.arange(n),
+            "y": np.arange(n),
+            "v": np.full(n, 0.5),
+        }
+        call = client.prepare(
+            SOAPMessage(
+                "put", "urn:p",
+                [Parameter("m", make_mio_array_type(), {k: v.copy() for k, v in cols.items()})],
+            )
+        )
+        call.send()
+        server = DifferentialDeserializer(registry)
+        server.deserialize(sink.last)
+        tracked = call.tracked("m")
+        for idx, field, raw in mutations:
+            idx %= n
+            value = float(raw) / 4 if field == "v" else raw
+            tracked.set(idx, field, value)
+            cols[field][idx] = value
+        call.send()
+        decoded, report = server.deserialize(sink.last)
+        assert report.kind in (DeserKind.DIFFERENTIAL, DeserKind.CONTENT_MATCH)
+        got = decoded.value("m")
+        for key in ("x", "y", "v"):
+            assert np.array_equal(got[key], cols[key]), key

@@ -1,0 +1,88 @@
+"""Property tests: lexical round trips and width bounds."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lexical.floats import (
+    DOUBLE_MAX_WIDTH,
+    FloatFormat,
+    format_double,
+    parse_double,
+)
+from repro.lexical.integers import (
+    INT_MAX_WIDTH,
+    LONG_MAX_WIDTH,
+    format_int,
+    parse_int,
+)
+from repro.lexical.strings import format_string, parse_string
+from repro.xmlkit.escape import escape_attr, escape_text, unescape
+
+finite_doubles = st.floats(allow_nan=False, allow_infinity=False)
+int32s = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+int64s = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+
+class TestFloatProperties:
+    @given(finite_doubles, st.sampled_from(list(FloatFormat)))
+    def test_round_trip_exact(self, value, fmt):
+        assert parse_double(format_double(value, fmt)) == value
+
+    @given(finite_doubles, st.sampled_from(list(FloatFormat)))
+    def test_width_bound(self, value, fmt):
+        assert len(format_double(value, fmt)) <= DOUBLE_MAX_WIDTH
+
+    @given(st.floats(allow_nan=True, allow_infinity=True))
+    def test_specials_round_trip(self, value):
+        text = format_double(value)
+        back = parse_double(text)
+        assert back == value or (math.isnan(back) and math.isnan(value))
+
+    @given(finite_doubles)
+    def test_ascii_only(self, value):
+        text = format_double(value)
+        assert all(b < 128 for b in text)
+
+
+class TestIntProperties:
+    @given(int64s)
+    def test_round_trip(self, value):
+        assert parse_int(format_int(value)) == value
+
+    @given(int32s)
+    def test_int32_width_bound(self, value):
+        assert len(format_int(value)) <= INT_MAX_WIDTH
+
+    @given(int64s)
+    def test_int64_width_bound(self, value):
+        assert len(format_int(value)) <= LONG_MAX_WIDTH
+
+    @given(int64s, st.text(alphabet=" \t\r\n", max_size=4))
+    def test_whitespace_collapse(self, value, pad):
+        assert parse_int(pad.encode() + format_int(value) + pad.encode()) == value
+
+
+class TestStringProperties:
+    @given(st.text())
+    def test_round_trip(self, value):
+        assert parse_string(format_string(value)) == value
+
+    @given(st.binary())
+    def test_text_escape_round_trip(self, data):
+        assert unescape(escape_text(data)) == data
+
+    @given(st.binary())
+    def test_attr_escape_round_trip(self, data):
+        assert unescape(escape_attr(data)) == data
+
+    @given(st.binary())
+    def test_escaped_text_has_no_raw_specials(self, data):
+        escaped = escape_text(data)
+        assert b"<" not in escaped and b">" not in escaped
+        # every remaining '&' must start an entity
+        i = escaped.find(b"&")
+        while i >= 0:
+            assert escaped.find(b";", i) > i
+            i = escaped.find(b"&", i + 1)

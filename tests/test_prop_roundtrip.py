@@ -1,0 +1,156 @@
+"""Property tests: writer→scanner and client→server round trips."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.client import BSoapClient
+from repro.core.policy import DiffPolicy, StuffingPolicy, StuffMode
+from repro.schema.composite import ArrayType
+from repro.schema.mio import make_mio_array_type
+from repro.schema.registry import TypeRegistry
+from repro.schema.mio import MIO_TYPE
+from repro.schema.types import DOUBLE, INT, STRING
+from repro.server.parser import SOAPRequestParser
+from repro.soap.message import Parameter, SOAPMessage
+from repro.transport.loopback import CollectSink
+from repro.xmlkit.scanner import Characters, EndElement, StartElement, XMLScanner
+from repro.xmlkit.writer import XMLWriter
+
+tag_names = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,8}", fullmatch=True)
+texts = st.text(max_size=40)
+attr_values = st.text(max_size=20)
+
+
+@st.composite
+def xml_trees(draw, depth=0):
+    """Random small element trees."""
+    tag = draw(tag_names)
+    attrs = draw(
+        st.dictionaries(tag_names, attr_values, max_size=3)
+    )
+    if depth >= 3:
+        children = []
+    else:
+        children = draw(
+            st.lists(xml_trees(depth=depth + 1), max_size=3)
+        )
+    text = draw(texts)
+    return (tag, attrs, children, text)
+
+
+def write_tree(writer, tree):
+    tag, attrs, children, text = tree
+    writer.start(tag, attrs)
+    if text:
+        writer.text(text)
+    for child in children:
+        write_tree(writer, child)
+    writer.end()
+
+
+def collect_tree(events, i=0):
+    start = events[i]
+    assert isinstance(start, StartElement)
+    i += 1
+    text_parts = []
+    children = []
+    while not isinstance(events[i], EndElement):
+        if isinstance(events[i], Characters):
+            text_parts.append(events[i].text)
+            i += 1
+        else:
+            child, i = collect_tree(events, i)
+            children.append(child)
+    return (start.name, start.attrs, children, "".join(text_parts)), i + 1
+
+
+class TestWriterScannerRoundTrip:
+    @given(xml_trees())
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip(self, tree):
+        writer = XMLWriter()
+        write_tree(writer, tree)
+        document = writer.getvalue()
+        events = list(XMLScanner(document, keep_whitespace=True))
+        parsed, consumed = collect_tree(events)
+        assert consumed == len(events)
+
+        def normalize(node):
+            tag, attrs, children, text = node
+            return (tag, dict(attrs), [normalize(c) for c in children], text)
+
+        assert normalize(parsed) == normalize(tree)
+
+
+class TestClientServerRoundTrip:
+    """Serialize with bSOAP, parse with the server — values identical."""
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False), min_size=1, max_size=20
+        ),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_double_arrays(self, values, stuffed):
+        policy = DiffPolicy(
+            stuffing=StuffingPolicy(StuffMode.MAX if stuffed else StuffMode.NONE)
+        )
+        sink = CollectSink()
+        BSoapClient(sink, policy).send(
+            SOAPMessage("op", "urn:p", [Parameter("a", ArrayType(DOUBLE), values)])
+        )
+        decoded = SOAPRequestParser().parse(sink.last).message
+        assert decoded.value("a").tolist() == values
+
+    @given(st.lists(st.integers(min_value=-(2**31), max_value=2**31 - 1),
+                    min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_int_arrays(self, values):
+        sink = CollectSink()
+        BSoapClient(sink).send(
+            SOAPMessage("op", "urn:p", [Parameter("a", ArrayType(INT), values)])
+        )
+        decoded = SOAPRequestParser().parse(sink.last).message
+        assert decoded.value("a").tolist() == values
+
+    @given(st.lists(st.text(max_size=30), min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_string_arrays(self, values):
+        sink = CollectSink()
+        BSoapClient(sink).send(
+            SOAPMessage("op", "urn:p", [Parameter("s", ArrayType(STRING), values)])
+        )
+        decoded = SOAPRequestParser().parse(sink.last).message
+        assert decoded.value("s") == values
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-(2**31), max_value=2**31 - 1),
+                st.integers(min_value=-(2**31), max_value=2**31 - 1),
+                st.floats(allow_nan=False, allow_infinity=False),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mio_arrays(self, records):
+        cols = {
+            "x": [r[0] for r in records],
+            "y": [r[1] for r in records],
+            "v": [r[2] for r in records],
+        }
+        sink = CollectSink()
+        BSoapClient(sink).send(
+            SOAPMessage("op", "urn:p", [Parameter("m", make_mio_array_type(), cols)])
+        )
+        reg = TypeRegistry()
+        reg.register_struct(MIO_TYPE)
+        decoded = SOAPRequestParser(reg).parse(sink.last).message
+        got = decoded.value("m")
+        assert got["x"].tolist() == cols["x"]
+        assert got["y"].tolist() == cols["y"]
+        assert got["v"].tolist() == cols["v"]

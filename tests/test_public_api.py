@@ -1,0 +1,54 @@
+"""Repo-wide API hygiene: every module imports, every __all__ resolves."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _finder, name, _ispkg in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    )
+)
+
+
+def test_module_discovery_found_the_tree():
+    assert len(MODULES) > 40
+    for expected in (
+        "repro.core.client",
+        "repro.dut.table",
+        "repro.buffers.chunked",
+        "repro.server.diffdeser",
+        "repro.bench.figures",
+        "repro.apps.lsa_components",
+        "repro.channel",
+    ):
+        assert expected in MODULES, expected
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_imports_cleanly(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    missing = [n for n in exported if not hasattr(module, n)]
+    assert not missing, f"{name}.__all__ has dangling names: {missing}"
+
+
+def test_top_level_exports():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version_string():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)

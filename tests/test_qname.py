@@ -1,0 +1,108 @@
+"""Unit tests for qualified names and namespace bindings."""
+
+import pytest
+
+from repro.errors import XMLError
+from repro.xmlkit.qname import NamespaceBindings, QName, split_prefixed
+
+
+class TestSplitPrefixed:
+    def test_plain(self):
+        assert split_prefixed("item") == ("", "item")
+
+    def test_prefixed(self):
+        assert split_prefixed("xsd:double") == ("xsd", "double")
+
+    def test_double_colon_rejected(self):
+        with pytest.raises(XMLError):
+            split_prefixed("a:b:c")
+
+    def test_empty_parts_rejected(self):
+        with pytest.raises(XMLError):
+            split_prefixed(":x")
+        with pytest.raises(XMLError):
+            split_prefixed("x:")
+
+
+class TestQName:
+    def test_prefixed_form(self):
+        q = QName("urn:x", "double", "xsd")
+        assert q.prefixed == "xsd:double"
+
+    def test_bare_form(self):
+        assert QName("", "item").prefixed == "item"
+
+    def test_clark(self):
+        assert QName("urn:x", "a").clark == "{urn:x}a"
+        assert QName("", "a").clark == "a"
+
+    def test_matches_ignores_prefix(self):
+        assert QName("urn:x", "a", "p1").matches(QName("urn:x", "a", "p2"))
+        assert not QName("urn:x", "a").matches(QName("urn:y", "a"))
+
+    def test_with_prefix(self):
+        q = QName("urn:x", "a").with_prefix("ns")
+        assert q.prefixed == "ns:a"
+        assert q.uri == "urn:x"
+
+    def test_hashable(self):
+        assert len({QName("u", "a"), QName("u", "a")}) == 1
+
+    def test_invalid_local(self):
+        with pytest.raises(XMLError):
+            QName("u", "")
+        with pytest.raises(XMLError):
+            QName("u", "a:b")
+
+
+class TestNamespaceBindings:
+    def test_declare_and_resolve(self):
+        ns = NamespaceBindings()
+        ns.declare("xsd", "urn:schema")
+        assert ns.resolve("xsd") == "urn:schema"
+
+    def test_default_namespace_empty(self):
+        assert NamespaceBindings().resolve("") == ""
+
+    def test_xml_prefix_builtin(self):
+        assert "XML/1998" in NamespaceBindings().resolve("xml")
+
+    def test_unbound_raises(self):
+        with pytest.raises(XMLError, match="unbound"):
+            NamespaceBindings().resolve("nope")
+
+    def test_scoping_shadow_and_pop(self):
+        ns = NamespaceBindings({"p": "outer"})
+        ns.push({"p": "inner"})
+        assert ns.resolve("p") == "inner"
+        ns.pop()
+        assert ns.resolve("p") == "outer"
+
+    def test_pop_underflow(self):
+        with pytest.raises(XMLError):
+            NamespaceBindings().pop()
+
+    def test_prefix_for_respects_shadowing(self):
+        ns = NamespaceBindings({"p": "urn:a"})
+        ns.push({"p": "urn:b"})
+        # p now means urn:b, so urn:a has no usable prefix.
+        assert ns.prefix_for("urn:b") == "p"
+        assert ns.prefix_for("urn:a") is None
+
+    def test_expand_element_vs_attribute(self):
+        ns = NamespaceBindings({"": "urn:default", "x": "urn:x"})
+        assert ns.expand("item").uri == "urn:default"
+        assert ns.expand("item", is_attribute=True).uri == ""
+        assert ns.expand("x:item").uri == "urn:x"
+
+    def test_iter_bindings_innermost_wins(self):
+        ns = NamespaceBindings({"p": "a", "q": "b"})
+        ns.push({"p": "c"})
+        bindings = dict(ns.iter_bindings())
+        assert bindings == {"p": "c", "q": "b"}
+
+    def test_depth(self):
+        ns = NamespaceBindings()
+        assert ns.depth == 1
+        ns.push()
+        assert ns.depth == 2

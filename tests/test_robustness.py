@@ -1,0 +1,179 @@
+"""Robustness: fuzzed inputs, malformed traffic, concurrent clients."""
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.client import BSoapClient
+from repro.errors import HTTPFramingError, ReproError, XMLSyntaxError
+from repro.schema.composite import ArrayType
+from repro.schema.types import DOUBLE
+from repro.server.diffdeser import DifferentialDeserializer
+from repro.server.parser import SOAPRequestParser
+from repro.server.service import HTTPSoapServer, SOAPService
+from repro.soap.fault import SOAPFault
+from repro.soap.message import Parameter, SOAPMessage
+from repro.transport.dummy_server import DummyServer
+from repro.transport.http import parse_http_request
+from repro.transport.loopback import CollectSink
+from repro.transport.tcp import TCPTransport
+from repro.xmlkit.scanner import XMLScanner
+
+
+class TestScannerFuzz:
+    @given(st.binary(max_size=300))
+    @settings(max_examples=200, deadline=None)
+    def test_never_hangs_or_crashes(self, data):
+        """Arbitrary bytes either scan or raise XMLSyntaxError/XMLError."""
+        try:
+            for _ in XMLScanner(data):
+                pass
+        except ReproError:
+            pass
+        except UnicodeDecodeError:
+            pass  # binary garbage inside a token
+
+    @given(st.text(alphabet="<>/&;ab \"'=!?-[]", max_size=120))
+    @settings(max_examples=200, deadline=None)
+    def test_markup_soup(self, text):
+        try:
+            for _ in XMLScanner(text.encode("utf-8")):
+                pass
+        except ReproError:
+            pass
+
+
+class TestParserFuzz:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_request_parser_rejects_cleanly(self, data):
+        parser = SOAPRequestParser()
+        try:
+            parser.parse(data)
+        except ReproError:
+            pass
+        except UnicodeDecodeError:
+            pass
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_diffdeser_full_fallback_never_corrupts(self, data):
+        """After garbage, the deserializer still works on real traffic."""
+        sink = CollectSink()
+        BSoapClient(sink).send(
+            SOAPMessage("op", "urn:t", [Parameter("a", ArrayType(DOUBLE), [1.0])])
+        )
+        dd = DifferentialDeserializer()
+        dd.deserialize(sink.last)
+        try:
+            dd.deserialize(data)
+        except ReproError:
+            pass
+        except UnicodeDecodeError:
+            pass
+        decoded, _ = dd.deserialize(sink.last)
+        assert decoded.value("a")[0] == 1.0
+
+    @given(st.binary(max_size=150))
+    @settings(max_examples=100, deadline=None)
+    def test_http_request_parser(self, data):
+        try:
+            parse_http_request(data)
+        except ReproError:
+            pass
+
+
+class TestServiceRobustness:
+    def test_service_answers_fault_on_garbage(self):
+        svc = SOAPService("urn:t")
+
+        @svc.operation("op")
+        def op():
+            return None
+
+        for garbage in (b"", b"not xml", b"<a>", b"\x00\xff\xfe"):
+            response = svc.handle(garbage)
+            fault = SOAPFault.from_xml(response)
+            assert fault is not None
+
+    def test_http_server_survives_malformed_then_valid(self):
+        svc = SOAPService("urn:t")
+        hits = []
+
+        @svc.operation("ping")
+        def ping():
+            hits.append(1)
+
+        with HTTPSoapServer(svc) as server:
+            # Raw garbage on one connection...
+            raw = socket.create_connection(("127.0.0.1", server.port))
+            raw.sendall(b"GARBAGE / NOT-HTTP\r\n\r\n")
+            raw.close()
+            time.sleep(0.1)
+            # ...must not break subsequent well-formed requests.
+            from repro.transport.http import HTTPTransport
+
+            tcp = TCPTransport("127.0.0.1", server.port)
+            http = HTTPTransport(tcp, mode="content-length")
+            BSoapClient(http).send(SOAPMessage("ping", "urn:t", []))
+            status, _h, _b = tcp.recv_http_response()
+            assert status == 200
+            tcp.close()
+        assert hits == [1]
+
+
+class TestConcurrentClients:
+    def test_many_clients_drain_server(self):
+        with DummyServer() as server:
+            total = 8
+            payload = b"z" * 20000
+            errors = []
+
+            def worker():
+                try:
+                    tcp = TCPTransport("127.0.0.1", server.port)
+                    tcp.send_message([payload])
+                    tcp.close()
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker) for _ in range(total)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=5)
+            deadline = time.time() + 3
+            expected = total * len(payload)
+            while server.bytes_drained < expected and time.time() < deadline:
+                time.sleep(0.02)
+            assert not errors
+            assert server.bytes_drained == expected
+            assert server.connections == total
+
+
+class TestScale:
+    """Paper-scale message sanity (100K doubles, the largest size)."""
+
+    def test_100k_template_lifecycle(self):
+        rng = np.random.default_rng(0)
+        sink = CollectSink()
+        client = BSoapClient(sink)
+        n = 100_000
+        message = SOAPMessage(
+            "put", "urn:t", [Parameter("a", ArrayType(DOUBLE), rng.random(n))]
+        )
+        call = client.prepare(message)
+        r1 = call.send()
+        assert r1.bytes_sent > n * 10
+        r2 = call.send()
+        assert r2.bytes_sent == r1.bytes_sent
+        idx = rng.choice(n, 1000, replace=False)
+        call.tracked("a").update(idx, rng.random(1000))
+        r3 = call.send()
+        assert r3.rewrite.values_rewritten == 1000
+        call.template.dut.validate()

@@ -1,0 +1,132 @@
+"""Unit tests for the pull XML scanner."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmlkit.scanner import (
+    Characters,
+    Comment,
+    EndElement,
+    ProcessingInstruction,
+    StartElement,
+    XMLScanner,
+    parse_document,
+)
+
+
+def kinds(events):
+    return [type(e).__name__ for e in events]
+
+
+class TestBasicScanning:
+    def test_simple(self):
+        events = parse_document(b"<a><b>hi</b></a>")
+        assert kinds(events) == [
+            "StartElement",
+            "StartElement",
+            "Characters",
+            "EndElement",
+            "EndElement",
+        ]
+        assert events[2].text == "hi"
+
+    def test_attributes(self):
+        (start, _end) = parse_document(b'<a x="1" y=\'2\'/>')
+        assert start.attrs == {"x": "1", "y": "2"}
+        assert start.self_closing
+
+    def test_self_closing_synthesizes_end(self):
+        events = parse_document(b"<a/>")
+        assert kinds(events) == ["StartElement", "EndElement"]
+
+    def test_entities_resolved_in_text_and_attrs(self):
+        events = parse_document(b'<a k="&lt;v&gt;">x &amp; y</a>')
+        assert events[0].attrs["k"] == "<v>"
+        assert events[1].text == "x & y"
+
+    def test_prolog_and_comment_and_pi(self):
+        data = b'<?xml version="1.0"?><!--c--><a><?target data?></a>'
+        events = parse_document(data)
+        assert isinstance(events[0], ProcessingInstruction)
+        assert events[0].target == "xml"
+        assert isinstance(events[1], Comment)
+        pi = [e for e in events if isinstance(e, ProcessingInstruction)][1]
+        assert (pi.target, pi.data) == ("target", "data")
+
+    def test_cdata(self):
+        events = parse_document(b"<a><![CDATA[<raw> & stuff]]></a>")
+        chars = [e for e in events if isinstance(e, Characters)]
+        assert chars[0].text == "<raw> & stuff"
+
+    def test_whitespace_suppressed_by_default(self):
+        events = parse_document(b"<a>  <b>x</b>  </a>")
+        chars = [e for e in events if isinstance(e, Characters)]
+        assert len(chars) == 1 and chars[0].text == "x"
+
+    def test_whitespace_kept_when_asked(self):
+        events = list(XMLScanner(b"<a>  <b>x</b></a>", keep_whitespace=True))
+        chars = [e for e in events if isinstance(e, Characters)]
+        assert chars[0].text == "  "
+
+    def test_offsets_point_into_document(self):
+        data = b"<a>hello</a>"
+        events = parse_document(data)
+        chars = events[1]
+        assert data[chars.offset : chars.offset + 5] == b"hello"
+
+    def test_attribute_with_spaces_around_equals(self):
+        (start, _) = parse_document(b'<a  k =  "v" />')
+        assert start.attrs == {"k": "v"}
+
+    def test_depth_tracking(self):
+        scanner = XMLScanner(b"<a><b></b></a>")
+        depths = []
+        for _event in scanner:
+            depths.append(scanner.depth)
+        assert depths == [1, 2, 1, 0]
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            b"<a><b></a></b>",  # mismatched nesting
+            b"<a>",  # unclosed
+            b"<a></a></a>",  # extra end
+            b"<a></a><b></b>",  # two roots
+            b"text<a></a>",  # text before root
+            b'<a k="v></a>',  # unterminated attribute
+            b'<a k="1" k="2"></a>',  # duplicate attribute
+            b"<a k=v></a>",  # unquoted value
+            b"<!DOCTYPE a><a></a>",  # DOCTYPE forbidden in SOAP
+            b"<a><!-- unterminated </a>",
+            b"<></>",  # empty name
+            b"",  # no root
+        ],
+    )
+    def test_malformed_rejected(self, doc):
+        with pytest.raises(XMLSyntaxError):
+            parse_document(doc)
+
+    def test_error_carries_offset(self):
+        try:
+            parse_document(b"<a><b></c></a>")
+        except XMLSyntaxError as exc:
+            assert exc.offset > 0
+        else:  # pragma: no cover
+            pytest.fail("expected XMLSyntaxError")
+
+
+class TestLargeRuns:
+    def test_long_character_run_single_event(self):
+        body = b"x" * 100_000
+        events = parse_document(b"<a>" + body + b"</a>")
+        chars = [e for e in events if isinstance(e, Characters)]
+        assert len(chars) == 1
+        assert len(chars[0].text) == 100_000
+
+    def test_many_siblings(self):
+        doc = b"<a>" + b"<i>1</i>" * 5000 + b"</a>"
+        events = parse_document(doc)
+        starts = [e for e in events if isinstance(e, StartElement)]
+        assert len(starts) == 5001

@@ -1,0 +1,147 @@
+"""Unit tests for the type system."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.composite import ArrayType, Field, StructType
+from repro.schema.mio import MIO, MIO_TYPE, make_mio_array_type
+from repro.schema.registry import TypeRegistry
+from repro.schema.types import (
+    BOOLEAN,
+    DOUBLE,
+    INT,
+    LONG,
+    PRIMITIVES,
+    STRING,
+    primitive_by_id,
+    primitive_by_name,
+)
+
+
+class TestPrimitives:
+    def test_ids_index_primitives(self):
+        for t in PRIMITIVES:
+            assert primitive_by_id(t.type_id) is t
+
+    def test_lookup_by_name(self):
+        assert primitive_by_name("double") is DOUBLE
+        assert primitive_by_name("int") is INT
+
+    def test_unknown(self):
+        with pytest.raises(SchemaError):
+            primitive_by_name("float128")
+        with pytest.raises(SchemaError):
+            primitive_by_id(99)
+
+    def test_xsi_type(self):
+        assert DOUBLE.xsi_type == "xsd:double"
+        assert STRING.xsi_type == "xsd:string"
+
+    def test_format_parse_round_trip(self):
+        assert DOUBLE.parse(DOUBLE.format(2.5)) == 2.5
+        assert INT.parse(INT.format(-42)) == -42
+        assert BOOLEAN.parse(BOOLEAN.format(True)) is True
+        assert STRING.parse(STRING.format("a<b")) == "a<b"
+        assert LONG.parse(LONG.format(2**40)) == 2**40
+
+    def test_np_dtypes(self):
+        assert DOUBLE.np_dtype == np.float64
+        assert INT.np_dtype == np.int64
+        assert STRING.np_dtype is None
+
+
+class TestStructType:
+    def test_mio_shape(self):
+        assert MIO_TYPE.arity == 3
+        assert [f.name for f in MIO_TYPE.fields] == ["x", "y", "v"]
+
+    def test_mio_widths(self):
+        assert MIO_TYPE.max_width == 46
+        assert MIO_TYPE.min_width == 3
+
+    def test_string_field_makes_width_unbounded(self):
+        s = StructType("Rec", (Field("name", STRING), Field("n", INT)))
+        assert s.max_width is None
+
+    def test_field_named(self):
+        assert MIO_TYPE.field_named("v").xsd_type is DOUBLE
+        with pytest.raises(SchemaError):
+            MIO_TYPE.field_named("z")
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(SchemaError):
+            StructType("Bad", (Field("a", INT), Field("a", INT)))
+
+    def test_empty_struct_rejected(self):
+        with pytest.raises(SchemaError):
+            StructType("Empty", ())
+
+    def test_bad_field_name(self):
+        with pytest.raises(SchemaError):
+            Field("1abc", INT)
+
+    def test_iter(self):
+        assert [f.name for f in MIO_TYPE] == ["x", "y", "v"]
+
+
+class TestArrayType:
+    def test_primitive_array(self):
+        arr = ArrayType(DOUBLE)
+        assert not arr.element_is_struct
+        assert arr.values_per_item == 1
+        assert arr.soap_array_type(100) == "xsd:double[100]"
+        assert arr.type_label() == "array<double>"
+
+    def test_struct_array(self):
+        arr = make_mio_array_type()
+        assert arr.element_is_struct
+        assert arr.values_per_item == 3
+        assert arr.soap_array_type(5) == "ns:MIO[5]"
+        assert "MIO" in arr.type_label()
+
+    def test_custom_item_tag(self):
+        assert make_mio_array_type("cell").item_tag == "cell"
+
+    def test_empty_item_tag_rejected(self):
+        with pytest.raises(SchemaError):
+            ArrayType(INT, item_tag="")
+
+
+class TestMIO:
+    def test_record(self):
+        m = MIO(1, 2, 3.5)
+        assert m.astuple() == (1, 2, 3.5)
+
+
+class TestRegistry:
+    def test_primitives_preloaded(self):
+        reg = TypeRegistry()
+        assert "double" in reg
+        assert reg.lookup("int") is INT
+
+    def test_register_struct(self):
+        reg = TypeRegistry()
+        reg.register_struct(MIO_TYPE)
+        assert reg.lookup("MIO") is MIO_TYPE
+        assert list(reg.structs()) == [MIO_TYPE]
+
+    def test_reregister_same_ok(self):
+        reg = TypeRegistry()
+        reg.register_struct(MIO_TYPE)
+        reg.register_struct(MIO_TYPE)  # no-op
+
+    def test_conflict_rejected(self):
+        reg = TypeRegistry()
+        reg.register_struct(MIO_TYPE)
+        other = StructType("MIO", (Field("a", INT),))
+        with pytest.raises(SchemaError):
+            reg.register("MIO", other)
+
+    def test_unknown_lookup(self):
+        with pytest.raises(SchemaError):
+            TypeRegistry().lookup("Nope")
+
+    def test_iter(self):
+        names = dict(TypeRegistry())
+        assert "double" in names

@@ -1,0 +1,188 @@
+"""Unit tests for template construction (full serialization)."""
+
+import numpy as np
+import pytest
+
+from repro.buffers.config import ChunkPolicy
+from repro.core.policy import DiffPolicy, StuffingPolicy, StuffMode
+from repro.core.serializer import build_template, make_tracked
+from repro.dut.tracked import (
+    TrackedArray,
+    TrackedScalar,
+    TrackedStringArray,
+    TrackedStructArray,
+)
+from repro.schema.composite import ArrayType
+from repro.schema.mio import MIO, MIO_TYPE, make_mio_array_type
+from repro.schema.types import BOOLEAN, DOUBLE, INT, STRING
+from repro.soap.message import Parameter, SOAPMessage, structure_signature
+from repro.xmlkit.canonical import canonical_events
+from repro.xmlkit.scanner import parse_document
+
+
+def msg(*params):
+    return SOAPMessage("op", "urn:test", list(params))
+
+
+class TestMakeTracked:
+    def test_primitive_array(self):
+        t = make_tracked(Parameter("a", ArrayType(DOUBLE), [1.0, 2.0]))
+        assert isinstance(t, TrackedArray)
+
+    def test_struct_array_from_dict(self):
+        t = make_tracked(
+            Parameter("m", make_mio_array_type(), {"x": [1], "y": [2], "v": [3.0]})
+        )
+        assert isinstance(t, TrackedStructArray)
+
+    def test_struct_array_from_records(self):
+        t = make_tracked(Parameter("m", make_mio_array_type(), [MIO(1, 2, 3.0)]))
+        assert isinstance(t, TrackedStructArray)
+
+    def test_string_array(self):
+        t = make_tracked(Parameter("s", ArrayType(STRING), ["a", "b"]))
+        assert isinstance(t, TrackedStringArray)
+
+    def test_scalar(self):
+        assert isinstance(make_tracked(Parameter("x", DOUBLE, 1.0)), TrackedScalar)
+
+    def test_scalar_struct(self):
+        t = make_tracked(Parameter("m", MIO_TYPE, MIO(1, 2, 3.0)))
+        assert isinstance(t, TrackedStructArray) and len(t) == 1
+
+    def test_pre_tracked_passthrough(self):
+        tracked = TrackedArray([1.0], DOUBLE)
+        assert make_tracked(Parameter("a", ArrayType(DOUBLE), tracked)) is tracked
+
+
+class TestBuildTemplate:
+    def test_document_wellformed(self):
+        t = build_template(msg(Parameter("a", ArrayType(DOUBLE), np.arange(5.0))))
+        parse_document(t.tobytes())
+
+    def test_signature_recorded(self):
+        m = msg(Parameter("a", ArrayType(DOUBLE), np.arange(5.0)))
+        t = build_template(m)
+        assert t.signature == structure_signature(m)
+
+    def test_dut_entry_per_leaf(self):
+        m = msg(
+            Parameter("a", ArrayType(DOUBLE), np.arange(4.0)),
+            Parameter("m", make_mio_array_type(), {"x": [1, 2], "y": [1, 2], "v": [0.5, 1.5]}),
+            Parameter("s", DOUBLE, 7.0),
+        )
+        t = build_template(m)
+        assert len(t.dut) == 4 + 2 * 3 + 1
+        assert [p.leaf_count for p in t.params] == [4, 6, 1]
+
+    def test_layout_invariants(self):
+        m = msg(Parameter("a", ArrayType(DOUBLE), np.arange(50.0)))
+        t = build_template(m)
+        t.validate()
+
+    def test_values_in_document(self):
+        t = build_template(msg(Parameter("a", ArrayType(INT), [7, 13902])))
+        body = t.tobytes()
+        assert b"<item>7</item>" in body
+        assert b"<item>13902</item>" in body
+        assert b'SOAP-ENC:arrayType="xsd:int[2]"' in body
+
+    def test_mio_layout(self):
+        t = build_template(
+            msg(Parameter("m", make_mio_array_type(), {"x": [3], "y": [4], "v": [0.5]}))
+        )
+        assert b"<mio><x>3</x><y>4</y><v>0.5</v></mio>" in t.tobytes()
+
+    def test_scalar_param(self):
+        t = build_template(msg(Parameter("n", INT, 42)))
+        assert b'<n xsi:type="xsd:int">42</n>' in t.tobytes()
+
+    def test_boolean_param(self):
+        t = build_template(msg(Parameter("b", BOOLEAN, True)))
+        assert b">true</b>" in t.tobytes()
+
+    def test_scalar_struct_param(self):
+        t = build_template(msg(Parameter("m", MIO_TYPE, MIO(1, 2, 0.5))))
+        body = t.tobytes()
+        assert b"<m xsi:type=" in body and b"<x>1</x>" in body
+
+    def test_string_array_escaped(self):
+        t = build_template(msg(Parameter("s", ArrayType(STRING), ["a<b", "c&d"])))
+        body = t.tobytes()
+        assert b"a&lt;b" in body and b"c&amp;d" in body
+
+    def test_empty_array(self):
+        t = build_template(msg(Parameter("a", ArrayType(DOUBLE), np.array([]))))
+        assert b'arrayType="xsd:double[0]"' in t.tobytes()
+        assert len(t.dut) == 0
+
+    def test_dirty_views_bound(self):
+        m = msg(Parameter("a", ArrayType(DOUBLE), np.arange(3.0)))
+        t = build_template(m)
+        tracked = t.tracked("a")
+        tracked[1] = 99.0
+        assert t.dut.dirty.tolist() == [False, True, False]
+
+
+class TestStuffing:
+    def test_no_stuffing_widths_equal_lens(self):
+        t = build_template(msg(Parameter("a", ArrayType(DOUBLE), [1.0, 0.25])))
+        assert (t.dut.field_width == t.dut.ser_len).all()
+
+    def test_max_stuffing_doubles(self):
+        policy = DiffPolicy(stuffing=StuffingPolicy(StuffMode.MAX))
+        t = build_template(msg(Parameter("a", ArrayType(DOUBLE), [1.0])), policy)
+        assert t.dut.field_width[0] == 24
+        assert t.dut.ser_len[0] == 1
+        # Pad is whitespace after close tag, document still equivalent.
+        t.validate()
+        assert canonical_events(t.tobytes()) == canonical_events(
+            build_template(msg(Parameter("a", ArrayType(DOUBLE), [1.0]))).tobytes()
+        )
+
+    def test_fixed_stuffing(self):
+        policy = DiffPolicy(
+            stuffing=StuffingPolicy(StuffMode.FIXED, {"double": 18})
+        )
+        t = build_template(
+            msg(Parameter("a", ArrayType(DOUBLE), [1.0, 0.12345678901234567])),
+            policy,
+        )
+        widths = t.dut.field_width.tolist()
+        assert widths[0] == 18
+        assert widths[1] >= 18  # longer value keeps its own length
+
+    def test_strings_never_stuffed(self):
+        policy = DiffPolicy(stuffing=StuffingPolicy(StuffMode.MAX))
+        t = build_template(msg(Parameter("s", ArrayType(STRING), ["ab"])), policy)
+        assert t.dut.field_width[0] == t.dut.ser_len[0]
+
+    def test_message_bytes_grow_with_stuffing(self):
+        plain = build_template(msg(Parameter("a", ArrayType(DOUBLE), [1.0] * 10)))
+        stuffed = build_template(
+            msg(Parameter("a", ArrayType(DOUBLE), [1.0] * 10)),
+            DiffPolicy(stuffing=StuffingPolicy(StuffMode.MAX)),
+        )
+        assert stuffed.total_bytes == plain.total_bytes + 10 * 23
+
+
+class TestChunking:
+    def test_small_chunks_split_message(self):
+        policy = DiffPolicy(chunk=ChunkPolicy(chunk_size=256, reserve=32))
+        t = build_template(
+            msg(Parameter("a", ArrayType(DOUBLE), np.arange(200.0))), policy
+        )
+        assert t.buffer.num_chunks > 3
+        parse_document(t.tobytes())
+        t.validate()
+
+    def test_entries_never_straddle_chunks(self):
+        policy = DiffPolicy(chunk=ChunkPolicy(chunk_size=128, reserve=16))
+        t = build_template(
+            msg(Parameter("a", ArrayType(DOUBLE), np.arange(100.0))), policy
+        )
+        dut = t.dut
+        for i in range(len(dut)):
+            e = dut.entry(i)
+            chunk = t.buffer.chunk(e.chunk_id)
+            assert e.region_end_offset <= chunk.used

@@ -1,0 +1,120 @@
+"""Targeted tests for the batched (join + cumsum) emission fast paths."""
+
+import numpy as np
+import pytest
+
+from repro.buffers.config import ChunkPolicy
+from repro.core.policy import DiffPolicy, StuffingPolicy, StuffMode
+from repro.core.serializer import build_template
+from repro.schema.composite import ArrayType
+from repro.schema.mio import make_mio_array_type
+from repro.schema.types import DOUBLE, INT, STRING
+from repro.soap.message import Parameter, SOAPMessage
+from repro.xmlkit.canonical import documents_equivalent
+from repro.xmlkit.scanner import parse_document
+
+
+def msg(*params):
+    return SOAPMessage("op", "urn:test", list(params))
+
+
+def tiny_chunks():
+    return DiffPolicy(chunk=ChunkPolicy(chunk_size=96, reserve=8, split_threshold=32))
+
+
+class TestPrimitiveFastPath:
+    def test_offsets_point_at_values(self):
+        values = [1.5, 13902.0, 0.25, 7.0]
+        t = build_template(msg(Parameter("a", ArrayType(DOUBLE), values)))
+        for i, expected in enumerate((b"1.5", b"13902", b"0.25", b"7")):
+            e = t.dut.entry(i)
+            assert t.buffer.read_at(e.chunk_id, e.value_off, e.ser_len) == expected
+        t.validate()
+
+    def test_batch_boundaries_with_tiny_chunks(self):
+        values = np.arange(60.0)
+        t = build_template(msg(Parameter("a", ArrayType(DOUBLE), values)), tiny_chunks())
+        assert t.buffer.num_chunks > 5
+        t.validate()
+        parse_document(t.tobytes())
+
+    def test_single_item(self):
+        t = build_template(msg(Parameter("a", ArrayType(INT), [42])))
+        assert b"<item>42</item>" in t.tobytes()
+        assert t.dut.entry(0).ser_len == 2
+
+    def test_value_larger_than_batch_limit(self):
+        # One value's item bytes exceed the soft limit: dedicated chunk.
+        policy = DiffPolicy(chunk=ChunkPolicy(chunk_size=64, reserve=8))
+        big = ["x" * 500]
+        t = build_template(msg(Parameter("s", ArrayType(STRING), big)), policy)
+        t.validate()
+        assert b"x" * 500 in t.tobytes()
+
+    def test_fast_path_skipped_when_stuffed(self):
+        policy = DiffPolicy(stuffing=StuffingPolicy(StuffMode.MAX))
+        t = build_template(msg(Parameter("a", ArrayType(DOUBLE), [1.0])), policy)
+        assert t.dut.entry(0).field_width == 24  # stuffed → padded layout
+        t.validate()
+
+    def test_equivalence_both_paths(self):
+        values = np.linspace(0, 1, 37)
+        plain = build_template(msg(Parameter("a", ArrayType(DOUBLE), values)))
+        stuffed = build_template(
+            msg(Parameter("a", ArrayType(DOUBLE), values)),
+            DiffPolicy(stuffing=StuffingPolicy(StuffMode.MAX)),
+        )
+        assert documents_equivalent(plain.tobytes(), stuffed.tobytes())
+
+
+class TestStructFastPath:
+    def _cols(self, n):
+        return {
+            "x": np.arange(n),
+            "y": np.arange(n) * 7,
+            "v": np.arange(n) * 0.25,
+        }
+
+    def test_offsets_per_leaf(self):
+        t = build_template(
+            msg(Parameter("m", make_mio_array_type(), self._cols(3)))
+        )
+        expected = [b"0", b"0", b"0", b"1", b"7", b"0.25", b"2", b"14", b"0.5"]
+        for i, value in enumerate(expected):
+            e = t.dut.entry(i)
+            assert t.buffer.read_at(e.chunk_id, e.value_off, e.ser_len) == value
+        t.validate()
+
+    def test_batch_boundaries_with_tiny_chunks(self):
+        t = build_template(
+            msg(Parameter("m", make_mio_array_type(), self._cols(30))), tiny_chunks()
+        )
+        assert t.buffer.num_chunks > 5
+        t.validate()
+        parse_document(t.tobytes())
+
+    def test_mixed_close_lens_recorded(self):
+        t = build_template(msg(Parameter("m", make_mio_array_type(), self._cols(2))))
+        assert t.dut.entry(0).close_len == len(b"</x>")
+        assert t.dut.entry(2).close_len == len(b"</v>")
+
+    def test_rewrite_after_fastpath_build(self):
+        t = build_template(msg(Parameter("m", make_mio_array_type(), self._cols(5))))
+        from repro.core.differential import rewrite_dirty
+
+        t.tracked("m").set(3, "v", 99.125)
+        rewrite_dirty(t, DiffPolicy())
+        assert b"<v>99.125</v>" in t.tobytes()
+        t.validate()
+
+    def test_struct_with_string_field_uses_slow_path(self):
+        from repro.schema.composite import Field, StructType
+
+        rec = StructType("Rec", (Field("name", STRING), Field("n", INT)))
+        arr = ArrayType(rec, item_tag="rec")
+        t = build_template(
+            msg(Parameter("r", arr, {"name": ["a<b", "cd"], "n": [1, 2]}))
+        )
+        body = t.tobytes()
+        assert b"a&lt;b" in body
+        t.validate()

@@ -1,0 +1,90 @@
+"""Unit tests for trie-based operation peeking."""
+
+import numpy as np
+import pytest
+
+from repro.core.client import BSoapClient
+from repro.schema.composite import ArrayType
+from repro.schema.types import DOUBLE, INT
+from repro.server.service import SOAPService
+from repro.server.tagdispatch import OperationPeeker
+from repro.soap.fault import SOAPFault
+from repro.soap.message import Parameter, SOAPMessage
+from repro.transport.loopback import CollectSink
+
+
+def body_for(operation, params=()):
+    sink = CollectSink()
+    BSoapClient(sink).send(SOAPMessage(operation, "urn:t", list(params)))
+    return sink.last
+
+
+class TestPeeker:
+    def test_known_operation(self):
+        peeker = OperationPeeker(["putData", "getData"])
+        body = body_for("putData", [Parameter("a", ArrayType(DOUBLE), [1.0])])
+        assert peeker.classify(body) == ("known", "putData")
+        assert peeker.peek(body) == "putData"
+
+    def test_unknown_operation(self):
+        peeker = OperationPeeker(["putData"])
+        body = body_for("deleteEverything")
+        status, tag = peeker.classify(body)
+        assert status == "unknown" and tag == "deleteEverything"
+        assert peeker.peek(body) is None
+
+    def test_prefix_is_not_a_match(self):
+        # "put" must not match a request for "putData".
+        peeker = OperationPeeker(["put"])
+        body = body_for("putData")
+        status, tag = peeker.classify(body)
+        assert status == "unknown" and tag == "putData"
+
+    def test_unscannable(self):
+        peeker = OperationPeeker(["op"])
+        assert peeker.classify(b"not xml at all")[0] == "unscannable"
+        assert peeker.classify(b"<a><b/></a>")[0] == "unscannable"
+
+    def test_add_after_construction(self):
+        peeker = OperationPeeker([])
+        assert len(peeker) == 0
+        peeker.add("newOp")
+        assert peeker.peek(body_for("newOp")) == "newOp"
+
+    def test_operation_with_params(self):
+        peeker = OperationPeeker(["sum"])
+        body = body_for(
+            "sum",
+            [Parameter("a", ArrayType(DOUBLE), np.arange(5.0)),
+             Parameter("n", INT, 3)],
+        )
+        assert peeker.peek(body) == "sum"
+
+
+class TestServiceIntegration:
+    def test_unknown_op_faults_without_parsing(self):
+        svc = SOAPService("urn:t")
+
+        @svc.operation("real")
+        def real():
+            return None
+
+        # A body whose operation tag is unknown but whose *content*
+        # would crash the parser if parsed — prove we fault first.
+        body = body_for("bogusOp").replace(b"<ns:bogusOp>", b"<ns:bogusOp>")
+        fault = SOAPFault.from_xml(svc.handle(body))
+        assert fault is not None
+        assert "bogusOp" in fault.faultstring
+        # The deserializer never saw it.
+        assert not svc.deserializer.has_template
+
+    def test_known_op_still_dispatches(self):
+        svc = SOAPService("urn:t")
+        hits = []
+
+        @svc.operation("ping")
+        def ping():
+            hits.append(1)
+
+        svc.handle(body_for("ping"))
+        assert hits == [1]

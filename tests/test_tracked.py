@@ -1,0 +1,210 @@
+"""Unit tests for tracked values (the application-facing write path)."""
+
+import numpy as np
+import pytest
+
+from repro.dut.tracked import (
+    TrackedArray,
+    TrackedScalar,
+    TrackedStringArray,
+    TrackedStructArray,
+)
+from repro.errors import DUTError, SchemaError
+from repro.lexical.floats import FloatFormat
+from repro.schema.mio import MIO, MIO_TYPE
+from repro.schema.types import DOUBLE, INT, STRING
+
+FMT = FloatFormat.MINIMAL
+
+
+class TestTrackedArray:
+    def test_construction_copies(self):
+        src = np.arange(4.0)
+        t = TrackedArray(src, DOUBLE)
+        src[0] = 99
+        assert t[0] == 0.0
+
+    def test_set_marks_dirty_after_bind(self):
+        t = TrackedArray(np.zeros(4), DOUBLE)
+        dirty = np.zeros(4, dtype=bool)
+        t.bind_dirty(dirty)
+        t[2] = 1.5
+        assert dirty.tolist() == [False, False, True, False]
+
+    def test_set_before_bind_ok(self):
+        t = TrackedArray(np.zeros(4), DOUBLE)
+        t[0] = 1.0  # no error, nothing tracked yet
+        assert t[0] == 1.0
+
+    def test_update_scatter(self):
+        t = TrackedArray(np.zeros(6), DOUBLE)
+        dirty = np.zeros(6, dtype=bool)
+        t.bind_dirty(dirty)
+        t.update(np.array([1, 4]), [9.0, 8.0])
+        assert dirty.tolist() == [False, True, False, False, True, False]
+
+    def test_fill_from_diffs(self):
+        t = TrackedArray(np.array([1.0, 2.0, 3.0]), DOUBLE)
+        dirty = np.zeros(3, dtype=bool)
+        t.bind_dirty(dirty)
+        t.fill_from([1.0, 5.0, 3.0])
+        assert dirty.tolist() == [False, True, False]
+        assert t[1] == 5.0
+
+    def test_fill_from_nan_stable(self):
+        t = TrackedArray(np.array([np.nan, 1.0]), DOUBLE)
+        dirty = np.zeros(2, dtype=bool)
+        t.bind_dirty(dirty)
+        t.fill_from([np.nan, 1.0])
+        assert not dirty.any()
+
+    def test_fill_from_length_change_rejected(self):
+        t = TrackedArray(np.zeros(3), DOUBLE)
+        with pytest.raises(DUTError):
+            t.fill_from([1.0, 2.0])
+
+    def test_data_readonly(self):
+        t = TrackedArray(np.zeros(3), DOUBLE)
+        with pytest.raises(ValueError):
+            t.data[0] = 1.0
+
+    def test_lexical_all_and_for(self):
+        t = TrackedArray(np.array([1.0, 0.25, 3.0]), DOUBLE)
+        assert t.lexical_all(FMT) == [b"1", b"0.25", b"3"]
+        assert t.lexical_for(np.array([2, 0]), FMT) == [b"3", b"1"]
+
+    def test_int_array(self):
+        t = TrackedArray([1, 2, 3], INT)
+        assert t.lexical_all(FMT) == [b"1", b"2", b"3"]
+
+    def test_string_type_rejected(self):
+        with pytest.raises(SchemaError):
+            TrackedArray(["a"], STRING)
+
+    def test_2d_rejected(self):
+        with pytest.raises(SchemaError):
+            TrackedArray(np.zeros((2, 2)), DOUBLE)
+
+    def test_bind_shape_mismatch(self):
+        t = TrackedArray(np.zeros(3), DOUBLE)
+        with pytest.raises(DUTError):
+            t.bind_dirty(np.zeros(4, dtype=bool))
+
+    def test_unbind(self):
+        t = TrackedArray(np.zeros(2), DOUBLE)
+        t.bind_dirty(np.zeros(2, dtype=bool))
+        assert t.bound
+        t.unbind()
+        assert not t.bound
+
+
+class TestTrackedStructArray:
+    def _make(self, n=3):
+        cols = {
+            "x": np.arange(n),
+            "y": np.arange(n) * 10,
+            "v": np.arange(n) * 0.5,
+        }
+        return TrackedStructArray(cols, MIO_TYPE)
+
+    def test_basic(self):
+        t = self._make()
+        assert len(t) == 3 and t.arity == 3
+        assert t.get(1, "y") == 10
+
+    def test_from_records_tuples_and_objects(self):
+        t1 = TrackedStructArray.from_records([(1, 2, 3.0), (4, 5, 6.0)], MIO_TYPE)
+        t2 = TrackedStructArray.from_records(
+            [MIO(1, 2, 3.0), MIO(4, 5, 6.0)], MIO_TYPE
+        )
+        assert t1.get(1, "v") == t2.get(1, "v") == 6.0
+
+    def test_set_marks_leaf_dirty(self):
+        t = self._make()
+        dirty = np.zeros((3, 3), dtype=bool)
+        t.bind_dirty(dirty)
+        t.set(1, "v", 9.0)
+        assert dirty[1, 2] and dirty.sum() == 1
+
+    def test_set_items(self):
+        t = self._make()
+        dirty = np.zeros((3, 3), dtype=bool)
+        t.bind_dirty(dirty)
+        t.set_items([0, 2], "x", [7, 8])
+        assert dirty[:, 0].tolist() == [True, False, True]
+
+    def test_set_column_diffs(self):
+        t = self._make()
+        dirty = np.zeros((3, 3), dtype=bool)
+        t.bind_dirty(dirty)
+        t.set_column("y", [0, 10, 99])
+        assert dirty[:, 1].tolist() == [False, False, True]
+
+    def test_lexical_all_item_major(self):
+        t = self._make(2)
+        texts = t.lexical_all(FMT)
+        assert texts == [b"0", b"0", b"0", b"1", b"10", b"0.5"]
+
+    def test_lexical_for_order_preserved(self):
+        t = self._make(2)
+        # leaves: 0:x0 1:y0 2:v0 3:x1 4:y1 5:v1
+        out = t.lexical_for(np.array([5, 0, 4]), FMT)
+        assert out == [b"0.5", b"0", b"10"]
+
+    def test_wrong_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TrackedStructArray({"x": [1], "y": [1]}, MIO_TYPE)
+
+    def test_ragged_rejected(self):
+        with pytest.raises(SchemaError):
+            TrackedStructArray({"x": [1], "y": [1, 2], "v": [1.0]}, MIO_TYPE)
+
+    def test_unknown_field(self):
+        t = self._make()
+        with pytest.raises(SchemaError):
+            t.set(0, "z", 1)
+
+    def test_column_readonly(self):
+        t = self._make()
+        with pytest.raises(ValueError):
+            t.column("x")[0] = 5
+
+    def test_set_column_length_mismatch(self):
+        t = self._make()
+        with pytest.raises(DUTError):
+            t.set_column("x", [1, 2])
+
+
+class TestTrackedScalar:
+    def test_set_marks_dirty(self):
+        t = TrackedScalar(1.5, DOUBLE)
+        dirty = np.zeros(1, dtype=bool)
+        t.bind_dirty(dirty)
+        t.value = 2.5
+        assert dirty[0] and t.value == 2.5
+
+    def test_lexical(self):
+        assert TrackedScalar(2.0, DOUBLE).lexical_all(FMT) == [b"2"]
+        assert TrackedScalar(7, INT).lexical_all(FMT) == [b"7"]
+        assert TrackedScalar("hi", STRING).lexical_all(FMT) == [b"hi"]
+
+    def test_len(self):
+        assert len(TrackedScalar(1, INT)) == 1
+
+
+class TestTrackedStringArray:
+    def test_set_marks_dirty(self):
+        t = TrackedStringArray(["a", "b"])
+        dirty = np.zeros(2, dtype=bool)
+        t.bind_dirty(dirty)
+        t[1] = "zzz"
+        assert dirty.tolist() == [False, True]
+        assert t[1] == "zzz"
+
+    def test_lexical_escapes(self):
+        t = TrackedStringArray(["a<b"])
+        assert t.lexical_all(FMT) == [b"a&lt;b"]
+
+    def test_lexical_for(self):
+        t = TrackedStringArray(["x", "y", "z"])
+        assert t.lexical_for(np.array([2, 0]), FMT) == [b"z", b"x"]

@@ -1,0 +1,83 @@
+"""Unit tests for the byte trie tag matcher."""
+
+import pytest
+
+from repro.xmlkit.trie import ByteTrie
+
+
+class TestInsertGet:
+    def test_basic(self):
+        trie = ByteTrie()
+        trie.insert(b"item", 1)
+        trie.insert(b"items", 2)
+        assert trie.get(b"item") == 1
+        assert trie.get(b"items") == 2
+        assert trie.get(b"ite") is None
+        assert trie.get(b"itemX") is None
+
+    def test_contains_and_len(self):
+        trie = ByteTrie.from_tags([b"a", b"ab", b"abc"])
+        assert b"ab" in trie
+        assert b"abcd" not in trie
+        assert len(trie) == 3
+
+    def test_replace_keeps_size(self):
+        trie = ByteTrie()
+        trie.insert(b"x", 1)
+        trie.insert(b"x", 2)
+        assert len(trie) == 1
+        assert trie.get(b"x") == 2
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            ByteTrie().insert(b"x", -1)
+
+    def test_empty_key(self):
+        trie = ByteTrie()
+        trie.insert(b"", 7)
+        assert trie.get(b"") == 7
+
+
+class TestMatchAt:
+    def test_match_inside_buffer(self):
+        trie = ByteTrie.from_tags([b"<item", b"<mio"])
+        buf = b"...<item>42</item>"
+        value, end = trie.match_at(buf, 3)
+        assert value == 0
+        assert buf[end] == ord(">")
+
+    def test_terminator_required(self):
+        trie = ByteTrie.from_tags([b"<item"])
+        # "<items" must not match "<item" because 's' is not a terminator.
+        value, end = trie.match_at(b"<items>", 0)
+        assert value is None and end == 0
+
+    def test_longest_match_wins(self):
+        trie = ByteTrie.from_tags([b"<i", b"<item"])
+        value, _ = trie.match_at(b"<item>", 0)
+        assert value == 1
+
+    def test_match_at_buffer_end(self):
+        trie = ByteTrie.from_tags([b"tag"])
+        value, end = trie.match_at(b"xxtag", 2)
+        assert value == 0 and end == 5
+
+    def test_no_match(self):
+        trie = ByteTrie.from_tags([b"<a"])
+        assert trie.match_at(b"<b>", 0) == (None, 0)
+
+
+class TestItems:
+    def test_items_sorted(self):
+        trie = ByteTrie.from_tags([b"zz", b"a", b"mm"])
+        assert list(trie.items()) == [(b"a", 1), (b"mm", 2), (b"zz", 0)]
+
+    def test_soap_tag_set(self):
+        tags = [b"<SOAP-ENV:Envelope", b"<SOAP-ENV:Body", b"<item", b"<mio",
+                b"<x", b"<y", b"<v"]
+        trie = ByteTrie.from_tags(tags)
+        doc = b'<SOAP-ENV:Envelope x="1"><SOAP-ENV:Body><mio><x>1</x></mio>'
+        value, end = trie.match_at(doc, 0)
+        assert value == 0
+        value, _ = trie.match_at(doc, doc.index(b"<mio"))
+        assert value == 3

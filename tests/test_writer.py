@@ -1,0 +1,148 @@
+"""Unit tests for the streaming XML writer."""
+
+import pytest
+
+from repro.errors import XMLError
+from repro.xmlkit.scanner import parse_document
+from repro.xmlkit.writer import XMLWriter
+
+
+class TestBasics:
+    def test_simple_document(self):
+        w = XMLWriter()
+        w.prolog()
+        w.start("root")
+        w.element("child", "text")
+        w.end()
+        assert w.getvalue() == (
+            b'<?xml version="1.0" encoding="UTF-8"?><root><child>text</child></root>'
+        )
+
+    def test_attributes_escaped(self):
+        w = XMLWriter()
+        w.start("a", {"k": 'v"<'})
+        w.end()
+        assert w.getvalue() == b'<a k="v&quot;&lt;"></a>'
+
+    def test_nsdecls(self):
+        w = XMLWriter()
+        w.start("a", nsdecls={"": "urn:default", "p": "urn:p"})
+        w.end()
+        assert (
+            w.getvalue() == b'<a xmlns="urn:default" xmlns:p="urn:p"></a>'
+        )
+
+    def test_text_escaped(self):
+        w = XMLWriter()
+        w.start("a")
+        w.text("1 < 2 & 3 > 2")
+        w.end()
+        assert b"&lt;" in w.getvalue() and b"&amp;" in w.getvalue()
+
+    def test_empty_element(self):
+        w = XMLWriter()
+        w.empty("a", {"x": "1"})
+        assert w.getvalue() == b'<a x="1"/>'
+
+    def test_raw_bypasses_escaping(self):
+        w = XMLWriter()
+        w.start("a")
+        w.raw(b"<pre-built/>")
+        w.end()
+        assert w.getvalue() == b"<a><pre-built/></a>"
+
+    def test_elements_run(self):
+        w = XMLWriter()
+        w.start("arr")
+        w.elements("i", ["1", "2", "3"])
+        w.end()
+        assert w.getvalue() == b"<arr><i>1</i><i>2</i><i>3</i></arr>"
+
+    def test_comment(self):
+        w = XMLWriter()
+        w.start("a")
+        w.comment("note")
+        w.end()
+        assert b"<!--note-->" in w.getvalue()
+
+    def test_comment_double_dash_rejected(self):
+        w = XMLWriter()
+        with pytest.raises(XMLError):
+            w.comment("a--b")
+
+
+class TestWellFormedness:
+    def test_end_without_start(self):
+        with pytest.raises(XMLError):
+            XMLWriter().end()
+
+    def test_mismatched_end_tag_checked(self):
+        w = XMLWriter()
+        w.start("a")
+        with pytest.raises(XMLError, match="mismatched"):
+            w.end("b")
+
+    def test_second_root_rejected(self):
+        w = XMLWriter()
+        w.start("a")
+        w.end()
+        with pytest.raises(XMLError):
+            w.start("b")
+
+    def test_text_outside_root_rejected(self):
+        with pytest.raises(XMLError):
+            XMLWriter().text("floating")
+
+    def test_prolog_must_be_first(self):
+        w = XMLWriter()
+        w.start("a")
+        with pytest.raises(XMLError):
+            w.prolog()
+
+    def test_close_closes_all(self):
+        w = XMLWriter()
+        w.start("a")
+        w.start("b")
+        w.start("c")
+        w.close()
+        assert w.getvalue() == b"<a><b><c></c></b></a>"
+        assert w.depth == 0
+
+    def test_open_tags_property(self):
+        w = XMLWriter()
+        w.start("a")
+        w.start("b")
+        assert w.open_tags == ("a", "b")
+
+    def test_check_disabled_allows_anything(self):
+        w = XMLWriter(check=False)
+        w.text("loose")  # no error
+        assert w.getvalue() == b"loose"
+
+
+class TestRoundTrip:
+    def test_writer_output_scans_cleanly(self):
+        w = XMLWriter()
+        w.prolog()
+        w.start("root", {"a": "1&2"}, nsdecls={"n": "urn:n"})
+        w.start("n:inner")
+        w.text("body < text")
+        w.end()
+        w.empty("leaf")
+        w.end()
+        events = parse_document(w.getvalue())
+        assert events  # well-formed
+
+    def test_custom_sink(self):
+        collected = []
+
+        class Sink:
+            def write(self, data):
+                collected.append(data)
+
+        w = XMLWriter(Sink())
+        w.start("a")
+        w.end()
+        assert b"".join(collected) == b"<a></a>"
+        with pytest.raises(XMLError):
+            w.getvalue()

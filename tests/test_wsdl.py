@@ -1,0 +1,137 @@
+"""Unit tests for WSDL model, emission, and stub generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.client import BSoapClient
+from repro.core.stats import MatchKind
+from repro.errors import WSDLError
+from repro.schema.composite import ArrayType
+from repro.schema.mio import MIO_TYPE, make_mio_array_type
+from repro.schema.types import DOUBLE, INT, STRING
+from repro.transport.loopback import CollectSink
+from repro.wsdl.emit import emit_wsdl
+from repro.wsdl.model import OperationDef, ParamDef, ServiceDef
+from repro.wsdl.stubgen import build_proxy
+from repro.xmlkit.canonical import canonical_events
+from repro.xmlkit.scanner import StartElement, parse_document
+
+
+def solver_service():
+    svc = ServiceDef("Solver", "urn:solver", endpoint="http://h/soap")
+    svc.add(
+        OperationDef(
+            "putSolution",
+            (ParamDef("x", ArrayType(DOUBLE)),),
+            ParamDef("ack", INT),
+            documentation="Ship the evolving solution vector.",
+        )
+    )
+    svc.add(
+        OperationDef(
+            "putMesh",
+            (ParamDef("mesh", make_mio_array_type()),),
+        )
+    )
+    return svc
+
+
+class TestModel:
+    def test_type_refs(self):
+        assert ParamDef("x", DOUBLE).type_ref() == "xsd:double"
+        assert ParamDef("x", ArrayType(DOUBLE)).type_ref() == "tns:ArrayOf_double"
+        assert ParamDef("m", MIO_TYPE).type_ref() == "tns:MIO"
+        assert ParamDef("m", make_mio_array_type()).type_ref() == "tns:ArrayOf_MIO"
+
+    def test_struct_autoregistered(self):
+        svc = solver_service()
+        assert "MIO" in svc.registry
+
+    def test_duplicate_operation_rejected(self):
+        svc = solver_service()
+        with pytest.raises(WSDLError):
+            svc.add(OperationDef("putSolution", ()))
+
+    def test_duplicate_parts_rejected(self):
+        with pytest.raises(WSDLError):
+            OperationDef("op", (ParamDef("a", INT), ParamDef("a", INT)))
+
+    def test_lookup(self):
+        svc = solver_service()
+        assert svc.operation("putMesh").name == "putMesh"
+        with pytest.raises(WSDLError):
+            svc.operation("nope")
+
+    def test_array_part_types(self):
+        svc = solver_service()
+        refs = svc.array_part_types()
+        assert set(refs) == {"tns:ArrayOf_double", "tns:ArrayOf_MIO"}
+
+
+class TestEmission:
+    def test_wellformed(self):
+        parse_document(emit_wsdl(solver_service()))
+
+    def test_sections_present(self):
+        doc = emit_wsdl(solver_service())
+        for needle in (
+            b"wsdl:definitions",
+            b"wsdl:types",
+            b'wsdl:message name="putSolutionRequest"',
+            b'wsdl:message name="putSolutionResponse"',
+            b'wsdl:portType name="SolverPortType"',
+            b'wsdl:binding name="SolverBinding"',
+            b'soap:address location="http://h/soap"',
+            b'xsd:complexType name="MIO"',
+            b'xsd:complexType name="ArrayOf_double"',
+        ):
+            assert needle in doc, needle
+
+    def test_rpc_encoded_binding(self):
+        doc = emit_wsdl(solver_service())
+        assert b'style="rpc"' in doc
+        assert b'use="encoded"' in doc
+
+    def test_documentation_emitted(self):
+        assert b"solution vector" in emit_wsdl(solver_service())
+
+    def test_operation_names_match_model(self):
+        doc = emit_wsdl(solver_service())
+        ops = [
+            e[1]
+            for e in canonical_events(doc)
+            if e[0] == "start" and e[1] == "wsdl:operation"
+        ]
+        assert len(ops) == 4  # 2 in portType + 2 in binding
+
+
+class TestStubGen:
+    def test_proxy_calls_send(self):
+        svc = solver_service()
+        sink = CollectSink()
+        proxy = build_proxy(svc, BSoapClient(sink))
+        r1 = proxy.putSolution(x=np.arange(4.0))
+        assert r1.match_kind is MatchKind.FIRST_TIME
+        assert b"putSolution" in sink.last
+        r2 = proxy.putSolution(x=np.arange(4.0))
+        assert r2.match_kind is MatchKind.CONTENT_MATCH
+
+    def test_proxy_validates_kwargs(self):
+        proxy = build_proxy(solver_service(), BSoapClient(CollectSink()))
+        with pytest.raises(WSDLError, match="missing"):
+            proxy.putSolution()
+        with pytest.raises(WSDLError, match="unexpected"):
+            proxy.putSolution(x=np.arange(2.0), y=1)
+
+    def test_operations_map(self):
+        proxy = build_proxy(solver_service(), BSoapClient(CollectSink()))
+        assert set(proxy.operations()) == {"putSolution", "putMesh"}
+
+    def test_stub_docstring(self):
+        proxy = build_proxy(solver_service(), BSoapClient(CollectSink()))
+        assert "solution vector" in proxy.putSolution.__doc__
+
+    def test_default_client(self):
+        proxy = build_proxy(solver_service())
+        report = proxy.putSolution(x=np.arange(2.0))
+        assert report.bytes_sent > 0
