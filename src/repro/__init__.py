@@ -41,6 +41,13 @@ from repro.core import (
 )
 from repro.channel import RPCChannel
 from repro.errors import ReproError
+from repro.resilience import (
+    CircuitBreaker,
+    FaultInjectingTransport,
+    FaultSpec,
+    ReconnectingTCPTransport,
+    RetryPolicy,
+)
 from repro.soap import Parameter, SOAPMessage
 
 __version__ = "1.0.0"
@@ -60,6 +67,11 @@ __all__ = [
     "SOAPMessage",
     "Parameter",
     "RPCChannel",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ReconnectingTCPTransport",
+    "FaultSpec",
+    "FaultInjectingTransport",
     "ReproError",
     "__version__",
 ]

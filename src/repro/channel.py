@@ -1,28 +1,58 @@
-"""Request/response RPC channel.
+"""Request/response RPC channel with fault-tolerant differential sends.
 
 Bundles the full client-side stack — bSOAP differential serialization,
-HTTP framing, a persistent TCP connection, response parsing, and SOAP
-Fault propagation — behind one ``call()``.  This is the convenience
-layer a generated stub or an application uses against a real
-:class:`~repro.server.service.HTTPSoapServer`.
+HTTP framing, a reconnecting TCP connection, response parsing, and
+SOAP Fault propagation — behind one ``call()``.  This is the
+convenience layer a generated stub or an application uses against a
+real :class:`~repro.server.service.HTTPSoapServer`.
+
+Failure handling (see DESIGN.md §"Failure model and recovery"):
+
+* Each ``call()`` runs under a :class:`~repro.resilience.retry.RetryPolicy`:
+  retryable failures (connection reset, closed mid-response, HTTP 5xx,
+  undecodable response) are retried with exponential backoff; fatal
+  ones (SOAP Faults, malformed framing, 4xx) propagate immediately.
+* A failed send epoch was already rolled back inside
+  :class:`~repro.core.client.BSoapClient`; a failure *after* the send
+  (response lost) additionally quarantines the template.  Either way
+  the retry's resend is a forced full serialization that
+  resynchronizes the server's differential deserializer.
+* The transport is a :class:`~repro.resilience.reconnect.ReconnectingTCPTransport`
+  — any transport error drops the socket, so a half-received response
+  can never desynchronize request/response pairing; the retry dials a
+  fresh connection.
+* A :class:`~repro.resilience.breaker.CircuitBreaker` counts
+  consecutive failed calls; once open, the channel degrades to plain
+  full-serialization mode until enough calls succeed, then closes and
+  differential sending resumes.
+
+Semantics are at-least-once: a response lost after the server consumed
+the request is retried, so non-idempotent operations may execute twice.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import time
+from typing import Dict, Optional
 
 from repro.core.client import BSoapClient
 from repro.core.policy import DiffPolicy
 from repro.core.stats import SendReport
-from repro.errors import SOAPFaultError, TransportError
+from repro.errors import (
+    HTTPStatusError,
+    ReproError,
+    SOAPFaultError,
+    TransportError,
+)
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.reconnect import ReconnectingTCPTransport
+from repro.resilience.retry import RetryPolicy
 from repro.schema.registry import TypeRegistry
 from repro.server.diffdeser import DeserReport, DifferentialDeserializer
-from repro.server.parser import DecodedMessage, SOAPRequestParser
 from repro.soap.fault import SOAPFault
 from repro.soap.message import SOAPMessage
 from repro.soap.rpc import RPCResponse
 from repro.transport.http import HTTPTransport
-from repro.transport.tcp import TCPTransport
 
 __all__ = ["RPCChannel"]
 
@@ -42,6 +72,17 @@ class RPCChannel:
         server's differential deserializer work across requests.
     http_mode:
         ``"chunked"`` (HTTP/1.1, default) or ``"content-length"``.
+    retry:
+        Per-call retry schedule; default
+        :class:`~repro.resilience.retry.RetryPolicy()`.  Pass
+        ``RetryPolicy(max_attempts=1)`` to disable retries.
+    breaker:
+        Failure breaker; once open the channel sends full
+        serializations only (never rejects calls).
+    raw_transport:
+        Override the byte transport (tests inject a
+        :class:`~repro.resilience.faults.FaultInjectingTransport`
+        here).  Must offer ``send_message`` / ``recv_http_response``.
     """
 
     def __init__(
@@ -53,10 +94,18 @@ class RPCChannel:
         policy: Optional[DiffPolicy] = None,
         http_mode: str = "chunked",
         path: str = "/soap",
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        raw_transport=None,
     ) -> None:
-        self._tcp = TCPTransport(host, port)
-        self._http = HTTPTransport(self._tcp, mode=http_mode, host=host, path=path)
+        if raw_transport is None:
+            raw_transport = ReconnectingTCPTransport(host, port)
+            raw_transport.connect()  # fail fast on a bad address
+        self._raw = raw_transport
+        self._http = HTTPTransport(self._raw, mode=http_mode, host=host, path=path)
         self.client = BSoapClient(self._http, policy)
+        self.retry = retry or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
         # Responses are differentially deserialized: a service reusing
         # its response template sends same-skeleton bodies, so the
         # channel re-parses only the result values that changed — the
@@ -65,39 +114,115 @@ class RPCChannel:
         self.parser = self.deserializer.parser
         self.calls = 0
         self.faults = 0
+        #: Failed attempts that were retried, channel lifetime total.
+        self.retries_total = 0
+        #: True once the channel hit a fatal transport problem with a
+        #: non-reconnecting raw transport (it cannot recover).
+        self.broken = False
         self.last_deser_report: Optional[DeserReport] = None
+
+    #: SendReport of the most recent call (match kind, rewrite stats,
+    #: retry/rollback accounting).
+    last_send_report: Optional[SendReport] = None
 
     # ------------------------------------------------------------------
     def call(self, message: SOAPMessage) -> RPCResponse:
         """Send *message*, await the HTTP response, decode it.
 
-        Raises :class:`~repro.errors.SOAPFaultError` when the server
-        answered with a SOAP Fault, :class:`TransportError` on wire
-        problems.  The client-side :class:`SendReport` of the request
-        (match kind, rewrite statistics) is kept on
-        :attr:`last_send_report`.
+        Retries per :attr:`retry` on transient failures; raises
+        :class:`~repro.errors.SOAPFaultError` when the server answered
+        with a SOAP Fault, :class:`TransportError` (or a subclass) when
+        the wire problem outlived the retry budget.
         """
-        report = self.client.send(message)
-        self.last_send_report = report
-        status, _headers, body = self._tcp.recv_http_response()
-        self.calls += 1
+        started = time.monotonic()
+        failures = 0
+        while True:
+            self.client.force_full = not self.breaker.allow_differential()
+            try:
+                report, response = self._attempt(message)
+            except SOAPFaultError:
+                # The round trip worked; the *server* answered a Fault.
+                self.breaker.record_success()
+                self.calls += 1
+                self.faults += 1
+                raise
+            except ReproError as exc:
+                self.breaker.record_failure()
+                failures += 1
+                # Delivery of this attempt is unconfirmed either way:
+                # drop the connection (half a response may be buffered)
+                # and force the next send of this structure to resync.
+                self._mark_broken()
+                self.client.quarantine(message)
+                if not self.retry.retryable(exc):
+                    raise
+                delay = self.retry.backoff(failures)
+                if not self.retry.admits(
+                    failures, time.monotonic() - started, delay
+                ):
+                    raise
+                self.retries_total += 1
+                time.sleep(delay)
+                continue
+            self.breaker.record_success()
+            report.retries = failures
+            self.last_send_report = report
+            self.calls += 1
+            return response
+
+    def _attempt(self, message: SOAPMessage):
+        """One un-retried send/receive/decode cycle."""
+        report = self.client.send(message)  # rolls back its epoch on failure
+        status, _headers, body = self._raw.recv_http_response()
         if status != 200:
-            raise TransportError(f"HTTP {status} from server")
-        fault = SOAPFault.from_xml(body)
+            raise HTTPStatusError(status)
+        try:
+            fault = SOAPFault.from_xml(body)
+        except (ReproError, UnicodeDecodeError) as exc:
+            raise TransportError(f"response undecodable: {exc}") from exc
         if fault is not None:
-            self.faults += 1
             fault.raise_()
-        decoded, self.last_deser_report = self.deserializer.deserialize(body)
-        return RPCResponse(
+        try:
+            decoded, deser_report = self.deserializer.deserialize(body)
+        except (ReproError, UnicodeDecodeError) as exc:
+            # A corrupted 200 body: the request likely succeeded but
+            # the answer is unusable — classified retryable.
+            raise TransportError(f"response undecodable: {exc}") from exc
+        self.last_deser_report = deser_report
+        response = RPCResponse(
             operation=decoded.operation,
             values={p.name: p.value for p in decoded.params},
         )
+        return report, response
 
-    #: SendReport of the most recent call (match kind, rewrite stats).
-    last_send_report: Optional[SendReport] = None
+    def _mark_broken(self) -> None:
+        """Drop the connection so no stale half-response survives."""
+        disconnect = getattr(self._raw, "disconnect", None)
+        if disconnect is not None:
+            disconnect()
+        else:
+            # A plain one-shot transport cannot reconnect: close it and
+            # flag the channel so callers know it is dead.
+            self._raw.close()
+            self.broken = True
+
+    # ------------------------------------------------------------------
+    def channel_stats(self) -> Dict[str, object]:
+        """Resilience counters for this channel (and its client)."""
+        stats = self.client.stats
+        return {
+            "calls": self.calls,
+            "faults": self.faults,
+            "retries": self.retries_total,
+            "reconnects": getattr(self._raw, "reconnects", 0),
+            "rollbacks": stats.rollbacks,
+            "forced_full_sends": stats.forced_full_sends,
+            "breaker_state": self.breaker.state,
+            "breaker_opens": self.breaker.opens,
+        }
 
     def close(self) -> None:
-        self._tcp.close()
+        self._raw.close()
 
     def __enter__(self) -> "RPCChannel":
         return self

@@ -44,7 +44,7 @@ from repro.core.serializer import build_template
 from repro.core.stats import ClientStats, MatchKind, RewriteStats, SendReport
 from repro.core.store import TemplateStore
 from repro.core.template import MessageTemplate, Tracked
-from repro.errors import StructureMismatchError, TemplateError
+from repro.errors import StructureMismatchError, TemplateError, TransportError
 from repro.soap.message import SOAPMessage, Signature, structure_signature
 from repro.transport.base import Transport
 from repro.transport.loopback import NullSink
@@ -86,6 +86,10 @@ class BSoapClient:
         self.transport: Transport = transport if transport is not None else NullSink()
         self.policy = policy or DiffPolicy()
         self.stats = ClientStats()
+        #: When True every send takes the full-serialization path and
+        #: no cross-call template state is consulted — the degraded
+        #: mode a circuit breaker pins after repeated failures.
+        self.force_full = False
         #: May be shared with other clients (§6 template sharing).
         self.store = store if store is not None else TemplateStore(
             self.policy.template_variants
@@ -129,23 +133,34 @@ class BSoapClient:
         """Send *message*, choosing the cheapest path automatically."""
         signature = structure_signature(message)
 
-        if not self.policy.differential_enabled:
+        if not self.policy.differential_enabled or self.force_full:
             return self._send_full_every_time(message)
 
         existing = self.store.get(signature)
+        resync = False
         if isinstance(existing, OverlayTemplate):
-            return self._send_overlay(existing, message)
+            if not existing.suspect:
+                return self._send_overlay(existing, message)
+            # Overlay sends restream the whole array anyway; recovery
+            # from a failed one just rebuilds the template fresh.
+            self.forget(signature)
+            existing = None
+            resync = True
 
         if existing is None:
             if overlay_eligible(message, self.policy):
                 overlay = build_overlay_template(message, self.policy)
                 self.store.put(signature, overlay)
                 self.stats.templates_built += 1
-                return self._send_overlay(overlay, message, first=True)
+                return self._send_overlay(
+                    overlay, message, first=True, forced_full=resync
+                )
             template = build_template(message, self.policy)
             self.store.put(signature, template)
             self.stats.templates_built += 1
-            return self._transmit(template, MatchKind.FIRST_TIME, RewriteStats())
+            return self._transmit_guarded(
+                template, MatchKind.FIRST_TIME, RewriteStats(), forced_full=resync
+            )
 
         # Templates exist: choose the variant needing the fewest
         # rewrites (§6 multi-variant stores), absorb the new values
@@ -185,28 +200,49 @@ class BSoapClient:
         return best
 
     def _send_template(self, template: MessageTemplate) -> SendReport:
+        if template.suspect:
+            # A previous send epoch rolled back: the server may hold a
+            # partial message.  Resynchronize with the paper's
+            # first-time-send path — rebuilt in place from the tracked
+            # values, so the bytes equal a from-scratch serialization.
+            template.rebuild_in_place(self.policy)
+            self.stats.templates_built += 1
+            return self._transmit_guarded(
+                template, MatchKind.FIRST_TIME, RewriteStats(), forced_full=True
+            )
         kind = classify(template, template.signature)
         if template.sends == 0:
             # The template was just built (prepare or first send): the
             # full-serialization cost was paid this call cycle.
             kind = MatchKind.FIRST_TIME
-        rewrite = RewriteStats()
+        snapshot = template.begin_send()
         if kind is MatchKind.CONTENT_MATCH:
-            return self._transmit(template, kind, rewrite)
+            return self._transmit_guarded(
+                template, kind, RewriteStats(), snapshot=snapshot
+            )
         if self.policy.pipelined_send:
-            return self._transmit_pipelined(template, kind)
+            return self._transmit_pipelined(template, kind, snapshot)
         rewrite = rewrite_dirty(template, self.policy)
         kind = refine(kind, rewrite)
-        return self._transmit(template, kind, rewrite)
+        return self._transmit_guarded(template, kind, rewrite, snapshot=snapshot)
 
     def _transmit_pipelined(
-        self, template: MessageTemplate, kind: MatchKind
+        self,
+        template: MessageTemplate,
+        kind: MatchKind,
+        snapshot,
     ) -> SendReport:
         """Rewrite and transmit chunk by chunk (streaming overlap)."""
         rewrite = RewriteStats()
-        bytes_sent = self.transport.send_message(
-            iter_rewrite_and_views(template, self.policy, rewrite)
-        )
+        try:
+            bytes_sent = self.transport.send_message(
+                iter_rewrite_and_views(template, self.policy, rewrite)
+            )
+        except TransportError:
+            # Some chunks may be on the wire, others not even rewritten.
+            template.rollback_send(snapshot)
+            self.stats.rollbacks += 1
+            raise
         kind = refine(kind, rewrite)
         template.sends += 1
         report = SendReport(
@@ -219,8 +255,30 @@ class BSoapClient:
         self.stats.record(report)
         return report
 
+    def _transmit_guarded(
+        self,
+        template: MessageTemplate,
+        kind: MatchKind,
+        rewrite: RewriteStats,
+        *,
+        snapshot=None,
+        forced_full: bool = False,
+    ) -> SendReport:
+        """Transmit with commit/rollback: the template's dirty state is
+        only committed once the transport confirms full delivery."""
+        try:
+            return self._transmit(template, kind, rewrite, forced_full=forced_full)
+        except TransportError:
+            template.rollback_send(snapshot)
+            self.stats.rollbacks += 1
+            raise
+
     def _transmit(
-        self, template: MessageTemplate, kind: MatchKind, rewrite: RewriteStats
+        self,
+        template: MessageTemplate,
+        kind: MatchKind,
+        rewrite: RewriteStats,
+        forced_full: bool = False,
     ) -> SendReport:
         bytes_sent = self.transport.send_message(
             template.buffer.views(), template.total_bytes
@@ -232,12 +290,17 @@ class BSoapClient:
             rewrite=rewrite,
             buffer_bytes_moved=template.buffer.bytes_moved,
             num_chunks=template.buffer.num_chunks,
+            forced_full=forced_full,
         )
         self.stats.record(report)
         return report
 
     def _send_overlay(
-        self, overlay: OverlayTemplate, message: SOAPMessage, first: bool = False
+        self,
+        overlay: OverlayTemplate,
+        message: SOAPMessage,
+        first: bool = False,
+        forced_full: bool = False,
     ) -> SendReport:
         # Absorb plain values into the overlay's tracked array.
         if not first:
@@ -245,15 +308,21 @@ class BSoapClient:
 
             absorb_param(overlay.tracked, message.params[0])
         stats = RewriteStats()
-        bytes_sent = self.transport.send_message(
-            overlay.iter_send_views(stats), overlay.total_bytes
-        )
+        try:
+            bytes_sent = self.transport.send_message(
+                overlay.iter_send_views(stats), overlay.total_bytes
+            )
+        except TransportError:
+            overlay.suspect = True
+            self.stats.rollbacks += 1
+            raise
         kind = MatchKind.FIRST_TIME if first else MatchKind.PERFECT_STRUCTURAL
         report = SendReport(
             match_kind=kind,
             bytes_sent=bytes_sent,
             rewrite=stats,
             num_chunks=1,
+            forced_full=forced_full,
         )
         self.stats.record(report)
         return report
@@ -262,6 +331,19 @@ class BSoapClient:
         """bSOAP-with-differential-off: the paper's Full Serialization curve."""
         template = build_template(message, self.policy)
         return self._transmit(template, MatchKind.FIRST_TIME, RewriteStats())
+
+    # ------------------------------------------------------------------
+    def quarantine(self, message: SOAPMessage) -> None:
+        """Mark saved templates for *message*'s structure suspect.
+
+        For callers that learn only *after* a send that delivery is
+        unconfirmed (e.g. the response never arrived): the next send of
+        this structure is forced to a full resynchronizing
+        serialization instead of trusting the saved state.
+        """
+        signature = structure_signature(message)
+        for template in self.store.variants(signature):
+            template.suspect = True  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------
     def close(self) -> None:

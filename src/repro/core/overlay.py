@@ -177,6 +177,10 @@ class OverlayTemplate:
         self.n_items = n_items
         self.fmt = fmt
         self.sends = 0
+        #: A failed send marks the overlay suspect; since every overlay
+        #: send restreams the full array anyway, recovery just rebuilds
+        #: the template (see BSoapClient._send_overlay).
+        self.suspect = False
 
     # ------------------------------------------------------------------
     @property

@@ -73,6 +73,12 @@ class SendReport:
     #: memmove traffic the buffer performed for this template so far.
     buffer_bytes_moved: int = 0
     num_chunks: int = 0
+    #: This send was a forced full serialization resynchronizing the
+    #: peer after a rolled-back (failed) send epoch.
+    forced_full: bool = False
+    #: Failed attempts before this send succeeded (filled by the
+    #: retrying caller, e.g. RPCChannel; 0 for direct sends).
+    retries: int = 0
 
     @property
     def serialized_everything(self) -> bool:
@@ -89,11 +95,17 @@ class ClientStats:
     )
     bytes_sent: int = 0
     templates_built: int = 0
+    #: Send epochs rolled back after a transport failure.
+    rollbacks: int = 0
+    #: Forced full serializations performed to resynchronize the peer.
+    forced_full_sends: int = 0
 
     def record(self, report: SendReport) -> None:
         self.sends += 1
         self.by_kind[report.match_kind] += 1
         self.bytes_sent += report.bytes_sent
+        if report.forced_full:
+            self.forced_full_sends += 1
 
     def summary(self) -> str:
         parts = [f"sends={self.sends}", f"bytes={self.bytes_sent}"]
@@ -101,4 +113,8 @@ class ClientStats:
             f"{kind.value}={count}" for kind, count in self.by_kind.items() if count
         ]
         parts.append(f"templates={self.templates_built}")
+        if self.rollbacks:
+            parts.append(f"rollbacks={self.rollbacks}")
+        if self.forced_full_sends:
+            parts.append(f"resyncs={self.forced_full_sends}")
         return " ".join(parts)

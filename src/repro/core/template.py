@@ -115,6 +115,7 @@ class MessageTemplate:
         "_by_name",
         "_bases",
         "sends",
+        "suspect",
     )
 
     def __init__(
@@ -133,6 +134,10 @@ class MessageTemplate:
             raise TemplateError("duplicate parameter names in template")
         self._bases = np.asarray([p.entry_base for p in self.params], dtype=np.int64)
         self.sends = 0
+        #: Set when a send failed after the template was mutated: the
+        #: serialized form may no longer match what the server holds,
+        #: so the next send must be a full resynchronization.
+        self.suspect = False
         # Consistency: entry ranges must tile the DUT exactly.
         total = sum(p.leaf_count for p in self.params)
         if total != len(dut):
@@ -181,6 +186,62 @@ class MessageTemplate:
             )
         for p in message.params:
             absorb_param(self.param(p.name).tracked, p)
+    # ------------------------------------------------------------------
+    # transactional send (commit / rollback)
+    # ------------------------------------------------------------------
+    def begin_send(self) -> np.ndarray:
+        """Open a send epoch: snapshot the dirty bits as the undo record.
+
+        The differential rewrite clears dirty bits *while* it patches
+        template bytes, and a pipelined send interleaves that with the
+        transport — so a mid-send failure would otherwise leave the
+        template claiming those values were delivered.  The snapshot
+        lets :meth:`rollback_send` restore them.
+        """
+        return self.dut.dirty.copy()
+
+    def rollback_send(self, snapshot: Optional[np.ndarray] = None) -> None:
+        """Undo a failed send epoch.
+
+        Re-marks every entry that was dirty at :meth:`begin_send`
+        (values written into the buffer this epoch will be rewritten —
+        idempotent, since the tracked objects hold the current values)
+        and flags the template *suspect*: the peer may hold a partial
+        message, so the next send must be a forced full serialization
+        that resynchronizes it.
+        """
+        if snapshot is not None:
+            self.dut.dirty |= snapshot
+        self.suspect = True
+
+    def rebuild_in_place(self, policy=None) -> None:
+        """Re-serialize this template from its tracked values, in place.
+
+        The recovery path after :meth:`rollback_send`: produces exactly
+        the bytes a from-scratch first-time send would, while keeping
+        this object's identity (so :class:`~repro.core.client.PreparedCall`
+        handles and store entries stay valid).  Tracked value objects
+        are reused and rebound to the fresh DUT.
+        """
+        from repro.core.serializer import build_template
+        from repro.soap.message import SOAPMessage
+
+        namespace, operation, _ = self.signature
+        message = SOAPMessage(
+            operation,
+            namespace,
+            [Parameter(p.name, p.ptype, p.tracked) for p in self.params],
+        )
+        fresh = build_template(message, policy)
+        if fresh.signature != self.signature:  # pragma: no cover - invariant
+            raise TemplateError("rebuild produced a different signature")
+        self.buffer = fresh.buffer
+        self.dut = fresh.dut
+        self.params = fresh.params
+        self._by_name = {p.name: p for p in self.params}
+        self._bases = np.asarray([p.entry_base for p in self.params], dtype=np.int64)
+        self.suspect = False
+
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------

@@ -23,6 +23,8 @@ __all__ = [
     "DUTError",
     "TransportError",
     "HTTPFramingError",
+    "IncompleteHTTPError",
+    "HTTPStatusError",
     "WSDLError",
     "OverlayError",
 ]
@@ -111,7 +113,38 @@ class TransportError(ReproError):
 
 
 class HTTPFramingError(TransportError):
-    """Malformed HTTP framing (bad chunk header, truncated body...)."""
+    """Malformed HTTP framing (bad chunk header, bad status line...).
+
+    Raised when the peer's bytes can never become a valid message no
+    matter how much more data arrives.  Streaming callers must *not*
+    retry on this — see :class:`IncompleteHTTPError` for the
+    recoverable case.
+    """
+
+
+class IncompleteHTTPError(HTTPFramingError):
+    """The HTTP message is well-formed so far but not complete yet.
+
+    Streaming parsers raise this when more bytes could still turn the
+    buffer into a valid message (header block unterminated, body
+    shorter than Content-Length, chunk mid-flight).  Socket readers
+    catch exactly this class and keep receiving; every other
+    :class:`HTTPFramingError` is a genuine protocol violation and must
+    fail fast.
+    """
+
+
+class HTTPStatusError(TransportError):
+    """The server answered with a non-200 HTTP status.
+
+    ``status >= 500`` is classified retryable by
+    :class:`~repro.resilience.retry.RetryPolicy` (the server may
+    recover); 4xx statuses are permanent client errors.
+    """
+
+    def __init__(self, status: int, detail: str = "") -> None:
+        super().__init__(f"HTTP {status} from server" + (f": {detail}" if detail else ""))
+        self.status = status
 
 
 class WSDLError(ReproError):

@@ -1,0 +1,38 @@
+"""Fault tolerance for differential sends.
+
+The differential-serialization premise — the stub's saved template
+mirrors what the server last received — makes partial failure uniquely
+dangerous: a connection reset mid-message would otherwise leave the
+template claiming "delivered" while the server saw a prefix.  This
+package supplies the recovery machinery:
+
+* :class:`~repro.resilience.retry.RetryPolicy` — exponential backoff
+  with jitter, per-call deadlines, and the retryable/fatal error
+  classifier,
+* :class:`~repro.resilience.reconnect.ReconnectingTCPTransport` — a
+  connection identity that survives resets,
+* :class:`~repro.resilience.breaker.CircuitBreaker` — degrade to
+  full-serialization mode under repeated failure,
+* :class:`~repro.resilience.faults.FaultInjectingTransport` — the
+  deterministic, seedable fault harness the fault-matrix tests drive.
+
+Transactional template commit itself lives with the template
+(:meth:`~repro.core.template.MessageTemplate.begin_send` /
+``rollback_send``) and the client stub; see DESIGN.md §"Failure model
+and recovery".
+"""
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import FAULT_KINDS, FaultInjectingTransport, FaultSpec
+from repro.resilience.reconnect import ReconnectingTCPTransport
+from repro.resilience.retry import RetryPolicy, retryable_error
+
+__all__ = [
+    "RetryPolicy",
+    "retryable_error",
+    "ReconnectingTCPTransport",
+    "CircuitBreaker",
+    "FaultSpec",
+    "FaultInjectingTransport",
+    "FAULT_KINDS",
+]

@@ -1,0 +1,79 @@
+"""Circuit breaker: degrade to full serialization under repeated failure.
+
+Differential sends are only profitable while client template and
+server deserializer state stay in lockstep.  When calls keep failing
+(flapping network, crash-looping server), every recovery is a forced
+full serialization anyway — so the breaker *opens* and pins the client
+to plain full-serialization mode (the paper's first-time-send path,
+which carries no cross-call state to corrupt).  After
+``recovery_successes`` consecutive clean calls the breaker closes and
+differential sending resumes; the first send after closing rebuilds
+templates, so the server resynchronizes naturally.
+
+Unlike a classic breaker this one never rejects calls — the degraded
+mode is still correct, just slower — which suits a reproduction whose
+"open" fallback is a well-defined serialization path rather than an
+error.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with success-count recovery.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failed calls that open the breaker (≥ 1).
+    recovery_successes:
+        Consecutive successful calls, while open, that close it again.
+    """
+
+    def __init__(self, failure_threshold: int = 3, recovery_successes: int = 2) -> None:
+        if failure_threshold < 1 or recovery_successes < 1:
+            raise ValueError("breaker thresholds must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_successes = recovery_successes
+        self.consecutive_failures = 0
+        self.consecutive_successes = 0
+        self.opens = 0
+        self._open = False
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        return "open" if self._open else "closed"
+
+    def allow_differential(self) -> bool:
+        """Whether the next send may use the differential machinery."""
+        return not self._open
+
+    # ------------------------------------------------------------------
+    def record_failure(self) -> None:
+        self.consecutive_successes = 0
+        self.consecutive_failures += 1
+        if not self._open and self.consecutive_failures >= self.failure_threshold:
+            self._open = True
+            self.opens += 1
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self._open:
+            self.consecutive_successes += 1
+            if self.consecutive_successes >= self.recovery_successes:
+                self._open = False
+                self.consecutive_successes = 0
+
+    def reset(self) -> None:
+        self.consecutive_failures = 0
+        self.consecutive_successes = 0
+        self._open = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker(state={self.state}, "
+            f"failures={self.consecutive_failures}, opens={self.opens})"
+        )

@@ -1,0 +1,187 @@
+"""Deterministic fault injection for transport-level failure testing.
+
+:class:`FaultInjectingTransport` wraps any byte transport (a raw
+:class:`~repro.transport.tcp.TCPTransport`, a
+:class:`~repro.resilience.reconnect.ReconnectingTCPTransport`, or an
+in-memory sink) and injects scripted faults at exact points in the
+byte stream:
+
+* ``reset-mid-send`` — forward exactly ``at_byte`` wire bytes to the
+  peer, kill the connection, raise :class:`TransportError` (a
+  connection reset while streaming: the server saw a prefix).
+* ``truncate`` — forward ``at_byte`` bytes, kill the connection, but
+  *report success* to the sender; the loss surfaces on the next
+  receive (a silent half-write, e.g. a dying NAT).
+* ``delay`` — sleep ``delay`` seconds, then forward untouched (for
+  deadline/backoff tests).
+* ``reset-before-recv`` — deliver the message intact, then fail the
+  response read (the reply got lost).
+* ``corrupt-response`` — deliver and receive normally, then XOR one
+  byte of the response body (payload corruption past the checksum).
+* ``http-status`` — receive normally but overwrite the response
+  status (e.g. a 503 from an overloaded middlebox).
+
+Faults are scheduled per *message ordinal* (``script={2: spec}``
+faults the third send) or drawn pseudo-randomly per message with
+``rate``/``seed`` — both fully deterministic for a fixed seed, so a
+failing fault-matrix case replays exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TransportError
+from repro.transport.base import ViewStream
+
+__all__ = ["FaultSpec", "FaultInjectingTransport", "FAULT_KINDS"]
+
+FAULT_KINDS = (
+    "reset-mid-send",
+    "truncate",
+    "delay",
+    "reset-before-recv",
+    "corrupt-response",
+    "http-status",
+)
+
+
+@dataclass(slots=True)
+class FaultSpec:
+    """One scripted fault.
+
+    ``at_byte`` counts wire bytes within the faulted message (framing
+    included); ``corrupt_at`` indexes into the response body modulo
+    its length; ``xor_mask`` must not be 0 (that would be a no-op).
+    """
+
+    kind: str
+    at_byte: int = 0
+    delay: float = 0.0
+    status: int = 503
+    corrupt_at: int = 0
+    xor_mask: int = 0xFF
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind in ("corrupt-response",) and self.xor_mask == 0:
+            raise ValueError("xor_mask 0 would corrupt nothing")
+
+
+class FaultInjectingTransport:
+    """Wraps a byte transport, injecting scripted faults (see module doc)."""
+
+    def __init__(
+        self,
+        inner,
+        *,
+        script: Optional[Dict[int, FaultSpec]] = None,
+        rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.inner = inner
+        self.script: Dict[int, FaultSpec] = dict(script or {})
+        self.rate = rate
+        self._rng = random.Random(seed)
+        self.send_index = 0
+        #: (message ordinal, fault kind) pairs actually fired.
+        self.injected: List[Tuple[int, str]] = []
+        self._recv_fault: Optional[FaultSpec] = None
+
+    # ------------------------------------------------------------------
+    def _pick_fault(self, index: int) -> Optional[FaultSpec]:
+        spec = self.script.get(index)
+        if spec is None and self.rate > 0.0 and self._rng.random() < self.rate:
+            kind = self._rng.choice(FAULT_KINDS)
+            spec = FaultSpec(
+                kind,
+                at_byte=self._rng.randrange(1, 4096),
+                delay=0.001,
+                corrupt_at=self._rng.randrange(0, 1 << 16),
+            )
+        return spec
+
+    def _kill_connection(self) -> None:
+        """Drop the inner connection without closing the wrapper."""
+        disconnect = getattr(self.inner, "disconnect", None)
+        if disconnect is not None:
+            disconnect()
+        else:
+            self.inner.close()
+
+    # ------------------------------------------------------------------
+    def send_message(self, views: ViewStream, total_bytes: Optional[int] = None) -> int:
+        index = self.send_index
+        self.send_index += 1
+        spec = self._pick_fault(index)
+        if spec is None:
+            return self.inner.send_message(views, total_bytes)
+
+        self.injected.append((index, spec.kind))
+        if spec.kind == "delay":
+            time.sleep(spec.delay)
+            return self.inner.send_message(views, total_bytes)
+
+        if spec.kind in ("reset-before-recv", "corrupt-response", "http-status"):
+            sent = self.inner.send_message(views, total_bytes)
+            self._recv_fault = spec
+            return sent
+
+        # reset-mid-send / truncate: forward a byte-exact prefix.
+        assert spec.kind in ("reset-mid-send", "truncate")
+        forwarded = 0
+        prefix: List[bytes] = []
+        for view in views:
+            chunk = bytes(view)
+            room = spec.at_byte - forwarded
+            if room <= 0:
+                break
+            take = chunk[:room]
+            prefix.append(take)
+            forwarded += len(take)
+            if len(take) < len(chunk):
+                break
+        if prefix:
+            self.inner.send_message(prefix, None)
+        self._kill_connection()
+        if spec.kind == "reset-mid-send":
+            raise TransportError(
+                f"injected connection reset after {forwarded} bytes"
+            )
+        # truncate: pretend the whole message went out; the loss
+        # surfaces when the caller waits for a response.
+        self._recv_fault = spec
+        return total_bytes if total_bytes is not None else forwarded
+
+    # ------------------------------------------------------------------
+    def recv_http_response(self, limit: int = 1 << 24):
+        spec, self._recv_fault = self._recv_fault, None
+        if spec is not None and spec.kind in ("truncate", "reset-before-recv"):
+            if spec.kind == "reset-before-recv":
+                self._kill_connection()
+            raise TransportError(f"injected {spec.kind}: response lost")
+        status, headers, body = self.inner.recv_http_response(limit)
+        if spec is not None and spec.kind == "http-status":
+            return spec.status, headers, b""
+        if spec is not None and spec.kind == "corrupt-response" and body:
+            mutated = bytearray(body)
+            pos = spec.corrupt_at % len(mutated)
+            mutated[pos] ^= spec.xor_mask
+            body = bytes(mutated)
+        return status, headers, body
+
+    # ------------------------------------------------------------------
+    @property
+    def reconnects(self) -> int:
+        """Delegated from the wrapped transport (0 if it has none)."""
+        return getattr(self.inner, "reconnects", 0)
+
+    def disconnect(self) -> None:
+        self._kill_connection()
+
+    def close(self) -> None:
+        self.inner.close()

@@ -1,0 +1,117 @@
+"""A reconnecting wrapper around :class:`~repro.transport.tcp.TCPTransport`.
+
+The paper's transport is one persistent socket: a single connection
+reset kills the channel for good.  This wrapper gives the channel a
+connection *identity* instead of a connection *object* — any transport
+failure marks the socket broken and tears it down; the next send (or
+receive) transparently dials a fresh connection.
+
+It deliberately does **not** retry on its own: resending a
+half-transmitted differential message without rolling the template
+back would desynchronize the server, so retry scheduling belongs to
+the layer that also owns the template rollback
+(:class:`~repro.channel.RPCChannel` with its
+:class:`~repro.resilience.retry.RetryPolicy`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import TransportError
+from repro.transport.base import ViewStream
+from repro.transport.tcp import TCPTransport
+
+__all__ = ["ReconnectingTCPTransport"]
+
+
+class ReconnectingTCPTransport:
+    """Lazily (re)connecting TCP transport with broken-socket tracking.
+
+    Counters
+    --------
+    connections:
+        Sockets dialed over the wrapper's lifetime.
+    reconnects:
+        Connections dialed *after* the first (i.e. recoveries).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        gather: bool = True,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.gather = gather
+        self.connect_timeout = connect_timeout
+        self._tcp: Optional[TCPTransport] = None
+        self._closed = False
+        self.connections = 0
+        self.messages = 0
+        self.bytes_total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def connected(self) -> bool:
+        return self._tcp is not None
+
+    @property
+    def reconnects(self) -> int:
+        return max(0, self.connections - 1)
+
+    def connect(self) -> TCPTransport:
+        """Dial if not connected; return the live inner transport."""
+        if self._closed:
+            raise TransportError("transport is closed")
+        if self._tcp is None:
+            self._tcp = TCPTransport(
+                self.host,
+                self.port,
+                gather=self.gather,
+                connect_timeout=self.connect_timeout,
+            )
+            self.connections += 1
+        return self._tcp
+
+    def disconnect(self) -> None:
+        """Tear down the current socket (if any); the next use redials."""
+        if self._tcp is not None:
+            self._tcp.close()
+            self._tcp = None
+
+    # ------------------------------------------------------------------
+    def send_message(self, views: ViewStream, total_bytes: Optional[int] = None) -> int:
+        tcp = self.connect()
+        try:
+            sent = tcp.send_message(views, total_bytes)
+        except TransportError:
+            self.disconnect()
+            raise
+        self.messages += 1
+        self.bytes_total += sent
+        return sent
+
+    def recv_http_response(self, limit: int = 1 << 24) -> Tuple[int, dict, bytes]:
+        tcp = self.connect()
+        try:
+            return tcp.recv_http_response(limit)
+        except TransportError:
+            # Covers framing errors too: half a response may be
+            # buffered on the socket, so request/response pairing is
+            # lost either way — drop the connection.
+            self.disconnect()
+            raise
+
+    def close(self) -> None:
+        self.disconnect()
+        self._closed = True
+
+    def __enter__(self) -> "ReconnectingTCPTransport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,108 @@
+"""Retry policy: backoff schedule, per-call deadline, error classifier.
+
+A failed differential send leaves the client template rolled back and
+*suspect* (see :meth:`repro.core.template.MessageTemplate.rollback_send`),
+so a retry is always safe: the resend is a forced full serialization
+that resynchronizes the server's differential deserializer.  What the
+policy decides is only *whether* and *when* to retry.
+
+Classification rules:
+
+* :class:`~repro.errors.SOAPFaultError` — the server answered; the
+  round trip *worked*.  Never retried.
+* :class:`~repro.errors.HTTPStatusError` — retryable iff the status is
+  5xx (server-side, possibly transient); 4xx is a permanent request
+  error.
+* :class:`~repro.errors.HTTPFramingError` (including
+  :class:`~repro.errors.IncompleteHTTPError` escaping a parser) — the
+  peer is speaking garbage; retrying would resend into the same
+  confusion.  Fatal.
+* any other :class:`~repro.errors.TransportError` — connection reset,
+  refused, closed mid-message: retryable.
+* everything else (schema errors, template errors...) — a local bug,
+  fatal.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import (
+    HTTPFramingError,
+    HTTPStatusError,
+    SOAPFaultError,
+    TransportError,
+)
+
+__all__ = ["RetryPolicy", "retryable_error"]
+
+
+def retryable_error(exc: BaseException) -> bool:
+    """Apply the classification table above to *exc*."""
+    if isinstance(exc, SOAPFaultError):
+        return False
+    if isinstance(exc, HTTPStatusError):
+        return exc.status >= 500
+    if isinstance(exc, HTTPFramingError):
+        return False
+    return isinstance(exc, TransportError)
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with jitter and a per-call deadline.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per call, including the first (≥ 1).
+    base_delay / multiplier / max_delay:
+        Backoff before attempt *k* (1-based retries) is
+        ``min(max_delay, base_delay * multiplier**(k-1))`` plus jitter.
+    jitter:
+        Fraction of the delay added uniformly at random ([0, jitter)).
+        Seeded, so a fixed ``seed`` gives a reproducible schedule.
+    deadline:
+        Wall-clock budget in seconds for one logical call across all
+        attempts (None = unbounded).  Checked before sleeping: a retry
+        whose backoff would overrun the deadline is not attempted.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    deadline: Optional[float] = None
+    seed: Optional[int] = None
+    _rng: random.Random = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+    def retryable(self, exc: BaseException) -> bool:
+        return retryable_error(exc)
+
+    def backoff(self, retry_number: int) -> float:
+        """Sleep before the *retry_number*-th retry (1-based)."""
+        if retry_number < 1:
+            raise ValueError("retry_number is 1-based")
+        delay = min(
+            self.max_delay, self.base_delay * self.multiplier ** (retry_number - 1)
+        )
+        if self.jitter > 0.0:
+            delay += delay * self.jitter * self._rng.random()
+        return delay
+
+    def admits(self, attempts_made: int, elapsed: float, next_delay: float) -> bool:
+        """May another attempt start, given the budget spent so far?"""
+        if attempts_made >= self.max_attempts:
+            return False
+        if self.deadline is not None and elapsed + next_delay >= self.deadline:
+            return False
+        return True

@@ -249,21 +249,37 @@ class HTTPSoapServer:
                 if not data:
                     break
                 buffered += data
-                buffered = self._drain_requests(conn, buffered)
+                drained = self._drain_requests(conn, buffered)
+                if drained is None:
+                    break  # malformed request: connection dropped
+                buffered = drained
         finally:
             try:
                 conn.close()
             except OSError:  # pragma: no cover - best effort
                 pass
 
-    def _drain_requests(self, conn: socket.socket, buffered: bytes) -> bytes:
-        from repro.errors import HTTPFramingError
+    def _drain_requests(
+        self, conn: socket.socket, buffered: bytes
+    ) -> Optional[bytes]:
+        from repro.errors import HTTPFramingError, IncompleteHTTPError
 
         while True:
             try:
                 request, consumed = parse_http_request(buffered)
-            except HTTPFramingError:
+            except IncompleteHTTPError:
                 return buffered  # wait for more bytes
+            except HTTPFramingError:
+                # Malformed beyond repair: answer 400 and signal the
+                # caller to drop the connection (None), since request
+                # boundaries in the stream can no longer be trusted.
+                try:
+                    conn.sendall(
+                        b"HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n"
+                    )
+                except OSError:
+                    pass
+                return None
             if request.method == "GET" and request.path.endswith("?wsdl"):
                 response_body = self._wsdl_response(conn)
                 buffered = buffered[consumed:]

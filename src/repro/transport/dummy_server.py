@@ -114,13 +114,15 @@ class DummyServer:
     def _maybe_respond(self, conn: socket.socket, buffered: bytes) -> bytes:
         """Reply once per complete HTTP request found in the buffer."""
         from repro.transport.http import parse_http_request
-        from repro.errors import HTTPFramingError
+        from repro.errors import HTTPFramingError, IncompleteHTTPError
 
         while True:
             try:
                 _req, consumed = parse_http_request(buffered)
-            except HTTPFramingError:
+            except IncompleteHTTPError:
                 return buffered  # incomplete — wait for more bytes
+            except HTTPFramingError:
+                return b""  # malformed — keep draining, stop responding
             try:
                 conn.sendall(_CANNED_RESPONSE)
             except OSError:

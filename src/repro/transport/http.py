@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.errors import HTTPFramingError
+from repro.errors import HTTPFramingError, IncompleteHTTPError
 from repro.transport.base import Transport, ViewStream
 
 __all__ = ["HTTPTransport", "parse_http_request", "decode_chunked", "HTTPRequest"]
@@ -132,13 +132,18 @@ class HTTPRequest:
 
 
 def decode_chunked(data: bytes) -> Tuple[bytes, int]:
-    """Decode a chunked body; return ``(payload, bytes_consumed)``."""
+    """Decode a chunked body; return ``(payload, bytes_consumed)``.
+
+    Raises :class:`IncompleteHTTPError` when the body is merely
+    truncated (more bytes may arrive) and plain
+    :class:`HTTPFramingError` when the framing is provably invalid.
+    """
     out: List[bytes] = []
     pos = 0
     while True:
         eol = data.find(_CRLF, pos)
         if eol < 0:
-            raise HTTPFramingError("truncated chunk-size line")
+            raise IncompleteHTTPError("truncated chunk-size line")
         size_line = data[pos:eol].split(b";", 1)[0].strip()
         try:
             size = int(size_line, 16)
@@ -149,15 +154,15 @@ def decode_chunked(data: bytes) -> Tuple[bytes, int]:
             # Optional trailers until blank line.
             end = data.find(_CRLF, pos)
             if end < 0:
-                raise HTTPFramingError("truncated chunked trailer")
+                raise IncompleteHTTPError("truncated chunked trailer")
             while end != pos:
                 pos = end + 2
                 end = data.find(_CRLF, pos)
                 if end < 0:
-                    raise HTTPFramingError("truncated chunked trailer")
+                    raise IncompleteHTTPError("truncated chunked trailer")
             return b"".join(out), end + 2
         if pos + size + 2 > len(data):
-            raise HTTPFramingError("truncated chunk body")
+            raise IncompleteHTTPError("truncated chunk body")
         out.append(data[pos : pos + size])
         if data[pos + size : pos + size + 2] != _CRLF:
             raise HTTPFramingError("chunk body missing CRLF terminator")
@@ -167,18 +172,23 @@ def decode_chunked(data: bytes) -> Tuple[bytes, int]:
 def parse_http_response(data: bytes) -> Tuple[int, Dict[str, str], bytes, int]:
     """Parse an HTTP response: ``(status, headers, body, consumed)``.
 
-    Raises :class:`HTTPFramingError` when the response is incomplete —
-    callers receiving from a socket retry with more data.
+    Raises :class:`IncompleteHTTPError` when the response is merely
+    incomplete — callers receiving from a socket retry with more data —
+    and plain :class:`HTTPFramingError` when it is malformed beyond
+    repair.
     """
     head_end = data.find(b"\r\n\r\n")
     if head_end < 0:
-        raise HTTPFramingError("incomplete HTTP response header block")
+        raise IncompleteHTTPError("incomplete HTTP response header block")
     head = data[:head_end].decode("latin-1")
     lines = head.split("\r\n")
     parts = lines[0].split(" ", 2)
     if len(parts) < 2 or not parts[0].startswith("HTTP/"):
         raise HTTPFramingError(f"bad status line {lines[0]!r}")
-    status = int(parts[1])
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise HTTPFramingError(f"bad status line {lines[0]!r}") from None
     headers: Dict[str, str] = {}
     for line in lines[1:]:
         if ":" not in line:
@@ -189,10 +199,22 @@ def parse_http_response(data: bytes) -> Tuple[int, Dict[str, str], bytes, int]:
     if headers.get("transfer-encoding", "").lower() == "chunked":
         body, consumed = decode_chunked(data[body_start:])
         return status, headers, body, body_start + consumed
-    length = int(headers.get("content-length", "0"))
+    length = _content_length(headers)
     if body_start + length > len(data):
-        raise HTTPFramingError("truncated response body")
+        raise IncompleteHTTPError("truncated response body")
     return status, headers, data[body_start : body_start + length], body_start + length
+
+
+def _content_length(headers: Dict[str, str]) -> int:
+    """Parse Content-Length, mapping garbage to :class:`HTTPFramingError`."""
+    raw = headers.get("content-length", "0")
+    try:
+        length = int(raw)
+    except ValueError:
+        raise HTTPFramingError(f"bad Content-Length {raw!r}") from None
+    if length < 0:
+        raise HTTPFramingError(f"bad Content-Length {raw!r}")
+    return length
 
 
 def parse_http_request(data: bytes) -> Tuple[HTTPRequest, int]:
@@ -204,7 +226,7 @@ def parse_http_request(data: bytes) -> Tuple[HTTPRequest, int]:
     """
     head_end = data.find(b"\r\n\r\n")
     if head_end < 0:
-        raise HTTPFramingError("incomplete HTTP header block")
+        raise IncompleteHTTPError("incomplete HTTP header block")
     head = data[:head_end].decode("latin-1")
     lines = head.split("\r\n")
     try:
@@ -225,8 +247,8 @@ def parse_http_request(data: bytes) -> Tuple[HTTPRequest, int]:
             HTTPRequest(method, path, version, headers, body),
             body_start + consumed,
         )
-    length = int(headers.get("content-length", "0"))
+    length = _content_length(headers)
     if body_start + length > len(data):
-        raise HTTPFramingError("truncated identity body")
+        raise IncompleteHTTPError("truncated identity body")
     body = data[body_start : body_start + length]
     return HTTPRequest(method, path, version, headers, body), body_start + length

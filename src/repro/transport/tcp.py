@@ -121,15 +121,20 @@ class TCPTransport:
 
         Returns ``(status, headers, body)``.  Used by the RPC helpers
         for request/response round trips against a real service.
+
+        Only :class:`IncompleteHTTPError` triggers another ``recv`` —
+        a genuinely malformed response (bad status line, bad chunk
+        size...) raises :class:`HTTPFramingError` immediately instead
+        of buffering toward the size limit.
         """
-        from repro.errors import HTTPFramingError
+        from repro.errors import IncompleteHTTPError
         from repro.transport.http import parse_http_response
 
         buffered = b""
         while len(buffered) < limit:
             try:
                 return parse_http_response(buffered)[:3]
-            except HTTPFramingError:
+            except IncompleteHTTPError:
                 pass
             try:
                 data = self._sock.recv(65536)

@@ -9,20 +9,33 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.channel import RPCChannel
 from repro.core.client import BSoapClient
+from repro.core.policy import DiffPolicy, OverlayPolicy, StuffingPolicy, StuffMode
+from repro.core.stats import MatchKind
 from repro.errors import HTTPFramingError, ReproError, XMLSyntaxError
+from repro.resilience import (
+    CircuitBreaker,
+    FaultInjectingTransport,
+    FaultSpec,
+    ReconnectingTCPTransport,
+    RetryPolicy,
+)
 from repro.schema.composite import ArrayType
+from repro.schema.registry import TypeRegistry
 from repro.schema.types import DOUBLE
 from repro.server.diffdeser import DifferentialDeserializer
 from repro.server.parser import SOAPRequestParser
 from repro.server.service import HTTPSoapServer, SOAPService
 from repro.soap.fault import SOAPFault
-from repro.soap.message import Parameter, SOAPMessage
+from repro.soap.message import Parameter, SOAPMessage, structure_signature
 from repro.transport.dummy_server import DummyServer
 from repro.transport.http import parse_http_request
 from repro.transport.loopback import CollectSink
 from repro.transport.tcp import TCPTransport
 from repro.xmlkit.scanner import XMLScanner
+
+from tests.conftest import fresh_full_bytes
 
 
 class TestScannerFuzz:
@@ -154,6 +167,222 @@ class TestConcurrentClients:
             assert not errors
             assert server.bytes_drained == expected
             assert server.connections == total
+
+
+# ----------------------------------------------------------------------
+# fault matrix: injected transport failures × match levels, live server
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def calc_server():
+    svc = SOAPService("urn:calc", TypeRegistry())
+
+    @svc.operation("total", result_type=DOUBLE)
+    def total(a):
+        return float(np.sum(a))
+
+    with HTTPSoapServer(svc) as httpd:
+        yield httpd
+
+
+def _calc_msg(values):
+    return SOAPMessage(
+        "total", "urn:calc", [Parameter("a", ArrayType(DOUBLE), list(values))]
+    )
+
+
+def _fault_channel(port, *, script=None, stuffing=StuffMode.MAX,
+                   overlay=False, breaker=None):
+    """An RPCChannel whose wire is (optionally) fault-injected."""
+    policy = DiffPolicy(
+        stuffing=StuffingPolicy(stuffing),
+        overlay=OverlayPolicy(enabled=overlay, min_items=32),
+    )
+    raw = None
+    if script is not None:
+        raw = FaultInjectingTransport(
+            ReconnectingTCPTransport("127.0.0.1", port), script=dict(script)
+        )
+    return RPCChannel(
+        "127.0.0.1",
+        port,
+        policy=policy,
+        retry=RetryPolicy(max_attempts=6, base_delay=0.002, jitter=0.0),
+        breaker=breaker or CircuitBreaker(failure_threshold=50),
+        raw_transport=raw,
+    )
+
+
+# level name -> (stuffing, priming calls, final call, expected match kind
+# of the final call when nothing fails, ordinal of the faulted send)
+_LEVELS = {
+    "first-time": (
+        StuffMode.MAX, [], [1.0, 2.0, 3.0], MatchKind.FIRST_TIME, 0,
+    ),
+    "content-match": (
+        StuffMode.MAX, [[1.0, 2.0, 3.0]], [1.0, 2.0, 3.0],
+        MatchKind.CONTENT_MATCH, 1,
+    ),
+    "perfect-structural": (
+        StuffMode.MAX, [[1.0, 2.0, 3.0]], [1.0, 5.0, 3.0],
+        MatchKind.PERFECT_STRUCTURAL, 1,
+    ),
+    "partial-structural": (
+        StuffMode.NONE, [[1.0, 2.0]], [1.0, 123.456789],
+        MatchKind.PARTIAL_STRUCTURAL, 1,
+    ),
+}
+
+_RECOVERABLE_FAULTS = {
+    "reset-mid-send": FaultSpec("reset-mid-send", at_byte=120),
+    "truncate": FaultSpec("truncate", at_byte=80),
+    "reset-before-recv": FaultSpec("reset-before-recv"),
+    "http-status": FaultSpec("http-status", status=503),
+    "corrupt-response": FaultSpec("corrupt-response", corrupt_at=2),
+}
+
+
+def _run_fault_scenario(port, level, spec):
+    """Prime templates, fault the level's send, assert full recovery."""
+    stuffing, primes, final, _kind, ordinal = _LEVELS[level]
+    with _fault_channel(port, script={ordinal: spec}, stuffing=stuffing) as ch:
+        for values in primes:
+            ch.call(_calc_msg(values))
+        response = ch.call(_calc_msg(final))
+        assert response.result() == pytest.approx(sum(final))
+        report = ch.last_send_report
+        assert report.retries >= 1
+        assert report.forced_full
+        assert report.match_kind is MatchKind.FIRST_TIME
+        stats = ch.channel_stats()
+        assert stats["retries"] >= 1
+        assert stats["forced_full_sends"] >= 1
+        if spec.kind == "reset-mid-send":
+            # Send-phase failure: the epoch was rolled back and the
+            # connection redialed.
+            assert stats["rollbacks"] >= 1
+            assert stats["reconnects"] >= 1
+        # The recovered template is byte-identical to a from-scratch
+        # full serialization of the final message.
+        template = ch.client.store.variants(
+            structure_signature(_calc_msg(final))
+        )[0]
+        assert template.tobytes() == fresh_full_bytes(
+            _calc_msg(final), ch.client.policy
+        )
+
+
+class TestFaultMatrix:
+    """Transport faults crossed with the paper's four match levels."""
+
+    @pytest.mark.parametrize("level", list(_LEVELS))
+    def test_level_is_actually_exercised(self, calc_server, level):
+        """Control: without faults each scenario hits its match level."""
+        stuffing, primes, final, kind, _ordinal = _LEVELS[level]
+        with _fault_channel(calc_server.port, stuffing=stuffing) as ch:
+            for values in primes:
+                ch.call(_calc_msg(values))
+            response = ch.call(_calc_msg(final))
+            assert response.result() == pytest.approx(sum(final))
+            assert ch.last_send_report.match_kind is kind
+            assert ch.last_send_report.retries == 0
+
+    @pytest.mark.parametrize("level", list(_LEVELS))
+    def test_connection_reset_mid_send(self, calc_server, level):
+        """The acceptance scenario: kill the connection mid-send at
+        every match level; the retry reconnects and resynchronizes."""
+        _run_fault_scenario(
+            calc_server.port, level, _RECOVERABLE_FAULTS["reset-mid-send"]
+        )
+
+    @pytest.mark.parametrize(
+        "fault", [k for k in _RECOVERABLE_FAULTS if k != "reset-mid-send"]
+    )
+    def test_fault_kinds_on_differential_send(self, calc_server, fault):
+        """Lost/corrupted/5xx responses on a differential send all
+        recover via quarantine + forced full resend."""
+        _run_fault_scenario(
+            calc_server.port, "perfect-structural", _RECOVERABLE_FAULTS[fault]
+        )
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("level", list(_LEVELS))
+    @pytest.mark.parametrize("fault", list(_RECOVERABLE_FAULTS))
+    def test_full_matrix(self, calc_server, level, fault):
+        _run_fault_scenario(
+            calc_server.port, level, _RECOVERABLE_FAULTS[fault]
+        )
+
+    def test_overlay_send_recovers(self, calc_server):
+        """Chunk-overlaying sends recover by rebuilding the overlay."""
+        values = np.linspace(0.0, 1.0, 64)
+        script = {1: FaultSpec("reset-mid-send", at_byte=400)}
+        with _fault_channel(
+            calc_server.port, script=script, overlay=True
+        ) as ch:
+            first = ch.call(_calc_msg(values))
+            assert first.result() == pytest.approx(float(np.sum(values)))
+            assert ch.last_send_report.match_kind is MatchKind.FIRST_TIME
+            bumped = values + 1.0
+            response = ch.call(_calc_msg(bumped))
+            assert response.result() == pytest.approx(float(np.sum(bumped)))
+            report = ch.last_send_report
+            assert report.retries >= 1
+            assert report.forced_full
+            assert ch.channel_stats()["rollbacks"] >= 1
+
+    def test_breaker_degrades_then_recovers(self, calc_server):
+        """Repeated failures open the breaker: the channel keeps
+        answering calls in full-serialization mode, then resumes
+        differential sending once enough calls succeed."""
+        script = {
+            1: FaultSpec("reset-mid-send", at_byte=100),
+            2: FaultSpec("reset-mid-send", at_byte=100),
+        }
+        breaker = CircuitBreaker(failure_threshold=2, recovery_successes=2)
+        with _fault_channel(
+            calc_server.port, script=script, breaker=breaker
+        ) as ch:
+            msg = [2.0, 3.0]
+            assert ch.call(_calc_msg(msg)).result() == 5.0
+            # Two consecutive injected resets within one call: the
+            # breaker opens mid-call and the final attempt goes full.
+            assert ch.call(_calc_msg(msg)).result() == 5.0
+            assert breaker.opens == 1
+            assert ch.channel_stats()["breaker_state"] == "open"
+            assert ch.last_send_report.retries == 2
+            # While open, calls still succeed — degraded, not rejected.
+            assert ch.call(_calc_msg(msg)).result() == 5.0
+            assert ch.last_send_report.match_kind is MatchKind.FIRST_TIME
+            assert breaker.state == "closed"  # second success closed it
+            # Differential sending resumes (after one resync send).
+            ch.call(_calc_msg(msg))
+            assert ch.call(_calc_msg(msg)).result() == 5.0
+            assert ch.last_send_report.match_kind is MatchKind.CONTENT_MATCH
+
+    @pytest.mark.slow
+    def test_random_fault_soak(self, calc_server):
+        """Pseudo-random fault storm: every call still lands."""
+        raw = FaultInjectingTransport(
+            ReconnectingTCPTransport("127.0.0.1", calc_server.port),
+            rate=0.15,
+            seed=11,
+        )
+        policy = DiffPolicy(stuffing=StuffingPolicy(StuffMode.MAX))
+        with RPCChannel(
+            "127.0.0.1",
+            calc_server.port,
+            policy=policy,
+            retry=RetryPolicy(max_attempts=8, base_delay=0.002, jitter=0.0),
+            breaker=CircuitBreaker(failure_threshold=100),
+            raw_transport=raw,
+        ) as ch:
+            rng = np.random.default_rng(5)
+            for i in range(40):
+                values = [1.0, float(rng.integers(0, 1000)), 3.0]
+                assert ch.call(_calc_msg(values)).result() == pytest.approx(
+                    sum(values)
+                )
+            assert ch.calls == 40
 
 
 class TestScale:
