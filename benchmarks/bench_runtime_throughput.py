@@ -1,0 +1,123 @@
+"""Runtime-layer throughput: calls/sec and latency vs pool size/match level.
+
+Spins up a live :class:`~repro.server.service.HTTPSoapServer` and
+drives it with :mod:`repro.runtime.loadgen` across the
+(mode × pool size × match level) grid, emitting one standard
+``repro-bench-result/1`` JSON document (see
+:mod:`repro.bench.resultjson`).
+
+Unlike the ``bench_fig*`` microbenchmarks this is a closed-loop RPC
+benchmark: every row is end-to-end (serialize, HTTP, deserialize,
+respond) through real sockets.  ``--service-delay-ms`` models the
+service's own work; concurrency gains only exist when there is a wait
+to overlap (see ``docs/runtime.md``).
+
+Usage::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_runtime_throughput.py \
+        --calls 1200 --out BENCH_runtime_throughput.json
+    PYTHONPATH=src:benchmarks python benchmarks/bench_runtime_throughput.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.resultjson import dump_result, make_result, validate_result
+from repro.runtime import loadgen
+
+#: Metric columns every result row must carry (the CI smoke job
+#: validates freshly emitted documents against these).
+REQUIRED_COLUMNS = (
+    "mode",
+    "match_level",
+    "pool_size",
+    "calls",
+    "errors",
+    "calls_per_sec",
+    "p50_ms",
+    "p99_ms",
+)
+
+
+def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--calls", type=int, default=1200,
+                        help="total calls per grid cell (default 1200)")
+    parser.add_argument("--n", type=int, default=256,
+                        help="double-array payload length (default 256)")
+    parser.add_argument("--pool-sizes", type=int, nargs="+", default=[1, 2, 4, 8],
+                        help="pool sizes for pool/pipelined modes")
+    parser.add_argument("--levels", nargs="+", default=list(loadgen.MATCH_LEVELS),
+                        choices=loadgen.MATCH_LEVELS, help="match levels to run")
+    parser.add_argument("--modes", nargs="+", default=["single", "pool", "pipelined"],
+                        choices=sorted(loadgen.RUNNERS), help="runner modes")
+    parser.add_argument("--depth", type=int, default=4,
+                        help="pipeline in-flight window per channel")
+    parser.add_argument("--service-delay-ms", type=float, default=2.0,
+                        help="simulated per-call service time (default 2.0)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: stdout)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI run: few calls, one pool size, all modes")
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = parse_args(argv)
+    if args.smoke:
+        args.calls = 24
+        args.n = 32
+        args.pool_sizes = [2]
+        args.service_delay_ms = 0.0
+
+    server = loadgen.serve(delay_ms=args.service_delay_ms)
+    try:
+        results = loadgen.run_grid(
+            server.host,
+            server.port,
+            modes=args.modes,
+            pool_sizes=args.pool_sizes,
+            levels=args.levels,
+            calls=args.calls,
+            n=args.n,
+            depth=args.depth,
+            seed=args.seed,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+    finally:
+        server.stop()
+
+    doc = make_result(
+        "runtime_throughput",
+        params={
+            "calls": args.calls,
+            "n": args.n,
+            "pool_sizes": ",".join(map(str, args.pool_sizes)),
+            "levels": ",".join(args.levels),
+            "modes": ",".join(args.modes),
+            "depth": args.depth,
+            "service_delay_ms": args.service_delay_ms,
+            "seed": args.seed,
+            "smoke": args.smoke,
+        },
+        results=[r.to_row() for r in results],
+        notes="closed-loop RPC against a live HTTPSoapServer on loopback",
+    )
+    validate_result(doc, required_columns=REQUIRED_COLUMNS)
+    dump_result(doc, args.out)
+    if args.out:
+        print(f"wrote {args.out} ({len(doc['results'])} rows)", file=sys.stderr)
+
+    errors = sum(r.errors for r in results)
+    if errors:
+        print(f"ERROR: {errors} failed calls across the grid", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,12 @@ from repro.resilience import (
     ReconnectingTCPTransport,
     RetryPolicy,
 )
+from repro.runtime import (
+    ClientPool,
+    PipelinedChannel,
+    PipelinedSender,
+    ServerSessionManager,
+)
 from repro.soap import Parameter, SOAPMessage
 
 __version__ = "1.0.0"
@@ -72,6 +78,10 @@ __all__ = [
     "ReconnectingTCPTransport",
     "FaultSpec",
     "FaultInjectingTransport",
+    "ClientPool",
+    "PipelinedChannel",
+    "PipelinedSender",
+    "ServerSessionManager",
     "ReproError",
     "__version__",
 ]

@@ -1,0 +1,121 @@
+"""The repo's standard JSON benchmark-result format.
+
+Every throughput/latency bench that persists results (the
+``BENCH_*.json`` trajectory at the repo root) emits one document in
+this shape, so tooling — the CI smoke job, plotting, cross-PR
+comparisons — can consume any bench without per-bench parsers:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench-result/1",
+      "bench": "runtime_throughput",
+      "created_unix": 1754438400,
+      "env": {"python": "3.12.3", "platform": "Linux-..."},
+      "params": {"calls": 200, "n": 256},
+      "results": [
+        {"mode": "pool", "pool_size": 4, "match_level": "perfect-structural",
+         "calls_per_sec": 1234.5, "p50_ms": 0.71, "p99_ms": 2.2, ...}
+      ],
+      "notes": ""
+    }
+
+``results`` rows are flat (JSON scalars only) so they load straight
+into a dataframe.  :func:`validate_result` is the schema check the CI
+smoke job runs against freshly emitted documents.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["SCHEMA", "make_result", "validate_result", "dump_result"]
+
+SCHEMA = "repro-bench-result/1"
+
+_SCALAR = (int, float, str, bool, type(None))
+
+
+def make_result(
+    bench: str,
+    params: Mapping[str, object],
+    results: Sequence[Mapping[str, object]],
+    notes: str = "",
+) -> Dict[str, object]:
+    """Assemble a schema-conforming result document."""
+    doc: Dict[str, object] = {
+        "schema": SCHEMA,
+        "bench": bench,
+        "created_unix": int(time.time()),
+        "env": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "params": dict(params),
+        "results": [dict(r) for r in results],
+        "notes": notes,
+    }
+    validate_result(doc)
+    return doc
+
+
+def validate_result(
+    doc: object, required_columns: Sequence[str] = ()
+) -> Dict[str, object]:
+    """Check *doc* against the standard shape; returns it on success.
+
+    Raises ``ValueError`` listing every violation.  *required_columns*
+    adds bench-specific metric columns each result row must carry.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        raise ValueError(f"bench result must be a JSON object, got {type(doc).__name__}")
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        problems.append("bench must be a non-empty string")
+    if not isinstance(doc.get("created_unix"), int):
+        problems.append("created_unix must be an integer timestamp")
+    env = doc.get("env")
+    if not isinstance(env, dict) or not all(
+        isinstance(env.get(k), str) for k in ("python", "platform")
+    ):
+        problems.append("env must carry string 'python' and 'platform'")
+    if not isinstance(doc.get("params"), dict):
+        problems.append("params must be an object")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        problems.append("results must be a non-empty list")
+    else:
+        for i, row in enumerate(results):
+            if not isinstance(row, dict):
+                problems.append(f"results[{i}] must be an object")
+                continue
+            for key, value in row.items():
+                if not isinstance(value, _SCALAR):
+                    problems.append(
+                        f"results[{i}].{key} must be a JSON scalar, "
+                        f"got {type(value).__name__}"
+                    )
+            for column in required_columns:
+                if column not in row:
+                    problems.append(f"results[{i}] missing column {column!r}")
+    if "notes" in doc and not isinstance(doc["notes"], str):
+        problems.append("notes must be a string")
+    if problems:
+        raise ValueError("invalid bench result: " + "; ".join(problems))
+    return doc
+
+
+def dump_result(doc: Mapping[str, object], path: Optional[str]) -> None:
+    """Write *doc* as pretty JSON to *path* (or stdout when ``None``)."""
+    text = json.dumps(doc, indent=2, sort_keys=False) + "\n"
+    if path is None:
+        sys.stdout.write(text)
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)

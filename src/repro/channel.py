@@ -32,6 +32,7 @@ the request is retried, so non-idempotent operations may execute twice.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, Optional
 
@@ -120,6 +121,12 @@ class RPCChannel:
         #: non-reconnecting raw transport (it cannot recover).
         self.broken = False
         self.last_deser_report: Optional[DeserReport] = None
+        #: Raw body bytes of the most recent decoded response (oracle
+        #: byte-equivalence checks in the concurrency tests).
+        self.last_response_body: Optional[bytes] = None
+        # Counters may be read (channel_stats) while a pipelined
+        # send/receive pair mutates them from two threads.
+        self._stats_lock = threading.Lock()
 
     #: SendReport of the most recent call (match kind, rewrite stats,
     #: retry/rollback accounting).
@@ -137,14 +144,14 @@ class RPCChannel:
         started = time.monotonic()
         failures = 0
         while True:
-            self.client.force_full = not self.breaker.allow_differential()
             try:
                 report, response = self._attempt(message)
             except SOAPFaultError:
                 # The round trip worked; the *server* answered a Fault.
                 self.breaker.record_success()
-                self.calls += 1
-                self.faults += 1
+                with self._stats_lock:
+                    self.calls += 1
+                    self.faults += 1
                 raise
             except ReproError as exc:
                 self.breaker.record_failure()
@@ -161,18 +168,40 @@ class RPCChannel:
                     failures, time.monotonic() - started, delay
                 ):
                     raise
-                self.retries_total += 1
+                with self._stats_lock:
+                    self.retries_total += 1
                 time.sleep(delay)
                 continue
             self.breaker.record_success()
             report.retries = failures
             self.last_send_report = report
-            self.calls += 1
+            with self._stats_lock:
+                self.calls += 1
             return response
 
     def _attempt(self, message: SOAPMessage):
         """One un-retried send/receive/decode cycle."""
-        report = self.client.send(message)  # rolls back its epoch on failure
+        report = self.send_request(message)
+        response = self.recv_response()
+        return report, response
+
+    # ------------------------------------------------------------------
+    # pipelining building blocks (see repro.runtime.pipeline)
+    # ------------------------------------------------------------------
+    def send_request(self, message: SOAPMessage) -> SendReport:
+        """Serialize and transmit *message* without awaiting the reply.
+
+        Half of one :meth:`call`: a pipelined sender issues several
+        ``send_request``s back-to-back and a receiver matches
+        :meth:`recv_response` replies in FIFO order.  The client's
+        template epoch is rolled back on failure exactly as in
+        :meth:`call`; retry scheduling is the caller's job.
+        """
+        self.client.force_full = not self.breaker.allow_differential()
+        return self.client.send(message)
+
+    def recv_response(self) -> RPCResponse:
+        """Receive and decode the next HTTP response on the connection."""
         status, _headers, body = self._raw.recv_http_response()
         if status != 200:
             raise HTTPStatusError(status)
@@ -189,11 +218,11 @@ class RPCChannel:
             # the answer is unusable — classified retryable.
             raise TransportError(f"response undecodable: {exc}") from exc
         self.last_deser_report = deser_report
-        response = RPCResponse(
+        self.last_response_body = body
+        return RPCResponse(
             operation=decoded.operation,
             values={p.name: p.value for p in decoded.params},
         )
-        return report, response
 
     def _mark_broken(self) -> None:
         """Drop the connection so no stale half-response survives."""
@@ -208,18 +237,31 @@ class RPCChannel:
 
     # ------------------------------------------------------------------
     def channel_stats(self) -> Dict[str, object]:
-        """Resilience counters for this channel (and its client)."""
+        """Resilience counters for this channel (and its client).
+
+        Snapshotted under the channel's stats lock, so concurrent
+        readers never observe torn counter updates from a pipelined
+        sender/receiver pair.
+        """
         stats = self.client.stats
-        return {
-            "calls": self.calls,
-            "faults": self.faults,
-            "retries": self.retries_total,
-            "reconnects": getattr(self._raw, "reconnects", 0),
-            "rollbacks": stats.rollbacks,
-            "forced_full_sends": stats.forced_full_sends,
-            "breaker_state": self.breaker.state,
-            "breaker_opens": self.breaker.opens,
-        }
+        with self._stats_lock:
+            return {
+                "calls": self.calls,
+                "faults": self.faults,
+                "retries": self.retries_total,
+                "reconnects": getattr(self._raw, "reconnects", 0),
+                "rollbacks": stats.rollbacks,
+                "forced_full_sends": stats.forced_full_sends,
+                "breaker_state": self.breaker.state,
+                "breaker_opens": self.breaker.opens,
+            }
+
+    def count_call(self, *, fault: bool = False) -> None:
+        """Record one completed call (used by the pipelined wrapper)."""
+        with self._stats_lock:
+            self.calls += 1
+            if fault:
+                self.faults += 1
 
     def close(self) -> None:
         self._raw.close()

@@ -107,6 +107,16 @@ class ClientStats:
         if report.forced_full:
             self.forced_full_sends += 1
 
+    def merge_from(self, other: "ClientStats") -> None:
+        """Accumulate *other*'s counters (per-session stats merged on read)."""
+        self.sends += other.sends
+        for kind, count in other.by_kind.items():
+            self.by_kind[kind] += count
+        self.bytes_sent += other.bytes_sent
+        self.templates_built += other.templates_built
+        self.rollbacks += other.rollbacks
+        self.forced_full_sends += other.forced_full_sends
+
     def summary(self) -> str:
         parts = [f"sends={self.sends}", f"bytes={self.bytes_sent}"]
         parts += [

@@ -25,6 +25,8 @@ __all__ = [
     "HTTPFramingError",
     "IncompleteHTTPError",
     "HTTPStatusError",
+    "PoolError",
+    "PoolTimeoutError",
     "WSDLError",
     "OverlayError",
 ]
@@ -145,6 +147,14 @@ class HTTPStatusError(TransportError):
     def __init__(self, status: int, detail: str = "") -> None:
         super().__init__(f"HTTP {status} from server" + (f": {detail}" if detail else ""))
         self.status = status
+
+
+class PoolError(ReproError):
+    """Client connection pool misuse (closed pool, foreign channel...)."""
+
+
+class PoolTimeoutError(PoolError):
+    """No pooled channel became available within the checkout timeout."""
 
 
 class WSDLError(ReproError):

@@ -16,6 +16,7 @@ the layer that also owns the template rollback
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Tuple
 
 from repro.errors import TransportError
@@ -50,6 +51,10 @@ class ReconnectingTCPTransport:
         self.connect_timeout = connect_timeout
         self._tcp: Optional[TCPTransport] = None
         self._closed = False
+        # Guards dial/teardown: a pipelined channel drives send and
+        # receive from two threads over this one connection identity,
+        # and a concurrent redial must not leak a half-opened socket.
+        self._conn_lock = threading.Lock()
         self.connections = 0
         self.messages = 0
         self.bytes_total = 0
@@ -65,23 +70,25 @@ class ReconnectingTCPTransport:
 
     def connect(self) -> TCPTransport:
         """Dial if not connected; return the live inner transport."""
-        if self._closed:
-            raise TransportError("transport is closed")
-        if self._tcp is None:
-            self._tcp = TCPTransport(
-                self.host,
-                self.port,
-                gather=self.gather,
-                connect_timeout=self.connect_timeout,
-            )
-            self.connections += 1
-        return self._tcp
+        with self._conn_lock:
+            if self._closed:
+                raise TransportError("transport is closed")
+            if self._tcp is None:
+                self._tcp = TCPTransport(
+                    self.host,
+                    self.port,
+                    gather=self.gather,
+                    connect_timeout=self.connect_timeout,
+                )
+                self.connections += 1
+            return self._tcp
 
     def disconnect(self) -> None:
         """Tear down the current socket (if any); the next use redials."""
-        if self._tcp is not None:
-            self._tcp.close()
-            self._tcp = None
+        with self._conn_lock:
+            if self._tcp is not None:
+                self._tcp.close()
+                self._tcp = None
 
     # ------------------------------------------------------------------
     def send_message(self, views: ViewStream, total_bytes: Optional[int] = None) -> int:

@@ -1,0 +1,258 @@
+"""A pool of differential RPC channels.
+
+Differential serialization makes connections *stateful*: each
+:class:`~repro.channel.RPCChannel` owns a template store whose saved
+bytes mirror what went out on **that** connection, and the server keeps
+the matching per-connection deserializer session.  A call checked out
+on channel *k* therefore diffs against channel *k*'s last-sent bytes —
+templates must never migrate between connections mid-flight.  The pool
+enforces that invariant structurally: a channel is exclusively owned
+between :meth:`checkout` and :meth:`checkin`, and every channel has a
+private :class:`~repro.core.store.TemplateStore`.
+
+Health management rides on PR 1's resilience machinery: pooled
+channels use reconnecting transports and circuit breakers, so most
+failures self-heal (redial, degrade to full sends).  A channel that
+reports itself unrecoverable (``broken`` — one-shot transport died) is
+retired at checkin and replaced with a freshly dialed one; its
+counters are folded into the pool totals so nothing is lost from
+:meth:`stats`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.channel import RPCChannel
+from repro.core.policy import DiffPolicy
+from repro.errors import PoolError, PoolTimeoutError
+from repro.schema.registry import TypeRegistry
+from repro.soap.message import SOAPMessage
+from repro.soap.rpc import RPCResponse
+
+__all__ = ["ClientPool"]
+
+#: channel_stats keys that are summable counters.
+_COUNTER_KEYS = (
+    "calls",
+    "faults",
+    "retries",
+    "reconnects",
+    "rollbacks",
+    "forced_full_sends",
+    "breaker_opens",
+)
+
+
+class ClientPool:
+    """``size`` exclusively-checked-out RPC channels to one server.
+
+    Parameters
+    ----------
+    host, port:
+        The HTTP SOAP server every pooled channel dials.
+    size:
+        Number of channels (= maximum concurrent in-flight calls for
+        plain ``call``; the pipelined sender multiplies this by its
+        per-channel window).
+    registry, policy, http_mode, path:
+        Forwarded to each :class:`RPCChannel`.  The policy object is
+        shared (it is read-only configuration); template stores are
+        never shared.
+    channel_factory:
+        Override channel construction — receives the channel index,
+        must return an :class:`RPCChannel`.  Tests inject
+        fault-wrapped transports here.
+    checkout_timeout:
+        Default :meth:`checkout` wait in seconds (``None`` = forever).
+    """
+
+    def __init__(
+        self,
+        host: str = "",
+        port: int = 0,
+        size: int = 4,
+        *,
+        registry: Optional[TypeRegistry] = None,
+        policy: Optional[DiffPolicy] = None,
+        http_mode: str = "chunked",
+        path: str = "/soap",
+        channel_factory: Optional[Callable[[int], RPCChannel]] = None,
+        checkout_timeout: Optional[float] = None,
+    ) -> None:
+        if size < 1:
+            raise PoolError("pool size must be >= 1")
+        self.host = host
+        self.port = port
+        self.size = size
+        self.checkout_timeout = checkout_timeout
+        self._registry = registry
+        self._policy = policy
+        self._http_mode = http_mode
+        self._path = path
+        self._factory = channel_factory or self._default_factory
+        self._lock = threading.Lock()
+        self._idle: "queue.LifoQueue[RPCChannel]" = queue.LifoQueue()
+        self._members: List[RPCChannel] = []
+        self._closed = False
+        self._next_index = 0
+        self.checkouts = 0
+        self.replacements = 0
+        #: Counters inherited from retired (replaced) channels.
+        self._retired_totals: Dict[str, int] = {k: 0 for k in _COUNTER_KEYS}
+        for _ in range(size):
+            channel = self._spawn()
+            self._idle.put(channel)
+
+    def _default_factory(self, index: int) -> RPCChannel:
+        return RPCChannel(
+            self.host,
+            self.port,
+            registry=self._registry,
+            policy=self._policy,
+            http_mode=self._http_mode,
+            path=self._path,
+        )
+
+    def _spawn(self) -> RPCChannel:
+        with self._lock:
+            index = self._next_index
+            self._next_index += 1
+        channel = self._factory(index)
+        # The template-per-connection invariant: a store shared between
+        # pooled channels would let one channel's diff run against
+        # bytes another connection sent.
+        with self._lock:
+            for other in self._members:
+                if channel.client.store is other.client.store:
+                    raise PoolError(
+                        "pooled channels must not share a TemplateStore"
+                    )
+            self._members.append(channel)
+        return channel
+
+    # ------------------------------------------------------------------
+    # checkout / checkin
+    # ------------------------------------------------------------------
+    def checkout(self, timeout: Optional[float] = None) -> RPCChannel:
+        """Borrow an idle channel (blocks until one is available).
+
+        Raises :class:`~repro.errors.PoolTimeoutError` if no channel
+        frees up within *timeout* (default: the pool's
+        ``checkout_timeout``).
+        """
+        if self._closed:
+            raise PoolError("pool is closed")
+        if timeout is None:
+            timeout = self.checkout_timeout
+        try:
+            channel = self._idle.get(timeout=timeout)
+        except queue.Empty:
+            raise PoolTimeoutError(
+                f"no channel free after {timeout}s (size={self.size})"
+            ) from None
+        with self._lock:
+            self.checkouts += 1
+        return channel
+
+    def checkin(self, channel: RPCChannel) -> None:
+        """Return a borrowed channel, replacing it if unrecoverable."""
+        with self._lock:
+            if channel not in self._members:
+                raise PoolError("channel does not belong to this pool")
+        if self._closed:
+            self._retire(channel)
+            return
+        if not self.healthy(channel):
+            self._retire(channel)
+            replacement = self._spawn()
+            with self._lock:
+                self.replacements += 1
+            self._idle.put(replacement)
+            return
+        self._idle.put(channel)
+
+    @staticmethod
+    def healthy(channel: RPCChannel) -> bool:
+        """Whether *channel* can still carry calls.
+
+        Reconnecting transports and open breakers self-heal (redial /
+        degrade to full serialization), so only a channel flagged
+        ``broken`` — its one-shot transport died — is unhealthy.
+        """
+        return not channel.broken
+
+    def _retire(self, channel: RPCChannel) -> None:
+        stats = channel.channel_stats()
+        with self._lock:
+            for key in _COUNTER_KEYS:
+                self._retired_totals[key] += int(stats.get(key, 0))  # type: ignore[arg-type]
+            if channel in self._members:
+                self._members.remove(channel)
+        channel.close()
+
+    @contextmanager
+    def channel(self, timeout: Optional[float] = None) -> Iterator[RPCChannel]:
+        """``with pool.channel() as ch:`` checkout/checkin guard."""
+        borrowed = self.checkout(timeout)
+        try:
+            yield borrowed
+        finally:
+            self.checkin(borrowed)
+
+    # ------------------------------------------------------------------
+    # convenience call path
+    # ------------------------------------------------------------------
+    def call(
+        self, message: SOAPMessage, timeout: Optional[float] = None
+    ) -> RPCResponse:
+        """Checkout → ``channel.call`` → checkin.
+
+        Note the template-affinity cost: successive calls may land on
+        different channels, each maintaining its own template for the
+        message's structure.  Latency-sensitive callers running a long
+        same-structure sequence should hold a checkout instead.
+        """
+        with self.channel(timeout) as ch:
+            return ch.call(message)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Pool totals: summed channel counters + pool lifecycle."""
+        with self._lock:
+            members = list(self._members)
+            totals = dict(self._retired_totals)
+            meta = {
+                "size": self.size,
+                "checkouts": self.checkouts,
+                "replacements": self.replacements,
+            }
+        breaker_open = 0
+        for channel in members:
+            stats = channel.channel_stats()
+            for key in _COUNTER_KEYS:
+                totals[key] += int(stats.get(key, 0))  # type: ignore[arg-type]
+            if stats.get("breaker_state") == "open":
+                breaker_open += 1
+        totals["breakers_open"] = breaker_open
+        totals.update(meta)
+        return totals
+
+    def close(self) -> None:
+        """Close every channel (idle now; borrowed ones at checkin)."""
+        self._closed = True
+        while True:
+            try:
+                channel = self._idle.get_nowait()
+            except queue.Empty:
+                break
+            self._retire(channel)
+
+    def __enter__(self) -> "ClientPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

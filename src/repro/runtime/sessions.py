@@ -1,0 +1,277 @@
+"""Per-connection server sessions for differential deserialization.
+
+The paper's server-side template matching (§6) is stateful: the
+deserializer's stored raw message must be the *previous message of the
+same sender*, or the byte comparison degrades to a full parse on every
+request.  A server with one shared :class:`DifferentialDeserializer`
+under a thread-per-connection front end has two problems at once:
+
+* **correctness** — two connection threads interleaving
+  ``deserialize()`` calls race on the stored template and the parse
+  result they both mutate in place;
+* **performance** — even with a lock, interleaved streams from
+  different clients never match each other, so the differential path
+  is always missed.
+
+A :class:`ServerSessionManager` fixes both by giving every accepted
+connection its own :class:`ServerSession` — a private deserializer,
+response-template serializer, and counters — behind a registry with a
+lock and LRU eviction.  The template-per-connection invariant this
+enforces is the server-side mirror of the client pool's
+template-per-channel invariant (see ``docs/runtime.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Iterator, List, Optional
+
+from repro.core.client import BSoapClient
+from repro.core.policy import DiffPolicy
+from repro.core.stats import ClientStats
+from repro.schema.registry import TypeRegistry
+from repro.server.diffdeser import DeserKind, DifferentialDeserializer
+from repro.transport.loopback import CollectSink
+
+__all__ = ["ServerSession", "ServerSessionManager", "DeserializerView"]
+
+#: Key of the implicit session used when callers pass no session id
+#: (direct ``SOAPService.handle(body)`` calls, single-client tests).
+DEFAULT_SESSION = "__default__"
+
+
+class ServerSession:
+    """One connection's private deserializer/serializer state.
+
+    Attributes
+    ----------
+    deserializer:
+        This session's request-side differential deserializer.
+    responder / sink:
+        The response-side bSOAP serializer and the sink holding the
+        last serialized response.  Response templates are per session,
+        so concurrent connections cannot corrupt each other's saved
+        response bytes.
+    lock:
+        Serializes request handling within the session.  A connection
+        is served by one thread, so this is normally uncontended; it
+        exists so direct ``handle()`` callers sharing a session id
+        stay safe.
+    """
+
+    __slots__ = (
+        "key",
+        "deserializer",
+        "sink",
+        "responder",
+        "lock",
+        "requests_handled",
+        "faults_returned",
+        "pinned",
+        "in_use",
+    )
+
+    def __init__(
+        self,
+        key: Hashable,
+        registry: Optional[TypeRegistry],
+        response_policy: Optional[DiffPolicy],
+        *,
+        pinned: bool = False,
+    ) -> None:
+        self.key = key
+        self.deserializer = DifferentialDeserializer(registry)
+        self.sink = CollectSink()
+        self.responder = BSoapClient(self.sink, response_policy)
+        self.lock = threading.Lock()
+        self.requests_handled = 0
+        self.faults_returned = 0
+        #: Pinned sessions (the default one) are never LRU-evicted.
+        self.pinned = pinned
+        #: Number of threads currently between acquire() and release();
+        #: guarded by the manager's registry lock.
+        self.in_use = 0
+
+
+class DeserializerView:
+    """Aggregate read-only facade over every session's deserializer.
+
+    Presents the same ``stats`` / ``has_template`` / ``reset`` surface
+    a single :class:`DifferentialDeserializer` offers, summed across
+    sessions — so single-session callers see exactly the numbers they
+    always did, and multi-connection servers see totals.
+    """
+
+    def __init__(self, manager: "ServerSessionManager") -> None:
+        self._manager = manager
+
+    @property
+    def stats(self) -> Dict[DeserKind, int]:
+        totals = dict(self._manager.retired_deser_stats())
+        for session in self._manager.sessions():
+            for kind, count in session.deserializer.stats.items():
+                totals[kind] += count
+        return totals
+
+    @property
+    def has_template(self) -> bool:
+        return any(
+            s.deserializer.has_template for s in self._manager.sessions()
+        )
+
+    def reset(self) -> None:
+        """Drop every session's stored template."""
+        for session in self._manager.sessions():
+            session.deserializer.reset()
+
+
+class ServerSessionManager:
+    """Thread-safe registry of per-connection sessions with LRU eviction.
+
+    Parameters
+    ----------
+    registry / response_policy:
+        Passed through to each session's deserializer and responder.
+    max_sessions:
+        Upper bound on live sessions.  Beyond it the least recently
+        *acquired* idle session is evicted (its deserializer template
+        and response templates are dropped; an evicted-then-returning
+        session id simply pays one full parse to resynchronize).
+        Sessions currently in use and the pinned default session are
+        never evicted.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[TypeRegistry] = None,
+        response_policy: Optional[DiffPolicy] = None,
+        *,
+        max_sessions: int = 256,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.registry = registry
+        self.response_policy = response_policy
+        self.max_sessions = max_sessions
+        self._lock = threading.Lock()
+        self._sessions: "OrderedDict[Hashable, ServerSession]" = OrderedDict()
+        self.sessions_created = 0
+        self.evictions = 0
+        # Retired (closed/evicted) sessions keep counting in aggregate
+        # views: their stats are folded in here before deletion.
+        self._retired_deser: Dict[DeserKind, int] = {k: 0 for k in DeserKind}
+        self._retired_responses = ClientStats()
+        self._retired_handled = 0
+        self._retired_faulted = 0
+
+    # ------------------------------------------------------------------
+    def acquire(self, key: Optional[Hashable]) -> ServerSession:
+        """Fetch (or create) the session for *key* and pin it in use.
+
+        Callers must pair every ``acquire`` with a :meth:`release`.
+        """
+        if key is None:
+            key = DEFAULT_SESSION
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is None:
+                session = ServerSession(
+                    key,
+                    self.registry,
+                    self.response_policy,
+                    pinned=key == DEFAULT_SESSION,
+                )
+                self._sessions[key] = session
+                self.sessions_created += 1
+                self._evict_locked()
+            else:
+                self._sessions.move_to_end(key)
+            session.in_use += 1
+            return session
+
+    def release(self, session: ServerSession) -> None:
+        with self._lock:
+            session.in_use = max(0, session.in_use - 1)
+
+    def _evict_locked(self) -> None:
+        """Drop LRU idle sessions beyond :attr:`max_sessions`."""
+        while len(self._sessions) > self.max_sessions:
+            victim_key = None
+            for key, session in self._sessions.items():  # LRU first
+                if session.in_use == 0 and not session.pinned:
+                    victim_key = key
+                    break
+            if victim_key is None:
+                return  # everything is busy or pinned; stay over budget
+            self._retire_locked(self._sessions.pop(victim_key))
+            self.evictions += 1
+
+    def _retire_locked(self, session: ServerSession) -> None:
+        """Fold a dying session's stats into the retired totals."""
+        for kind, count in session.deserializer.stats.items():
+            self._retired_deser[kind] += count
+        self._retired_responses.merge_from(session.responder.stats)
+        self._retired_handled += session.requests_handled
+        self._retired_faulted += session.faults_returned
+
+    def close_session(self, key: Optional[Hashable]) -> None:
+        """Free *key*'s session eagerly (connection closed).
+
+        A no-op for unknown keys, busy sessions, and the pinned
+        default session.
+        """
+        if key is None:
+            return
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is not None and session.in_use == 0 and not session.pinned:
+                self._retire_locked(self._sessions.pop(key))
+
+    # ------------------------------------------------------------------
+    # aggregate views
+    # ------------------------------------------------------------------
+    def sessions(self) -> List[ServerSession]:
+        """Snapshot of live sessions (safe to iterate without the lock)."""
+        with self._lock:
+            return list(self._sessions.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def __iter__(self) -> Iterator[ServerSession]:
+        return iter(self.sessions())
+
+    def deserializer_view(self) -> DeserializerView:
+        return DeserializerView(self)
+
+    def retired_deser_stats(self) -> Dict[DeserKind, int]:
+        """Deserializer stats carried over from retired sessions."""
+        with self._lock:
+            return dict(self._retired_deser)
+
+    def merged_response_stats(self) -> ClientStats:
+        """Response-side ClientStats summed over all sessions, live
+        and retired."""
+        merged = ClientStats()
+        with self._lock:
+            merged.merge_from(self._retired_responses)
+        for session in self.sessions():
+            merged.merge_from(session.responder.stats)
+        return merged
+
+    def merged_counters(self) -> Dict[str, int]:
+        with self._lock:
+            handled = self._retired_handled
+            faulted = self._retired_faulted
+        for session in self.sessions():
+            handled += session.requests_handled
+            faulted += session.faults_returned
+        return {
+            "requests_handled": handled,
+            "faults_returned": faulted,
+            "sessions": len(self),
+            "sessions_created": self.sessions_created,
+            "evictions": self.evictions,
+        }

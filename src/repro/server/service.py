@@ -1,35 +1,49 @@
 """SOAP service dispatch and an HTTP server front end.
 
 A :class:`SOAPService` maps operation names to Python handlers.
-Incoming bodies are decoded by a per-service
+Incoming bodies are decoded by a per-session
 :class:`~repro.server.diffdeser.DifferentialDeserializer`; responses
-are serialized through an internal :class:`~repro.core.BSoapClient`,
-so a service answering the same-shaped response repeatedly gets
-content/structural matches on the *outgoing* side — the paper's §3.4
-"heavily-used servers" scenario (Google/Amazon-style fixed response
-schemas).
+are serialized through a per-session internal
+:class:`~repro.core.BSoapClient`, so a service answering the
+same-shaped response repeatedly gets content/structural matches on the
+*outgoing* side — the paper's §3.4 "heavily-used servers" scenario
+(Google/Amazon-style fixed response schemas).
+
+Sessions (see :mod:`repro.runtime.sessions`): differential
+deserialization is stateful per *sender*, so the service keeps one
+deserializer/responder pair per session id behind a
+:class:`~repro.runtime.sessions.ServerSessionManager`.
+:class:`HTTPSoapServer` passes each accepted connection's id, making
+``handle`` safe and differential under the thread-per-connection
+front end; direct ``handle(body)`` calls with no session id share the
+pinned default session (single-caller usage, exactly the pre-session
+behaviour).
 """
 
 from __future__ import annotations
 
+import itertools
 import socket
 import threading
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
-from repro.core.client import BSoapClient
 from repro.core.policy import DiffPolicy
+from repro.core.stats import ClientStats
 from repro.errors import SOAPError, TransportError
+from repro.runtime.sessions import (
+    DeserializerView,
+    ServerSession,
+    ServerSessionManager,
+)
 from repro.schema.composite import ArrayType, StructType
 from repro.schema.registry import TypeRegistry
 from repro.schema.types import XSDType
-from repro.server.diffdeser import DifferentialDeserializer
 from repro.server.parser import DecodedMessage
 from repro.server.tagdispatch import OperationPeeker
 from repro.soap.fault import SOAPFault
 from repro.soap.message import Parameter, SOAPMessage
 from repro.soap.rpc import RESPONSE_SUFFIX
 from repro.transport.http import parse_http_request
-from repro.transport.loopback import CollectSink
 
 __all__ = ["Operation", "SOAPService", "HTTPSoapServer"]
 
@@ -65,6 +79,7 @@ class SOAPService:
         response_policy: Optional[DiffPolicy] = None,
         differential_deser: bool = True,
         definition: Optional[object] = None,
+        max_sessions: int = 256,
     ) -> None:
         self.namespace = namespace
         #: Optional :class:`~repro.wsdl.model.ServiceDef` for WSDL serving.
@@ -72,12 +87,10 @@ class SOAPService:
         self.registry = registry or TypeRegistry()
         self._operations: Dict[str, Operation] = {}
         self._peeker = OperationPeeker(())
-        self._deser = DifferentialDeserializer(self.registry)
         self._differential_deser = differential_deser
-        self._response_sink = CollectSink()
-        self._responder = BSoapClient(self._response_sink, response_policy)
-        self.requests_handled = 0
-        self.faults_returned = 0
+        self.sessions = ServerSessionManager(
+            self.registry, response_policy, max_sessions=max_sessions
+        )
 
     # ------------------------------------------------------------------
     def register(self, operation: Operation) -> Operation:
@@ -144,17 +157,46 @@ class SOAPService:
         return emit_wsdl(self.definition)
 
     @property
-    def deserializer(self) -> DifferentialDeserializer:
-        return self._deser
+    def deserializer(self) -> DeserializerView:
+        """Aggregate view over every session's deserializer.
+
+        Offers ``stats`` / ``has_template`` / ``reset`` summed across
+        sessions; with a single caller (no session ids) the numbers are
+        identical to the lone deserializer's own.
+        """
+        return self.sessions.deserializer_view()
 
     @property
-    def response_stats(self):
-        """Match-kind counters for outgoing responses."""
-        return self._responder.stats
+    def response_stats(self) -> ClientStats:
+        """Match-kind counters for outgoing responses (all sessions)."""
+        return self.sessions.merged_response_stats()
+
+    @property
+    def requests_handled(self) -> int:
+        return self.sessions.merged_counters()["requests_handled"]
+
+    @property
+    def faults_returned(self) -> int:
+        return self.sessions.merged_counters()["faults_returned"]
 
     # ------------------------------------------------------------------
-    def handle(self, body: bytes) -> bytes:
-        """Decode a request body, dispatch, return the response bytes."""
+    def handle(
+        self, body: bytes, session_id: Optional[Hashable] = None
+    ) -> bytes:
+        """Decode a request body, dispatch, return the response bytes.
+
+        *session_id* scopes the differential deserializer and response
+        templates; connection front ends pass a per-connection id, and
+        ``None`` selects the shared default session.
+        """
+        session = self.sessions.acquire(session_id)
+        try:
+            with session.lock:
+                return self._handle_in_session(session, body)
+        finally:
+            self.sessions.release(session)
+
+    def _handle_in_session(self, session: ServerSession, body: bytes) -> bytes:
         try:
             # Trie peek (Chiu et al.'s tag-trie optimization applied
             # to dispatch): an unknown operation tag faults before any
@@ -162,28 +204,30 @@ class SOAPService:
             status, peeked = self._peeker.classify(body)
             if status == "unknown":
                 raise SOAPError(f"unknown operation {peeked!r}")
-            decoded = self._decode(body)
+            decoded = self._decode(session, body)
             op = self._operations.get(decoded.operation)
             if op is None:
                 raise SOAPError(f"unknown operation {decoded.operation!r}")
             kwargs = {p.name: p.value for p in decoded.params}
             result = op.handler(**kwargs)
-            self.requests_handled += 1
-            return self._serialize_response(op, result)
+            session.requests_handled += 1
+            return self._serialize_response(session, op, result)
         except SOAPError as exc:
-            self.faults_returned += 1
+            session.faults_returned += 1
             return SOAPFault.client(str(exc)).to_xml()
         except Exception as exc:  # handler bug → Server fault
-            self.faults_returned += 1
+            session.faults_returned += 1
             return SOAPFault.server(f"{type(exc).__name__}: {exc}").to_xml()
 
-    def _decode(self, body: bytes) -> DecodedMessage:
+    def _decode(self, session: ServerSession, body: bytes) -> DecodedMessage:
         if self._differential_deser:
-            message, _report = self._deser.deserialize(body)
+            message, _report = session.deserializer.deserialize(body)
             return message
-        return self._deser.parser.parse(body).message
+        return session.deserializer.parser.parse(body).message
 
-    def _serialize_response(self, op: Operation, result: object) -> bytes:
+    def _serialize_response(
+        self, session: ServerSession, op: Operation, result: object
+    ) -> bytes:
         params: List[Parameter] = []
         if op.result_type is not None:
             params.append(Parameter(op.result_name, op.result_type, result))
@@ -192,19 +236,27 @@ class SOAPService:
             namespace=self.namespace,
             params=params,
         )
-        self._responder.send(message)
-        return self._response_sink.last
+        session.responder.send(message)
+        return session.sink.last
 
 
 class HTTPSoapServer:
-    """Threaded HTTP front end dispatching POSTs to a service."""
+    """Threaded HTTP front end dispatching POSTs to a service.
+
+    Each accepted connection gets its own service session (see
+    :class:`~repro.runtime.sessions.ServerSessionManager`), so
+    concurrent clients neither race on shared deserializer state nor
+    destroy each other's differential matches.
+    """
 
     def __init__(self, service: SOAPService, host: str = "127.0.0.1") -> None:
         self.service = service
         self.host = host
         self.port = 0
         self._listener: Optional[socket.socket] = None
-        self._threads: List[threading.Thread] = []
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_threads: List[threading.Thread] = []
+        self._conn_ids = itertools.count(1)
         self._running = threading.Event()
 
     # ------------------------------------------------------------------
@@ -212,14 +264,15 @@ class HTTPSoapServer:
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.host, 0))
-        listener.listen(8)
+        listener.listen(64)
         listener.settimeout(0.2)
         self._listener = listener
         self.port = listener.getsockname()[1]
         self._running.set()
-        accept = threading.Thread(target=self._accept_loop, daemon=True)
-        accept.start()
-        self._threads.append(accept)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="soap-server-accept", daemon=True
+        )
+        self._accept_thread.start()
         return self
 
     def _accept_loop(self) -> None:
@@ -231,11 +284,20 @@ class HTTPSoapServer:
                 continue
             except OSError:
                 break
-            thread = threading.Thread(target=self._serve, args=(conn,), daemon=True)
+            session_id = f"conn-{next(self._conn_ids)}"
+            thread = threading.Thread(
+                target=self._serve, args=(conn, session_id), daemon=True
+            )
             thread.start()
-            self._threads.append(thread)
+            # Reap finished connection threads so a long-lived server
+            # handling many short connections doesn't accumulate dead
+            # Thread objects without bound.
+            self._conn_threads = [
+                t for t in self._conn_threads if t.is_alive()
+            ]
+            self._conn_threads.append(thread)
 
-    def _serve(self, conn: socket.socket) -> None:
+    def _serve(self, conn: socket.socket, session_id: str) -> None:
         conn.settimeout(0.2)
         buffered = b""
         try:
@@ -249,7 +311,7 @@ class HTTPSoapServer:
                 if not data:
                     break
                 buffered += data
-                drained = self._drain_requests(conn, buffered)
+                drained = self._drain_requests(conn, buffered, session_id)
                 if drained is None:
                     break  # malformed request: connection dropped
                 buffered = drained
@@ -258,9 +320,12 @@ class HTTPSoapServer:
                 conn.close()
             except OSError:  # pragma: no cover - best effort
                 pass
+            # Free the connection's session state eagerly; a returning
+            # client dials a new connection and pays one full parse.
+            self.service.sessions.close_session(session_id)
 
     def _drain_requests(
-        self, conn: socket.socket, buffered: bytes
+        self, conn: socket.socket, buffered: bytes, session_id: str
     ) -> Optional[bytes]:
         from repro.errors import HTTPFramingError, IncompleteHTTPError
 
@@ -286,7 +351,7 @@ class HTTPSoapServer:
                 if response_body is None or not buffered:
                     return b""
                 continue
-            response_body = self.service.handle(request.body)
+            response_body = self.service.handle(request.body, session_id)
             head = (
                 "HTTP/1.1 200 OK\r\n"
                 'Content-Type: text/xml; charset="utf-8"\r\n'
@@ -328,9 +393,12 @@ class HTTPSoapServer:
             except OSError:  # pragma: no cover
                 pass
             self._listener = None
-        for thread in self._threads:
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+        for thread in self._conn_threads:
             thread.join(timeout=2.0)
-        self._threads.clear()
+        self._conn_threads = [t for t in self._conn_threads if t.is_alive()]
 
     def __enter__(self) -> "HTTPSoapServer":
         return self.start()

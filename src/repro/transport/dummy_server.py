@@ -84,6 +84,11 @@ class DummyServer:
                 target=self._drain_loop, args=(conn,), daemon=True
             )
             thread.start()
+            # Reap finished drain threads: under many short-lived
+            # connections this list would otherwise grow without bound.
+            self._conn_threads = [
+                t for t in self._conn_threads if t.is_alive()
+            ]
             self._conn_threads.append(thread)
 
     def _drain_loop(self, conn: socket.socket) -> None:
@@ -145,7 +150,7 @@ class DummyServer:
             self._accept_thread = None
         for thread in self._conn_threads:
             thread.join(timeout=2.0)
-        self._conn_threads.clear()
+        self._conn_threads = [t for t in self._conn_threads if t.is_alive()]
 
     def __enter__(self) -> "DummyServer":
         return self.start()

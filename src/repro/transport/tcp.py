@@ -63,6 +63,10 @@ class TCPTransport:
         apply_paper_options(self._sock)
         self.messages = 0
         self.bytes_total = 0
+        # Bytes received past the end of the last parsed response.
+        # With HTTP pipelining several responses can land in one
+        # recv(); the surplus belongs to the next call, not the floor.
+        self._recv_buffer = b""
 
     # ------------------------------------------------------------------
     def _sendmsg_all(self, batch: Sequence[memoryview | bytes]) -> int:
@@ -130,19 +134,28 @@ class TCPTransport:
         from repro.errors import IncompleteHTTPError
         from repro.transport.http import parse_http_response
 
-        buffered = b""
+        buffered = self._recv_buffer
         while len(buffered) < limit:
             try:
-                return parse_http_response(buffered)[:3]
+                status, headers, body, consumed = parse_http_response(buffered)
             except IncompleteHTTPError:
                 pass
+            else:
+                # Keep the surplus: pipelined responses arrive
+                # back-to-back, and bytes past this response belong to
+                # the next one.
+                self._recv_buffer = buffered[consumed:]
+                return status, headers, body
             try:
                 data = self._sock.recv(65536)
             except OSError as exc:
+                self._recv_buffer = b""
                 raise TransportError(f"recv failed: {exc}") from exc
             if not data:
+                self._recv_buffer = b""
                 raise TransportError("connection closed mid-response")
             buffered += data
+        self._recv_buffer = b""
         raise TransportError("response exceeds size limit")
 
     def recv_until_close(self, limit: int = 1 << 20) -> bytes:

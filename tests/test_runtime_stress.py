@@ -1,0 +1,134 @@
+"""Concurrency stress: many clients, all match levels, oracle-checked.
+
+Eight clients (two per match level) hammer one live
+:class:`HTTPSoapServer` through :class:`ClientPool` checkouts while a
+single-threaded oracle run of the *same* per-client sequences against
+a fresh server provides the expected response bytes.  Byte-for-byte
+equality proves the per-connection template isolation holds under
+contention — a race on either side's template state would corrupt
+serialized bytes or force resynchronizations.
+"""
+
+import threading
+
+import pytest
+
+from repro.channel import RPCChannel
+from repro.runtime.loadgen import (
+    MATCH_LEVELS,
+    build_service,
+    level_policy,
+    message_sequence,
+)
+from repro.runtime.pool import ClientPool
+from repro.schema.registry import TypeRegistry
+from repro.server.service import HTTPSoapServer
+
+pytestmark = pytest.mark.slow
+
+CLIENTS_PER_LEVEL = 2  # x4 levels = 8 concurrent clients
+CALLS = 30
+N = 48
+
+
+def _client_plan():
+    """(client_id, level, sequence) for every concurrent client."""
+    plan = []
+    for li, level in enumerate(MATCH_LEVELS):
+        for k in range(CLIENTS_PER_LEVEL):
+            cid = li * CLIENTS_PER_LEVEL + k
+            plan.append((cid, level, message_sequence(level, N, CALLS, seed=17 + cid)))
+    return plan
+
+
+def _oracle_bodies(plan):
+    """Single-threaded run: each client's sequence on its own connection."""
+    bodies = {}
+    with HTTPSoapServer(build_service()) as httpd:
+        for cid, level, messages in plan:
+            with RPCChannel(
+                httpd.host,
+                httpd.port,
+                registry=TypeRegistry(),
+                policy=level_policy(level),
+            ) as channel:
+                bodies[cid] = []
+                for message in messages:
+                    channel.call(message)
+                    bodies[cid].append(channel.last_response_body)
+    return bodies
+
+
+def test_concurrent_clients_match_single_threaded_oracle():
+    plan = _client_plan()
+    expected = _oracle_bodies(plan)
+
+    with HTTPSoapServer(build_service()) as httpd:
+        # One pool per level (policies differ); every client holds its
+        # checkout for the whole run, so call k on any client diffs
+        # against that channel's call k-1 — exactly like the oracle.
+        pools = {
+            level: ClientPool(
+                httpd.host,
+                httpd.port,
+                CLIENTS_PER_LEVEL,
+                registry=TypeRegistry(),
+                policy=level_policy(level),
+            )
+            for level in MATCH_LEVELS
+        }
+        got = {}
+        failures = []
+        barrier = threading.Barrier(len(plan))
+        lock = threading.Lock()
+
+        def worker(cid, level, messages):
+            try:
+                with pools[level].channel() as channel:
+                    barrier.wait(timeout=30)
+                    bodies = []
+                    for message in messages:
+                        channel.call(message)
+                        bodies.append(channel.last_response_body)
+                with lock:
+                    got[cid] = bodies
+            except Exception as exc:  # surfaced below, not swallowed
+                with lock:
+                    failures.append((cid, repr(exc)))
+
+        threads = [
+            threading.Thread(target=worker, args=spec, daemon=True)
+            for spec in plan
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        stats = {level: pool.stats() for level, pool in pools.items()}
+        for pool in pools.values():
+            pool.close()
+        service_counters = httpd.service.sessions.merged_counters()
+
+    assert not failures, failures
+    assert set(got) == {cid for cid, _, _ in plan}
+
+    # Byte-equivalence: every response identical to the oracle's.
+    for cid, level, messages in plan:
+        assert len(got[cid]) == len(expected[cid]) == CALLS
+        for k, (a, b) in enumerate(zip(got[cid], expected[cid])):
+            assert a == b, (
+                f"client {cid} ({level}) call {k}: concurrent response "
+                f"differs from single-threaded oracle"
+            )
+
+    # Zero template corruption: no rollbacks, no forced full resyncs,
+    # no retries, no channel replacements anywhere in the run.
+    for level, s in stats.items():
+        assert s["rollbacks"] == 0, (level, s)
+        assert s["forced_full_sends"] == 0, (level, s)
+        assert s["retries"] == 0, (level, s)
+        assert s["replacements"] == 0, (level, s)
+        assert s["breakers_open"] == 0, (level, s)
+
+    assert service_counters["requests_handled"] == len(plan) * CALLS
+    assert service_counters["faults_returned"] == 0
