@@ -33,7 +33,13 @@ import sys
 import time
 from typing import Dict, List, Mapping, Optional, Sequence
 
-__all__ = ["SCHEMA", "make_result", "validate_result", "dump_result"]
+__all__ = [
+    "SCHEMA",
+    "make_result",
+    "make_metrics_result",
+    "validate_result",
+    "dump_result",
+]
 
 SCHEMA = "repro-bench-result/1"
 
@@ -61,6 +67,27 @@ def make_result(
     }
     validate_result(doc)
     return doc
+
+
+def make_metrics_result(
+    rows: Sequence[Mapping[str, object]],
+    bench: str = "metrics_snapshot",
+    params: Optional[Mapping[str, object]] = None,
+    notes: str = "",
+) -> Dict[str, object]:
+    """A result document holding a metrics snapshot.
+
+    *rows* come from :func:`repro.obs.export.metrics_rows` — flat
+    ``{"metric", "type", "labels", "value", ...}`` records — so live
+    registry snapshots land in the same ``repro-bench-result/1``
+    tooling as every bench.  An empty registry still yields a valid
+    document (the schema requires a non-empty ``results`` list, so a
+    placeholder row marks the snapshot as empty).
+    """
+    if not rows:
+        rows = [{"metric": "", "type": "empty", "labels": "", "value": 0}]
+    doc = make_result(bench, params or {}, rows, notes)
+    return validate_result(doc, required_columns=("metric", "type", "value"))
 
 
 def validate_result(

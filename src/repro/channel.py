@@ -39,6 +39,7 @@ from typing import Dict, Optional
 from repro.core.client import BSoapClient
 from repro.core.policy import DiffPolicy
 from repro.core.stats import SendReport
+from repro.obs import NULL_OBS, Observability
 from repro.errors import (
     HTTPStatusError,
     ReproError,
@@ -98,13 +99,19 @@ class RPCChannel:
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
         raw_transport=None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if raw_transport is None:
             raw_transport = ReconnectingTCPTransport(host, port)
             raw_transport.connect()  # fail fast on a bad address
         self._raw = raw_transport
-        self._http = HTTPTransport(self._raw, mode=http_mode, host=host, path=path)
-        self.client = BSoapClient(self._http, policy)
+        #: Shared with the client and framer, so one registry carries
+        #: the per-send counters, wire bytes, and call latency/retries.
+        self.obs: Observability = obs if obs is not None else NULL_OBS
+        self._http = HTTPTransport(
+            self._raw, mode=http_mode, host=host, path=path, obs=self.obs
+        )
+        self.client = BSoapClient(self._http, policy, obs=self.obs)
         self.retry = retry or RetryPolicy()
         self.breaker = breaker or CircuitBreaker()
         # Responses are differentially deserialized: a service reusing
@@ -177,6 +184,7 @@ class RPCChannel:
             self.last_send_report = report
             with self._stats_lock:
                 self.calls += 1
+            self.obs.record_call(time.monotonic() - started, failures)
             return response
 
     def _attempt(self, message: SOAPMessage):
@@ -202,6 +210,9 @@ class RPCChannel:
 
     def recv_response(self) -> RPCResponse:
         """Receive and decode the next HTTP response on the connection."""
+        tracing = self.obs.tracer.enabled
+        if tracing:
+            t0 = time.perf_counter()
         status, _headers, body = self._raw.recv_http_response()
         if status != 200:
             raise HTTPStatusError(status)
@@ -219,6 +230,15 @@ class RPCChannel:
             raise TransportError(f"response undecodable: {exc}") from exc
         self.last_deser_report = deser_report
         self.last_response_body = body
+        if tracing:
+            self.obs.tracer.emit(
+                "recv",
+                duration_s=time.perf_counter() - t0,
+                bytes=len(body),
+                deser_kind=deser_report.kind.value,
+                leaves_parsed=deser_report.leaves_parsed,
+                total_leaves=deser_report.total_leaves,
+            )
         return RPCResponse(
             operation=decoded.operation,
             values={p.name: p.value for p in decoded.params},

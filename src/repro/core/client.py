@@ -34,10 +34,12 @@ as its dirty values are rewritten.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Optional, Union
 
 from repro.core.differential import iter_rewrite_and_views, rewrite_dirty
 from repro.core.matcher import classify, refine
+from repro.obs import NULL_OBS, Observability
 from repro.core.overlay import OverlayTemplate, build_overlay_template, overlay_eligible
 from repro.core.policy import DiffPolicy
 from repro.core.serializer import build_template
@@ -82,10 +84,14 @@ class BSoapClient:
         transport: Optional[Transport] = None,
         policy: Optional[DiffPolicy] = None,
         store: Optional[TemplateStore] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.transport: Transport = transport if transport is not None else NullSink()
         self.policy = policy or DiffPolicy()
         self.stats = ClientStats()
+        #: Tracing + metrics sink; the shared no-op default costs one
+        #: attribute load and branch per guarded site.
+        self.obs: Observability = obs if obs is not None else NULL_OBS
         #: When True every send takes the full-serialization path and
         #: no cross-call template state is consulted — the degraded
         #: mode a circuit breaker pins after repeated failures.
@@ -117,9 +123,9 @@ class BSoapClient:
         signature = structure_signature(message)
         template = self.store.get(signature)
         if template is None:
-            template = build_template(message, self.policy)
+            template = build_template(message, self.policy, obs=self.obs)
             self.store.put(signature, template)
-            self.stats.templates_built += 1
+            self._template_built()
         if isinstance(template, OverlayTemplate):
             raise TemplateError(
                 "prepare() targets in-memory templates; overlay sends use send()"
@@ -151,13 +157,13 @@ class BSoapClient:
             if overlay_eligible(message, self.policy):
                 overlay = build_overlay_template(message, self.policy)
                 self.store.put(signature, overlay)
-                self.stats.templates_built += 1
+                self._template_built()
                 return self._send_overlay(
                     overlay, message, first=True, forced_full=resync
                 )
-            template = build_template(message, self.policy)
+            template = build_template(message, self.policy, obs=self.obs)
             self.store.put(signature, template)
-            self.stats.templates_built += 1
+            self._template_built()
             return self._transmit_guarded(
                 template, MatchKind.FIRST_TIME, RewriteStats(), forced_full=resync
             )
@@ -169,9 +175,9 @@ class BSoapClient:
         template = self._choose_variant(signature, message, existing)
         if template is None:
             # A fresh variant was judged cheaper than rewriting.
-            template = build_template(message, self.policy)
+            template = build_template(message, self.policy, obs=self.obs)
             self.store.put(signature, template)
-            self.stats.templates_built += 1
+            self._template_built()
             return self._transmit(template, MatchKind.FIRST_TIME, RewriteStats())
         try:
             template.absorb(message)
@@ -205,12 +211,12 @@ class BSoapClient:
             # partial message.  Resynchronize with the paper's
             # first-time-send path — rebuilt in place from the tracked
             # values, so the bytes equal a from-scratch serialization.
-            template.rebuild_in_place(self.policy)
-            self.stats.templates_built += 1
+            template.rebuild_in_place(self.policy, obs=self.obs)
+            self._template_built()
             return self._transmit_guarded(
                 template, MatchKind.FIRST_TIME, RewriteStats(), forced_full=True
             )
-        kind = classify(template, template.signature)
+        kind = classify(template, template.signature, self.obs)
         if template.sends == 0:
             # The template was just built (prepare or first send): the
             # full-serialization cost was paid this call cycle.
@@ -222,9 +228,12 @@ class BSoapClient:
             )
         if self.policy.pipelined_send:
             return self._transmit_pipelined(template, kind, snapshot)
-        rewrite = rewrite_dirty(template, self.policy)
+        moved_before = template.buffer.bytes_moved
+        rewrite = rewrite_dirty(template, self.policy, self.obs)
         kind = refine(kind, rewrite)
-        return self._transmit_guarded(template, kind, rewrite, snapshot=snapshot)
+        return self._transmit_guarded(
+            template, kind, rewrite, snapshot=snapshot, moved_before=moved_before
+        )
 
     def _transmit_pipelined(
         self,
@@ -234,14 +243,17 @@ class BSoapClient:
     ) -> SendReport:
         """Rewrite and transmit chunk by chunk (streaming overlap)."""
         rewrite = RewriteStats()
+        moved_before = template.buffer.bytes_moved
+        t0 = perf_counter() if self.obs.enabled else 0.0
         try:
             bytes_sent = self.transport.send_message(
-                iter_rewrite_and_views(template, self.policy, rewrite)
+                iter_rewrite_and_views(template, self.policy, rewrite, self.obs)
             )
         except TransportError:
             # Some chunks may be on the wire, others not even rewritten.
             template.rollback_send(snapshot)
             self.stats.rollbacks += 1
+            self.obs.record_rollback()
             raise
         kind = refine(kind, rewrite)
         template.sends += 1
@@ -251,8 +263,9 @@ class BSoapClient:
             rewrite=rewrite,
             buffer_bytes_moved=template.buffer.bytes_moved,
             num_chunks=template.buffer.num_chunks,
+            template_id=template.template_id,
         )
-        self.stats.record(report)
+        self._record(report, moved_before=moved_before, started=t0, pipelined=True)
         return report
 
     def _transmit_guarded(
@@ -263,14 +276,22 @@ class BSoapClient:
         *,
         snapshot=None,
         forced_full: bool = False,
+        moved_before: int = 0,
     ) -> SendReport:
         """Transmit with commit/rollback: the template's dirty state is
         only committed once the transport confirms full delivery."""
         try:
-            return self._transmit(template, kind, rewrite, forced_full=forced_full)
+            return self._transmit(
+                template,
+                kind,
+                rewrite,
+                forced_full=forced_full,
+                moved_before=moved_before,
+            )
         except TransportError:
             template.rollback_send(snapshot)
             self.stats.rollbacks += 1
+            self.obs.record_rollback()
             raise
 
     def _transmit(
@@ -279,7 +300,10 @@ class BSoapClient:
         kind: MatchKind,
         rewrite: RewriteStats,
         forced_full: bool = False,
+        moved_before: int = 0,
+        template_id: Optional[int] = None,
     ) -> SendReport:
+        t0 = perf_counter() if self.obs.enabled else 0.0
         bytes_sent = self.transport.send_message(
             template.buffer.views(), template.total_bytes
         )
@@ -290,9 +314,12 @@ class BSoapClient:
             rewrite=rewrite,
             buffer_bytes_moved=template.buffer.bytes_moved,
             num_chunks=template.buffer.num_chunks,
+            template_id=(
+                template.template_id if template_id is None else template_id
+            ),
             forced_full=forced_full,
         )
-        self.stats.record(report)
+        self._record(report, moved_before=moved_before, started=t0)
         return report
 
     def _send_overlay(
@@ -308,13 +335,15 @@ class BSoapClient:
 
             absorb_param(overlay.tracked, message.params[0])
         stats = RewriteStats()
+        t0 = perf_counter() if self.obs.enabled else 0.0
         try:
             bytes_sent = self.transport.send_message(
-                overlay.iter_send_views(stats), overlay.total_bytes
+                overlay.iter_send_views(stats, self.obs), overlay.total_bytes
             )
         except TransportError:
             overlay.suspect = True
             self.stats.rollbacks += 1
+            self.obs.record_rollback()
             raise
         kind = MatchKind.FIRST_TIME if first else MatchKind.PERFECT_STRUCTURAL
         report = SendReport(
@@ -322,15 +351,61 @@ class BSoapClient:
             bytes_sent=bytes_sent,
             rewrite=stats,
             num_chunks=1,
+            template_id=overlay.template_id,
             forced_full=forced_full,
         )
-        self.stats.record(report)
+        self._record(report, started=t0)
         return report
 
     def _send_full_every_time(self, message: SOAPMessage) -> SendReport:
         """bSOAP-with-differential-off: the paper's Full Serialization curve."""
-        template = build_template(message, self.policy)
-        return self._transmit(template, MatchKind.FIRST_TIME, RewriteStats())
+        template = build_template(message, self.policy, obs=self.obs)
+        # template_id=-1: the template does not survive the call, so a
+        # trace consumer cannot join later sends to it.
+        return self._transmit(
+            template, MatchKind.FIRST_TIME, RewriteStats(), template_id=-1
+        )
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def _template_built(self) -> None:
+        self.stats.templates_built += 1
+        self.obs.record_template_built()
+
+    def _record(
+        self,
+        report: SendReport,
+        *,
+        moved_before: int = 0,
+        started: float = 0.0,
+        pipelined: bool = False,
+    ) -> None:
+        """Fold one send into the legacy stats and the obs layer.
+
+        The single funnel for every successful send — keeping it that
+        way is what makes ``repro_sends_total`` reconcile exactly with
+        :class:`ClientStats`.
+        """
+        self.stats.record(report)
+        obs = self.obs
+        if not obs.enabled:
+            return
+        duration = perf_counter() - started if started else 0.0
+        obs.record_send(report)
+        obs.record_send_duration(report.match_kind.value, duration)
+        obs.record_buffer_bytes_moved(report.buffer_bytes_moved - moved_before)
+        if obs.tracer.enabled:
+            obs.tracer.emit(
+                "send",
+                duration_s=duration,
+                template_id=report.template_id,
+                match_level=report.match_kind.value,
+                bytes=report.bytes_sent,
+                chunks=report.num_chunks,
+                pipelined=pipelined,
+                forced_full=report.forced_full,
+            )
 
     # ------------------------------------------------------------------
     def quarantine(self, message: SOAPMessage) -> None:

@@ -48,10 +48,12 @@ def write_entry(
     text: bytes,
     policy: DiffPolicy,
     stats: RewriteStats,
+    obs=None,
 ) -> None:
     """Write one value's new lexical form into the template.
 
-    Handles expansion (steal/shift) when the value no longer fits.
+    Handles expansion (steal/shift) when the value no longer fits;
+    each expansion is traced as a ``steal`` or ``shift`` span.
     """
     dut = template.dut
     buffer = template.buffer
@@ -63,7 +65,7 @@ def write_entry(
     if new_len > width:
         delta = new_len - width
         stolen = policy.expansion is Expansion.STEAL and try_steal(
-            template, entry, delta, policy.steal_scan_limit, stats
+            template, entry, delta, policy.steal_scan_limit, stats, obs
         )
         if not stolen:
             cid = int(dut.chunk_id[entry])
@@ -77,6 +79,14 @@ def write_entry(
                 stats.reallocs += 1
             else:
                 stats.splits += 1
+            if obs is not None and obs.tracer.enabled:
+                obs.tracer.emit(
+                    "shift",
+                    template_id=template.template_id,
+                    entry=entry,
+                    delta=delta,
+                    mode=result.mode,
+                )
 
     cid = int(dut.chunk_id[entry])
     off = int(dut.value_off[entry])
@@ -160,7 +170,10 @@ def _fast_rewrite(
 
 
 def iter_rewrite_and_views(
-    template: "MessageTemplate", policy: DiffPolicy, stats: RewriteStats
+    template: "MessageTemplate",
+    policy: DiffPolicy,
+    stats: RewriteStats,
+    obs=None,
 ):
     """Pipelined send driver: repair one chunk, then yield its view.
 
@@ -193,7 +206,7 @@ def iter_rewrite_and_views(
                 lens = np.fromiter(map(len, texts), dtype=np.int32, count=len(texts))
                 if bool((lens > dut.field_width[take]).any()):
                     for entry, text in zip(take.tolist(), texts):
-                        write_entry(template, entry, text, policy, stats)
+                        write_entry(template, entry, text, policy, stats, obs)
                 else:
                     _fast_rewrite(template, bp, take, texts, lens, stats)
                 dut.dirty[take] = False
@@ -202,10 +215,26 @@ def iter_rewrite_and_views(
         if chunk.used:
             yield chunk.view()
         index += 1
+    if obs is not None and obs.tracer.enabled:
+        obs.tracer.emit(
+            "rewrite",
+            template_id=template.template_id,
+            pipelined=True,
+            values=stats.values_rewritten,
+            expansions=stats.expansions,
+            tag_shifts=stats.tag_shifts,
+        )
 
 
-def rewrite_dirty(template: "MessageTemplate", policy: DiffPolicy) -> RewriteStats:
+def rewrite_dirty(
+    template: "MessageTemplate", policy: DiffPolicy, obs=None
+) -> RewriteStats:
     """Re-serialize every dirty entry; clear dirty bits; return stats."""
+    tracing = obs is not None and obs.tracer.enabled
+    if tracing:
+        from time import perf_counter
+
+        t0 = perf_counter()
     stats = RewriteStats()
     dut = template.dut
     fmt = policy.float_format
@@ -219,8 +248,18 @@ def rewrite_dirty(template: "MessageTemplate", policy: DiffPolicy) -> RewriteSta
         if bool((lens > dut.field_width[idxs]).any()):
             # Partial structural match: at least one expansion needed.
             for entry, text in zip(idxs.tolist(), texts):
-                write_entry(template, entry, text, policy, stats)
+                write_entry(template, entry, text, policy, stats, obs)
         else:
             _fast_rewrite(template, bp, idxs, texts, lens, stats)
         dut.clear_dirty(base, end)
+    if tracing:
+        obs.tracer.emit(
+            "rewrite",
+            duration_s=perf_counter() - t0,
+            template_id=template.template_id,
+            pipelined=False,
+            values=stats.values_rewritten,
+            expansions=stats.expansions,
+            tag_shifts=stats.tag_shifts,
+        )
     return stats

@@ -27,14 +27,35 @@ __all__ = ["classify", "refine"]
 
 
 def classify(
-    template: Optional["MessageTemplate"], signature: Signature
+    template: Optional["MessageTemplate"],
+    signature: Signature,
+    obs=None,
 ) -> MatchKind:
-    """Pre-send classification (structural vs content vs first-time)."""
+    """Pre-send classification (structural vs content vs first-time).
+
+    When *obs* traces, emits a ``match-classify`` span carrying the
+    (provisional) verdict and the dirty count it was based on.
+    """
     if template is None or template.signature != signature:
-        return MatchKind.FIRST_TIME
-    if not template.dut.any_dirty:
-        return MatchKind.CONTENT_MATCH
-    return MatchKind.PERFECT_STRUCTURAL  # provisional; refine() after rewrite
+        kind = MatchKind.FIRST_TIME
+        dirty = 0
+        template_id = -1
+    else:
+        dirty = int(template.dut.dirty.sum())
+        template_id = template.template_id
+        kind = (
+            MatchKind.CONTENT_MATCH
+            if dirty == 0
+            else MatchKind.PERFECT_STRUCTURAL  # provisional; refine() later
+        )
+    if obs is not None and obs.tracer.enabled:
+        obs.tracer.emit(
+            "match-classify",
+            template_id=template_id,
+            match_level=kind.value,
+            dirty=dirty,
+        )
+    return kind
 
 
 def refine(kind: MatchKind, rewrite: RewriteStats) -> MatchKind:

@@ -177,6 +177,9 @@ class OverlayTemplate:
         self.n_items = n_items
         self.fmt = fmt
         self.sends = 0
+        from repro.core.template import next_template_id
+
+        self.template_id = next_template_id()
         #: A failed send marks the overlay suspect; since every overlay
         #: send restreams the full array anyway, recovery just rebuilds
         #: the template (see BSoapClient._send_overlay).
@@ -209,12 +212,15 @@ class OverlayTemplate:
         return total
 
     # ------------------------------------------------------------------
-    def iter_send_views(self, stats: RewriteStats) -> Iterator[memoryview | bytes]:
+    def iter_send_views(
+        self, stats: RewriteStats, obs=None
+    ) -> Iterator[memoryview | bytes]:
         """Yield wire segments in order, rewriting the overlay chunk
         between yields.
 
         Consumers **must** copy (or fully transmit) each segment before
         advancing the iterator — the next step overwrites the chunk.
+        An ``overlay`` span is traced once the full stream completes.
         """
         yield self.prefix
         arity = self.portion.arity
@@ -233,6 +239,15 @@ class OverlayTemplate:
             yield self.tail.view()
         yield self.suffix
         self.sends += 1
+        if obs is not None and obs.tracer.enabled:
+            obs.tracer.emit(
+                "overlay",
+                template_id=self.template_id,
+                portions=self.full_portions + (1 if self.tail is not None else 0),
+                items=self.n_items,
+                bytes=self.total_bytes,
+                values=stats.values_rewritten,
+            )
 
 
 def _build_span(

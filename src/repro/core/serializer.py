@@ -525,14 +525,23 @@ def build_template(
     policy: Optional[DiffPolicy] = None,
     *,
     buffer: Optional[ChunkedBuffer] = None,
+    obs=None,
 ) -> MessageTemplate:
     """Fully serialize *message* and return the reusable template.
 
     This is the complete first-time-send cost: envelope emission, one
     lexical conversion per leaf value, tag emission, buffer packing,
-    and DUT construction.
+    and DUT construction.  *obs* (an
+    :class:`~repro.obs.Observability`) gets a ``serialize`` span — and
+    a ``stuff`` span when the policy pads fields — with the build
+    duration and template geometry attached.
     """
     policy = policy or DiffPolicy()
+    tracing = obs is not None and obs.tracer.enabled
+    if tracing:
+        from time import perf_counter
+
+        t0 = perf_counter()
     buffer = buffer or ChunkedBuffer(policy.chunk)
     dutb = DUTTableBuilder()
 
@@ -553,4 +562,24 @@ def build_template(
         params=bound,
     )
     _bind_dirty_views(template)
+    if tracing:
+        duration = perf_counter() - t0
+        dut = template.dut
+        obs.tracer.emit(
+            "serialize",
+            duration_s=duration,
+            template_id=template.template_id,
+            operation=message.operation,
+            entries=len(dut),
+            bytes=template.total_bytes,
+            chunks=buffer.num_chunks,
+        )
+        pad_bytes = int((dut.field_width - dut.ser_len).sum()) if len(dut) else 0
+        if pad_bytes:
+            obs.tracer.emit(
+                "stuff",
+                template_id=template.template_id,
+                mode=policy.stuffing.mode.value,
+                pad_bytes=pad_bytes,
+            )
     return template

@@ -73,6 +73,10 @@ class SendReport:
     #: memmove traffic the buffer performed for this template so far.
     buffer_bytes_moved: int = 0
     num_chunks: int = 0
+    #: Identity of the template this send used (-1 when none survives
+    #: the call, e.g. forced-full-every-time mode).  Joins the send
+    #: with its ``serialize``/``rewrite`` spans in a trace stream.
+    template_id: int = -1
     #: This send was a forced full serialization resynchronizing the
     #: peer after a rolled-back (failed) send epoch.
     forced_full: bool = False

@@ -26,13 +26,15 @@ def try_steal(
     delta: int,
     scan_limit: int,
     stats: RewriteStats,
+    obs=None,
 ) -> bool:
     """Attempt to widen *entry* by *delta* bytes via neighbor slack.
 
     Returns ``True`` on success (DUT widths/offsets updated, bytes
     slid); ``False`` when no single donor with ``slack ≥ delta`` is
     found within *scan_limit* following entries in the same chunk —
-    the caller then falls back to shifting.
+    the caller then falls back to shifting.  A successful steal is
+    traced as a ``steal`` span (entry, donor, delta, bytes slid).
     """
     dut = template.dut
     cid = int(dut.chunk_id[entry])
@@ -69,4 +71,13 @@ def try_steal(
     widths[entry] += delta
     widths[donor] -= delta
     stats.steals += 1
+    if obs is not None and obs.tracer.enabled:
+        obs.tracer.emit(
+            "steal",
+            template_id=template.template_id,
+            entry=entry,
+            donor=donor,
+            delta=delta,
+            bytes_slid=pad_start_donor - region_end_i,
+        )
     return True

@@ -9,6 +9,7 @@ signature and reuses across sends.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -104,6 +105,16 @@ class BoundParam:
         return self.close_tags[leaf_pos]
 
 
+#: Process-wide template identities: spans and metrics refer to
+#: templates by this id, which survives in-place rebuilds (unlike the
+#: buffer/DUT objects) and is unique across stores and overlays.
+_template_ids = itertools.count(1)
+
+
+def next_template_id() -> int:
+    return next(_template_ids)
+
+
 class MessageTemplate:
     """A reusable serialized message (buffer + DUT + bindings)."""
 
@@ -116,6 +127,7 @@ class MessageTemplate:
         "_bases",
         "sends",
         "suspect",
+        "template_id",
     )
 
     def __init__(
@@ -134,6 +146,7 @@ class MessageTemplate:
             raise TemplateError("duplicate parameter names in template")
         self._bases = np.asarray([p.entry_base for p in self.params], dtype=np.int64)
         self.sends = 0
+        self.template_id = next_template_id()
         #: Set when a send failed after the template was mutated: the
         #: serialized form may no longer match what the server holds,
         #: so the next send must be a full resynchronization.
@@ -214,14 +227,15 @@ class MessageTemplate:
             self.dut.dirty |= snapshot
         self.suspect = True
 
-    def rebuild_in_place(self, policy=None) -> None:
+    def rebuild_in_place(self, policy=None, obs=None) -> None:
         """Re-serialize this template from its tracked values, in place.
 
         The recovery path after :meth:`rollback_send`: produces exactly
         the bytes a from-scratch first-time send would, while keeping
         this object's identity (so :class:`~repro.core.client.PreparedCall`
-        handles and store entries stay valid).  Tracked value objects
-        are reused and rebound to the fresh DUT.
+        handles and store entries stay valid, and the ``template_id``
+        trace attribute is stable across the resync).  Tracked value
+        objects are reused and rebound to the fresh DUT.
         """
         from repro.core.serializer import build_template
         from repro.soap.message import SOAPMessage
@@ -232,7 +246,7 @@ class MessageTemplate:
             namespace,
             [Parameter(p.name, p.ptype, p.tracked) for p in self.params],
         )
-        fresh = build_template(message, policy)
+        fresh = build_template(message, policy, obs=obs)
         if fresh.signature != self.signature:  # pragma: no cover - invariant
             raise TemplateError("rebuild produced a different signature")
         self.buffer = fresh.buffer

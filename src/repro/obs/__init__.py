@@ -1,0 +1,242 @@
+"""``repro.obs`` — observability for the differential send path.
+
+The paper's argument is quantitative: *which* match level a call hit
+and how many bytes were rewritten / shifted / resent decide whether
+differential serialization paid off.  This package makes those facts
+observable on a live system without scattering ad-hoc counters:
+
+* :class:`~repro.obs.trace.RecordingTracer` — structured spans
+  (``serialize``, ``match-classify``, ``rewrite``, ``shift``,
+  ``stuff``, ``steal``, ``overlay``, ``send``, ``recv``) with
+  template-id / match-level / dirty-count attributes;
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters and
+  histograms (calls per match level, bytes, rewrite work, latency)
+  aggregated across a :class:`~repro.runtime.pool.ClientPool`, a
+  :class:`~repro.runtime.pipeline.PipelinedSender`, or a
+  :class:`~repro.runtime.sessions.ServerSessionManager`;
+* :mod:`~repro.obs.export` — Prometheus text format (served by
+  ``HTTPSoapServer`` under ``GET /metrics``) and the standard
+  ``repro-bench-result/1`` JSON.
+
+The :class:`Observability` facade bundles one tracer + one registry
+and owns the hot-path recording helpers.  The default is the shared
+:data:`NULL_OBS`: every guarded site then costs exactly one attribute
+load and branch (``if obs.enabled:``), verified by the overhead guard
+in ``tests/test_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    SPAN_NAMES,
+    NullTracer,
+    RecordingTracer,
+    Span,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.stats import SendReport
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "MetricsRegistry",
+    "Counter",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "RecordingTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "SPAN_NAMES",
+]
+
+#: Expansion-stat field → ``mode`` label on ``repro_expansions_total``.
+_EXPANSION_MODES = (
+    ("shifts_inplace", "inplace"),
+    ("reallocs", "realloc"),
+    ("splits", "split"),
+    ("steals", "steal"),
+)
+
+
+class Observability:
+    """One tracer + one metrics registry, with recording helpers.
+
+    Components (client, channel, pool, sessions, service) hold an
+    ``Observability`` and call its ``record_*`` helpers at the same
+    sites that update their legacy counters — which is what makes the
+    Prometheus totals reconcile exactly with
+    :class:`~repro.core.stats.ClientStats` and the session manager's
+    merged counters.
+
+    ``enabled`` is a plain attribute (computed once) so the hot path
+    can guard with a single load + branch.
+    """
+
+    __slots__ = (
+        "tracer",
+        "metrics",
+        "enabled",
+        "_sends",
+        "_send_bytes",
+        "_send_duration",
+        "_values_rewritten",
+        "_tag_shifts",
+        "_pad_bytes",
+        "_expansions",
+        "_buffer_bytes_moved",
+        "_templates_built",
+        "_rollbacks",
+        "_forced_full",
+        "_call_latency",
+        "_call_retries",
+    )
+
+    def __init__(
+        self,
+        tracer: Optional[object] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.enabled = bool(getattr(self.tracer, "enabled", False)) or (
+            metrics is not None
+        )
+        if metrics is not None:
+            self._sends = metrics.counter(
+                "repro_sends_total",
+                "Client sends by match level",
+                ("kind",),
+            )
+            self._send_bytes = metrics.counter(
+                "repro_send_bytes_total",
+                "Payload bytes sent by match level",
+                ("kind",),
+            )
+            self._send_duration = metrics.histogram(
+                "repro_send_duration_seconds",
+                "Client-side serialize+transmit time by match level",
+                ("kind",),
+            )
+            self._values_rewritten = metrics.counter(
+                "repro_values_rewritten_total",
+                "Dirty values re-serialized by the differential rewrite",
+            )
+            self._tag_shifts = metrics.counter(
+                "repro_tag_shifts_total",
+                "Closing-tag rewrites (value length changed in its field)",
+            )
+            self._pad_bytes = metrics.counter(
+                "repro_pad_bytes_total",
+                "Whitespace pad bytes written (shrinks + stuffing upkeep)",
+            )
+            self._expansions = metrics.counter(
+                "repro_expansions_total",
+                "Field expansions by resolution mode",
+                ("mode",),
+            )
+            self._buffer_bytes_moved = metrics.counter(
+                "repro_buffer_bytes_shifted_total",
+                "Bytes memmoved by chunk-tail shifts (cumulative)",
+            )
+            self._templates_built = metrics.counter(
+                "repro_templates_built_total",
+                "Full template serializations (first-time + resync)",
+            )
+            self._rollbacks = metrics.counter(
+                "repro_rollbacks_total",
+                "Send epochs rolled back after transport failures",
+            )
+            self._forced_full = metrics.counter(
+                "repro_forced_full_sends_total",
+                "Forced full serializations resynchronizing a peer",
+            )
+            self._call_latency = metrics.histogram(
+                "repro_call_latency_seconds",
+                "Round-trip RPC latency (send + wait + decode)",
+            )
+            self._call_retries = metrics.counter(
+                "repro_call_retries_total",
+                "Failed attempts that were retried",
+            )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def recording(cls, capacity: Optional[int] = None) -> "Observability":
+        """Tracer + metrics, both live (tests, debugging sessions)."""
+        return cls(RecordingTracer(capacity), MetricsRegistry())
+
+    @classmethod
+    def metrics_only(cls) -> "Observability":
+        """Metrics without span recording — the server default."""
+        return cls(None, MetricsRegistry())
+
+    # ------------------------------------------------------------------
+    # client-side recording (call sites mirror ClientStats updates)
+    # ------------------------------------------------------------------
+    def record_send(self, report: "SendReport") -> None:
+        """Fold one :class:`SendReport` into the counters.
+
+        Called exactly where ``ClientStats.record`` is, so
+        ``repro_sends_total{kind}`` reconciles with ``stats.by_kind``.
+        """
+        if self.metrics is None:
+            return
+        kind = report.match_kind.value
+        self._sends.inc(1, kind=kind)
+        self._send_bytes.inc(report.bytes_sent, kind=kind)
+        rewrite = report.rewrite
+        if rewrite.values_rewritten:
+            self._values_rewritten.inc(rewrite.values_rewritten)
+        if rewrite.tag_shifts:
+            self._tag_shifts.inc(rewrite.tag_shifts)
+        if rewrite.pad_bytes:
+            self._pad_bytes.inc(rewrite.pad_bytes)
+        for attr, mode in _EXPANSION_MODES:
+            n = getattr(rewrite, attr)
+            if n:
+                self._expansions.inc(n, mode=mode)
+        if report.forced_full:
+            self._forced_full.inc()
+
+    def record_send_duration(self, kind: str, duration_s: float) -> None:
+        if self.metrics is not None:
+            self._send_duration.observe(duration_s, kind=kind)
+
+    def record_template_built(self) -> None:
+        if self.metrics is not None:
+            self._templates_built.inc()
+
+    def record_rollback(self) -> None:
+        if self.metrics is not None:
+            self._rollbacks.inc()
+
+    def record_buffer_bytes_moved(self, n: int) -> None:
+        if self.metrics is not None and n > 0:
+            self._buffer_bytes_moved.inc(n)
+
+    # ------------------------------------------------------------------
+    # channel-side recording
+    # ------------------------------------------------------------------
+    def record_call(self, duration_s: float, retries: int = 0) -> None:
+        if self.metrics is None:
+            return
+        self._call_latency.observe(duration_s)
+        if retries:
+            self._call_retries.inc(retries)
+
+
+#: The shared no-op default: tracing disabled, no registry.
+NULL_OBS = Observability()

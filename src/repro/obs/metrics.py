@@ -1,0 +1,230 @@
+"""Counters and histograms for the differential send path.
+
+A :class:`MetricsRegistry` is the aggregation point the runtime layer
+shares: every pooled channel, pipelined worker, and server session
+increments the *same* registry, so the totals reconcile with the
+ad-hoc counters (:class:`~repro.core.stats.ClientStats`,
+``ServerSessionManager.merged_counters``) by construction — both are
+incremented at the same call sites.
+
+Model (deliberately a small subset of Prometheus):
+
+* **Counter** — monotonically increasing float, optionally labelled.
+* **Histogram** — cumulative buckets + sum + count, optionally
+  labelled; bucket bounds are fixed at creation.
+
+Metrics are thread-safe: a registry owns one lock shared by all its
+metrics (increments are far too cheap to justify finer locking).
+Registries are never reset — retired sessions and replaced channels
+keep counting, which is what makes reconciliation exact.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "DEFAULT_LATENCY_BUCKETS"]
+
+#: Default histogram bounds, tuned for loopback SOAP call latencies
+#: (seconds): 50us .. ~2.5s, roughly ×3 per step.
+DEFAULT_LATENCY_BUCKETS = (
+    0.00005,
+    0.00015,
+    0.0005,
+    0.0015,
+    0.005,
+    0.015,
+    0.05,
+    0.15,
+    0.5,
+    1.5,
+)
+
+LabelValues = Tuple[str, ...]
+
+
+def _label_key(
+    metric_name: str, labelnames: Tuple[str, ...], labels: Dict[str, object]
+) -> LabelValues:
+    """Validate + order label kwargs into the storage key."""
+    if len(labels) != len(labelnames):
+        raise ValueError(
+            f"{metric_name}: expected labels {labelnames}, got {tuple(labels)}"
+        )
+    try:
+        return tuple(str(labels[name]) for name in labelnames)
+    except KeyError as exc:
+        raise ValueError(
+            f"{metric_name}: missing label {exc.args[0]!r} (have {labelnames})"
+        ) from None
+
+
+class Counter:
+    """A monotonically increasing, optionally labelled counter."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "help", "labelnames", "_values", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        help: str,  # noqa: A002 - mirrors prometheus_client
+        labelnames: Tuple[str, ...],
+        lock: threading.Lock,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self._values: Dict[LabelValues, float] = {}
+        self._lock = lock
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only go up (got {amount})")
+        key = _label_key(self.name, self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = _label_key(self.name, self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def samples(self) -> List[Tuple[Dict[str, str], float]]:
+        """``[(labels_dict, value)]`` snapshot, insertion-ordered."""
+        with self._lock:
+            items = list(self._values.items())
+        return [(dict(zip(self.labelnames, key)), value) for key, value in items]
+
+
+class _HistogramState:
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * n_buckets
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    __slots__ = ("name", "help", "labelnames", "buckets", "_states", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        help: str,  # noqa: A002
+        labelnames: Tuple[str, ...],
+        buckets: Sequence[float],
+        lock: threading.Lock,
+    ) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"{name}: histogram needs at least one bucket")
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self.buckets = bounds
+        self._states: Dict[LabelValues, _HistogramState] = {}
+        self._lock = lock
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(self.name, self.labelnames, labels)
+        with self._lock:
+            state = self._states.get(key)
+            if state is None:
+                state = self._states[key] = _HistogramState(len(self.buckets))
+            # First bucket whose bound admits the value (non-cumulative
+            # storage; cumulated at render time).
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    state.bucket_counts[i] += 1
+                    break
+            state.total += value
+            state.count += 1
+
+    def snapshot(
+        self,
+    ) -> List[Tuple[Dict[str, str], List[int], float, int]]:
+        """``[(labels, cumulative_bucket_counts, sum, count)]``."""
+        with self._lock:
+            items = [
+                (key, list(st.bucket_counts), st.total, st.count)
+                for key, st in self._states.items()
+            ]
+        out = []
+        for key, counts, total, count in items:
+            cumulative: List[int] = []
+            running = 0
+            for c in counts:
+                running += c
+                cumulative.append(running)
+            out.append((dict(zip(self.labelnames, key)), cumulative, total, count))
+        return out
+
+    def count_of(self, **labels: object) -> int:
+        key = _label_key(self.name, self.labelnames, labels)
+        with self._lock:
+            state = self._states.get(key)
+            return 0 if state is None else state.count
+
+
+class MetricsRegistry:
+    """Get-or-create metric registry with a stable render order."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # Shared value lock — metric mutation and registry mutation are
+        # both rare enough that one lock serves.
+        self._metrics: "Dict[str, Counter | Histogram]" = {}
+
+    # ------------------------------------------------------------------
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(
+            name, Counter, lambda: Counter(name, help, tuple(labelnames), self._lock)
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            name,
+            Histogram,
+            lambda: Histogram(name, help, tuple(labelnames), buckets, self._lock),
+        )
+
+    def _get_or_create(self, name: str, cls, factory):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = factory()
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> "Optional[Counter | Histogram]":
+        with self._lock:
+            return self._metrics.get(name)
+
+    def metrics(self) -> "List[Counter | Histogram]":
+        """Registration-ordered snapshot of every metric."""
+        with self._lock:
+            return list(self._metrics.values())
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._metrics

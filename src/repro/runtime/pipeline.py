@@ -43,6 +43,7 @@ from __future__ import annotations
 import queue
 import threading
 from concurrent.futures import Future
+from time import perf_counter
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.channel import RPCChannel
@@ -87,8 +88,9 @@ class PipelinedChannel:
         self.depth = depth
         self._window = threading.Semaphore(depth)
         self._sendq: "queue.Queue[object]" = queue.Queue()
-        # Sent-but-unanswered calls, FIFO; guarded by _cv.
-        self._inflight: List[Tuple[SOAPMessage, Future, SendReport]] = []
+        # Sent-but-unanswered calls, FIFO (message, future, report,
+        # send-start time); guarded by _cv.
+        self._inflight: List[Tuple[SOAPMessage, Future, SendReport, float]] = []
         self._cv = threading.Condition()
         self._closed = False
         self._pending = 0  # submitted but not yet resolved
@@ -159,6 +161,7 @@ class PipelinedChannel:
                     self._cv.notify_all()
                 return
             message, future = item  # type: ignore[misc]
+            started = perf_counter()
             try:
                 report = channel.send_request(message)
             except ReproError as exc:
@@ -171,7 +174,7 @@ class PipelinedChannel:
                 self._resolve(future, exc=exc)
                 continue
             with self._cv:
-                self._inflight.append((message, future, report))
+                self._inflight.append((message, future, report, started))
                 self._cv.notify_all()
 
     def _recv_loop(self) -> None:
@@ -183,13 +186,14 @@ class PipelinedChannel:
                     if self._closed:
                         return
                     continue
-                message, future, report = self._inflight[0]
+                message, future, report, started = self._inflight[0]
             try:
                 response = channel.recv_response()
             except SOAPFaultError as exc:
                 # Round trip succeeded; the server answered a Fault.
                 channel.breaker.record_success()
                 channel.count_call(fault=True)
+                channel.obs.record_call(perf_counter() - started)
                 with self._cv:
                     self._inflight.pop(0)
                 self._resolve(future, exc=exc, fault=True)
@@ -200,6 +204,7 @@ class PipelinedChannel:
                 continue
             channel.breaker.record_success()
             channel.count_call()
+            channel.obs.record_call(perf_counter() - started)
             channel.last_send_report = report
             with self._cv:
                 self._inflight.pop(0)
@@ -220,7 +225,7 @@ class PipelinedChannel:
         disconnect = getattr(self.channel._raw, "disconnect", None)
         if disconnect is not None:
             disconnect()
-        for message, future, _report in dead:
+        for message, future, _report, _started in dead:
             self.channel.client.quarantine(message)
             self._resolve(
                 future,
@@ -253,7 +258,7 @@ class PipelinedChannel:
         with self._cv:
             dead = self._inflight
             self._inflight = []
-        for _message, future, _report in dead:
+        for _message, future, _report, _started in dead:
             self._resolve(future, exc=TransportError("pipelined channel closed"))
 
     def __enter__(self) -> "PipelinedChannel":

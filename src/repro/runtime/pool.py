@@ -29,6 +29,7 @@ from typing import Callable, Dict, Iterator, List, Optional
 from repro.channel import RPCChannel
 from repro.core.policy import DiffPolicy
 from repro.errors import PoolError, PoolTimeoutError
+from repro.obs import NULL_OBS, Observability
 from repro.schema.registry import TypeRegistry
 from repro.soap.message import SOAPMessage
 from repro.soap.rpc import RPCResponse
@@ -82,12 +83,18 @@ class ClientPool:
         path: str = "/soap",
         channel_factory: Optional[Callable[[int], RPCChannel]] = None,
         checkout_timeout: Optional[float] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if size < 1:
             raise PoolError("pool size must be >= 1")
         self.host = host
         self.port = port
         self.size = size
+        #: One Observability shared by every pooled channel: the
+        #: registry aggregates across channels (and survives channel
+        #: replacement, unlike per-channel ClientStats, which retire
+        #: into ``_retired_totals``).
+        self.obs: Observability = obs if obs is not None else NULL_OBS
         self.checkout_timeout = checkout_timeout
         self._registry = registry
         self._policy = policy
@@ -115,6 +122,7 @@ class ClientPool:
             policy=self._policy,
             http_mode=self._http_mode,
             path=self._path,
+            obs=self.obs,
         )
 
     def _spawn(self) -> RPCChannel:

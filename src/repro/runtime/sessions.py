@@ -30,6 +30,7 @@ from typing import Dict, Hashable, Iterator, List, Optional
 from repro.core.client import BSoapClient
 from repro.core.policy import DiffPolicy
 from repro.core.stats import ClientStats
+from repro.obs import NULL_OBS, Observability
 from repro.schema.registry import TypeRegistry
 from repro.server.diffdeser import DeserKind, DifferentialDeserializer
 from repro.transport.loopback import CollectSink
@@ -79,11 +80,12 @@ class ServerSession:
         response_policy: Optional[DiffPolicy],
         *,
         pinned: bool = False,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.key = key
         self.deserializer = DifferentialDeserializer(registry)
         self.sink = CollectSink()
-        self.responder = BSoapClient(self.sink, response_policy)
+        self.responder = BSoapClient(self.sink, response_policy, obs=obs)
         self.lock = threading.Lock()
         self.requests_handled = 0
         self.faults_returned = 0
@@ -148,12 +150,18 @@ class ServerSessionManager:
         response_policy: Optional[DiffPolicy] = None,
         *,
         max_sessions: int = 256,
+        obs: Optional[Observability] = None,
     ) -> None:
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
         self.registry = registry
         self.response_policy = response_policy
         self.max_sessions = max_sessions
+        #: Shared by every session's responder: the registry is never
+        #: reset and counts at the same sites as each responder's
+        #: ClientStats, so its totals match
+        #: :meth:`merged_response_stats` (retired sessions included).
+        self.obs: Observability = obs if obs is not None else NULL_OBS
         self._lock = threading.Lock()
         self._sessions: "OrderedDict[Hashable, ServerSession]" = OrderedDict()
         self.sessions_created = 0
@@ -181,6 +189,7 @@ class ServerSessionManager:
                     self.registry,
                     self.response_policy,
                     pinned=key == DEFAULT_SESSION,
+                    obs=self.obs,
                 )
                 self._sessions[key] = session
                 self.sessions_created += 1

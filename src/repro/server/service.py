@@ -30,6 +30,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Un
 from repro.core.policy import DiffPolicy
 from repro.core.stats import ClientStats
 from repro.errors import SOAPError, TransportError
+from repro.obs import Observability
 from repro.runtime.sessions import (
     DeserializerView,
     ServerSession,
@@ -80,6 +81,7 @@ class SOAPService:
         differential_deser: bool = True,
         definition: Optional[object] = None,
         max_sessions: int = 256,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.namespace = namespace
         #: Optional :class:`~repro.wsdl.model.ServiceDef` for WSDL serving.
@@ -88,8 +90,29 @@ class SOAPService:
         self._operations: Dict[str, Operation] = {}
         self._peeker = OperationPeeker(())
         self._differential_deser = differential_deser
+        #: Metrics are on by default server-side (tracing stays off):
+        #: every session responder shares this registry, which is what
+        #: ``GET /metrics`` on :class:`HTTPSoapServer` serves.
+        self.obs: Observability = (
+            obs if obs is not None else Observability.metrics_only()
+        )
+        if self.obs.metrics is not None:
+            self._requests_counter = self.obs.metrics.counter(
+                "repro_requests_handled_total",
+                "Requests dispatched to a handler successfully",
+            )
+            self._faults_counter = self.obs.metrics.counter(
+                "repro_faults_returned_total",
+                "Requests answered with a SOAP Fault",
+            )
+        else:
+            self._requests_counter = None
+            self._faults_counter = None
         self.sessions = ServerSessionManager(
-            self.registry, response_policy, max_sessions=max_sessions
+            self.registry,
+            response_policy,
+            max_sessions=max_sessions,
+            obs=self.obs,
         )
 
     # ------------------------------------------------------------------
@@ -211,12 +234,18 @@ class SOAPService:
             kwargs = {p.name: p.value for p in decoded.params}
             result = op.handler(**kwargs)
             session.requests_handled += 1
+            if self._requests_counter is not None:
+                self._requests_counter.inc()
             return self._serialize_response(session, op, result)
         except SOAPError as exc:
             session.faults_returned += 1
+            if self._faults_counter is not None:
+                self._faults_counter.inc()
             return SOAPFault.client(str(exc)).to_xml()
         except Exception as exc:  # handler bug → Server fault
             session.faults_returned += 1
+            if self._faults_counter is not None:
+                self._faults_counter.inc()
             return SOAPFault.server(f"{type(exc).__name__}: {exc}").to_xml()
 
     def _decode(self, session: ServerSession, body: bytes) -> DecodedMessage:
@@ -351,6 +380,12 @@ class HTTPSoapServer:
                 if response_body is None or not buffered:
                     return b""
                 continue
+            if request.method == "GET" and request.path.rstrip("/") == "/metrics":
+                response_body = self._metrics_response(conn)
+                buffered = buffered[consumed:]
+                if response_body is None or not buffered:
+                    return b""
+                continue
             response_body = self.service.handle(request.body, session_id)
             head = (
                 "HTTP/1.1 200 OK\r\n"
@@ -364,6 +399,31 @@ class HTTPSoapServer:
             buffered = buffered[consumed:]
             if not buffered:
                 return b""
+
+    def _metrics_response(self, conn: socket.socket) -> Optional[bytes]:
+        """Serve the service registry in Prometheus text format.
+
+        404 when the service was built with a metrics-less
+        ``Observability`` (e.g. the shared ``NULL_OBS``).
+        """
+        metrics = self.service.obs.metrics
+        if metrics is None:
+            payload = b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"
+        else:
+            from repro.obs.export import render_prometheus
+
+            doc = render_prometheus(metrics).encode("utf-8")
+            head = (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                f"Content-Length: {len(doc)}\r\n\r\n"
+            ).encode("ascii")
+            payload = head + doc
+        try:
+            conn.sendall(payload)
+            return payload
+        except OSError:
+            return None
 
     def _wsdl_response(self, conn: socket.socket) -> Optional[bytes]:
         """Serve the WSDL document (404 when none is attached)."""

@@ -41,6 +41,7 @@ class HTTPTransport:
         mode: str = "chunked",
         soap_action: str = '""',
         user_agent: str = "bSOAP-repro/1.0",
+        obs=None,
     ) -> None:
         if mode not in ("chunked", "content-length"):
             raise HTTPFramingError(f"unknown HTTP mode {mode!r}")
@@ -50,6 +51,23 @@ class HTTPTransport:
         self.path = path
         self.soap_action = soap_action
         self.user_agent = user_agent
+        # Wire-level counters: framing overhead is invisible to the
+        # payload-level SendReport, so it is counted here.
+        metrics = getattr(obs, "metrics", None)
+        if metrics is not None:
+            self._messages_counter = metrics.counter(
+                "repro_http_messages_total",
+                "HTTP requests framed, by framing mode",
+                ("mode",),
+            )
+            self._wire_bytes_counter = metrics.counter(
+                "repro_http_wire_bytes_total",
+                "Bytes written including HTTP headers and chunk framing",
+                ("mode",),
+            )
+        else:
+            self._messages_counter = None
+            self._wire_bytes_counter = None
 
     # ------------------------------------------------------------------
     def _headers(self, content_length: Optional[int]) -> bytes:
@@ -79,12 +97,25 @@ class HTTPTransport:
             framed = self._frame_identity(views, total_bytes)
         else:
             framed = self._frame_chunked(views)
+        if self._wire_bytes_counter is not None:
+            framed = self._count_wire(framed)
         self.inner.send_message(framed)
         assert total_bytes is None or total_bytes >= 0
+        if self._messages_counter is not None:
+            self._messages_counter.inc(1, mode=self.mode)
+            self._wire_bytes_counter.inc(self._wire_sent, mode=self.mode)
         return self._payload_sent
 
     # The framer tracks payload bytes (excluding framing) per message.
     _payload_sent: int = 0
+    # ... and, when metrics are on, total wire bytes (with framing).
+    _wire_sent: int = 0
+
+    def _count_wire(self, framed) -> Iterator[memoryview | bytes]:
+        self._wire_sent = 0
+        for piece in framed:
+            self._wire_sent += len(piece)
+            yield piece
 
     def _frame_identity(
         self, views: ViewStream, total_bytes: int

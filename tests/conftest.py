@@ -14,9 +14,43 @@ from repro.soap.message import Parameter, SOAPMessage
 from repro.transport.loopback import CollectSink
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--rng-seed",
+        type=int,
+        default=12345,
+        help=(
+            "Seed for every RNG-backed fixture and randomized test "
+            "(oracle fuzzing, stress workloads).  CI's default job pins "
+            "it for reproducibility; the slow job randomizes it."
+        ),
+    )
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "Rewrite the golden-wire corpus under tests/golden/ from "
+            "the current serializer output instead of comparing "
+            "against it.  Inspect the diff before committing."
+        ),
+    )
+
+
+def pytest_report_header(config):
+    # Always surface the seed so any randomized failure (CI's slow job
+    # uses a per-run seed) is reproducible locally with --rng-seed.
+    return f"rng-seed: {config.getoption('--rng-seed')}"
+
+
 @pytest.fixture
-def rng():
-    return np.random.default_rng(12345)
+def rng_seed(request) -> int:
+    return request.config.getoption("--rng-seed")
+
+
+@pytest.fixture
+def rng(rng_seed):
+    return np.random.default_rng(rng_seed)
 
 
 @pytest.fixture

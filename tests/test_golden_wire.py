@@ -1,0 +1,180 @@
+"""Byte-for-byte stability of the serializer against a golden corpus.
+
+The oracle fuzz (``test_oracle_wire.py``) proves *parse* equivalence;
+this corpus pins the exact bytes.  Any change to envelope layout, tag
+emission, lexical formatting, stuffing, or the differential rewrite
+shows up as a byte diff against ``tests/golden/*.xml`` — which is
+either a bug or an intentional wire change that must be reviewed.
+
+Regenerate intentionally with::
+
+    pytest tests/test_golden_wire.py --regen-golden
+
+and inspect the resulting git diff before committing.  Every producer
+below is fully deterministic (literal values or fixed seeds), so the
+corpus is stable across runs and platforms.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict
+
+import numpy as np
+import pytest
+
+from repro.apps.classads import CondorPool
+from repro.baselines.gsoap_like import GSoapLikeClient
+from repro.core.client import BSoapClient
+from repro.core.policy import DiffPolicy, StuffingPolicy, StuffMode
+from repro.core.serializer import build_template
+from repro.schema.composite import ArrayType
+from repro.schema.mio import make_mio_array_type
+from repro.schema.types import DOUBLE, INT, STRING
+from repro.soap.message import Parameter, SOAPMessage
+from repro.transport.loopback import CollectSink
+from repro.xmlkit.scanner import parse_document
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _doubles() -> bytes:
+    message = SOAPMessage(
+        "putDoubles",
+        "urn:golden",
+        [
+            Parameter(
+                "data",
+                ArrayType(DOUBLE),
+                np.array([0.0, 1.0, -1.5, 3.141592653589793, 1e300, 5e-324]),
+            )
+        ],
+    )
+    return build_template(message).tobytes()
+
+
+def _doubles_stuffed() -> bytes:
+    message = SOAPMessage(
+        "putDoubles",
+        "urn:golden",
+        [Parameter("data", ArrayType(DOUBLE), np.array([1.25, -2.5, 10.0]))],
+    )
+    policy = DiffPolicy(stuffing=StuffingPolicy(StuffMode.MAX))
+    return build_template(message, policy).tobytes()
+
+
+def _mio() -> bytes:
+    message = SOAPMessage(
+        "putMesh",
+        "urn:golden",
+        [
+            Parameter(
+                "mesh",
+                make_mio_array_type(),
+                {
+                    "x": np.array([0, 1, 2, 3]),
+                    "y": np.array([9, 8, 7, 6]),
+                    "v": np.array([0.5, 1.5, -2.25, 0.0]),
+                },
+            )
+        ],
+    )
+    return build_template(message).tobytes()
+
+
+def _classads() -> bytes:
+    pool = CondorPool("golden-pool", 8, seed=7, churn=0.2)
+    return build_template(pool.ads_message("peer-pool")).tobytes()
+
+
+def _multiref() -> bytes:
+    shared = np.array([2.0, 4.0, 8.0])
+    message = SOAPMessage(
+        "shareArrays",
+        "urn:golden",
+        [
+            Parameter("a", ArrayType(DOUBLE), shared),
+            Parameter("b", ArrayType(DOUBLE), shared),
+        ],
+    )
+    sink = CollectSink()
+    GSoapLikeClient(sink, multiref=True).send(message)
+    return sink.last
+
+
+def _mixed_scalars() -> bytes:
+    message = SOAPMessage(
+        "configure",
+        "urn:golden",
+        [
+            Parameter("n", INT, -42),
+            Parameter("scale", DOUBLE, 0.125),
+            Parameter("names", ArrayType(STRING), ["alpha", "b<c", "d&e"]),
+        ],
+    )
+    return build_template(message).tobytes()
+
+
+def _differential_rewrite() -> bytes:
+    """The wire after a dirty-value rewrite (not a fresh build).
+
+    Pins the differential path's byte behaviour: in-place overwrite,
+    closing-tag shift, and whitespace pad from a shrinking value.
+    """
+    sink = CollectSink()
+    client = BSoapClient(sink, DiffPolicy(stuffing=StuffingPolicy(StuffMode.MAX)))
+    base = np.array([1.0, 123456.78125, -3.5, 0.25])
+    msg = lambda v: SOAPMessage(  # noqa: E731 - local literal helper
+        "putDoubles", "urn:golden", [Parameter("data", ArrayType(DOUBLE), v)]
+    )
+    client.send(msg(base))
+    mutated = base.copy()
+    mutated[1] = 2.0  # much shorter: tag shift + pad
+    mutated[3] = -9876.5  # longer, fits the stuffed width
+    client.send(msg(mutated))
+    return sink.last
+
+
+CASES: Dict[str, Callable[[], bytes]] = {
+    "doubles": _doubles,
+    "doubles_stuffed": _doubles_stuffed,
+    "mio": _mio,
+    "classads": _classads,
+    "multiref": _multiref,
+    "mixed_scalars": _mixed_scalars,
+    "differential_rewrite": _differential_rewrite,
+}
+
+
+@pytest.fixture
+def regen(request) -> bool:
+    return request.config.getoption("--regen-golden")
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_bytes(name, regen):
+    produced = CASES[name]()
+    parse_document(produced)  # corpus entries must at least be well-formed
+    path = GOLDEN_DIR / f"{name}.xml"
+    if regen:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_bytes(produced)
+        return
+    if not path.exists():
+        pytest.fail(
+            f"golden file {path} missing - run with --regen-golden and "
+            "commit the generated corpus"
+        )
+    expected = path.read_bytes()
+    assert produced == expected, (
+        f"{name}: serializer output diverged from the golden corpus "
+        f"({len(produced)} bytes vs {len(expected)} golden). If the wire "
+        "change is intentional, regenerate with --regen-golden and review "
+        "the diff."
+    )
+
+
+def test_producers_are_deterministic():
+    """Regen twice in-process must give identical bytes (no hidden RNG)."""
+    for name, produce in CASES.items():
+        assert produce() == produce(), f"{name} producer is nondeterministic"

@@ -1,0 +1,115 @@
+"""Guard: disabled observability costs < 3% of a differential send.
+
+The design claim (``docs/observability.md``) is that the default
+:data:`~repro.obs.NULL_OBS` makes every instrumented site cost one
+attribute load plus one branch.  Rather than compare two timed loops
+against each other (noisy: allocator state, cache warmth, and CPU
+frequency drift between the runs easily exceed 3%), the test measures
+both quantities directly and compares their ratio:
+
+* the per-send cost of the cheapest hot path (perfect-structural
+  rewrite of one dirty double) with ``NULL_OBS`` — the denominator;
+* the measured cost of one disabled guard (``obs.enabled`` load +
+  branch + the no-op ``record_*`` call it might make), times a
+  deliberately pessimistic count of guarded sites per send — the
+  numerator.
+
+The real send path executes ~6 guarded sites per call; we charge 16.
+Even so the disabled-instrumentation tax must stay under 3%.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.client import BSoapClient
+from repro.core.policy import DiffPolicy, StuffingPolicy, StuffMode
+from repro.core.stats import MatchKind
+from repro.obs import NULL_OBS
+from repro.schema.composite import ArrayType
+from repro.schema.types import DOUBLE
+from repro.soap.message import Parameter, SOAPMessage
+from repro.transport.loopback import NullSink
+
+#: Pessimistic guarded-sites-per-send multiplier (actual path: ~6).
+GUARDS_PER_SEND = 16
+
+#: Budget for disabled instrumentation, per the tentpole's design goal.
+MAX_OVERHEAD_FRACTION = 0.03
+
+
+def _best_of(repeats, fn):
+    """Minimum elapsed seconds over *repeats* runs of *fn* (noise floor)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _measure_send_seconds(calls: int) -> float:
+    """Per-send seconds of a perfect-structural rewrite with NULL_OBS."""
+    client = BSoapClient(
+        NullSink(), DiffPolicy(stuffing=StuffingPolicy(StuffMode.MAX))
+    )
+    values = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+
+    def msg(v):
+        return SOAPMessage(
+            "putDoubles", "urn:ovh", [Parameter("data", ArrayType(DOUBLE), v)]
+        )
+
+    report = client.send(msg(values))
+    assert report.match_kind is MatchKind.FIRST_TIME
+    toggles = (values.copy(), values.copy())
+    toggles[1][3] = -42.5  # one dirty value per call, alternating
+    messages = [msg(toggles[0]), msg(toggles[1])]
+    # Warm up both alternating states so timing sees steady state
+    # (the very first repeat is a content match; all later sends flip
+    # the one differing value and hit the rewrite path).
+    for m in messages * 2:
+        client.send(m)
+    assert client.send(messages[0]).match_kind is MatchKind.PERFECT_STRUCTURAL
+
+    def run():
+        for i in range(calls):
+            client.send(messages[i & 1])
+
+    return _best_of(5, run) / calls
+
+
+def _measure_guard_seconds(iterations: int) -> float:
+    """Per-iteration seconds of one disabled observability guard."""
+    obs = NULL_OBS
+    sink = []
+
+    def run():
+        for _ in range(iterations):
+            # The exact shape of a guarded site: attribute load, branch,
+            # and (never taken) the recording call.
+            if obs.enabled:
+                sink.append(obs)  # pragma: no cover - disabled branch
+
+    return _best_of(5, run) / iterations
+
+
+def test_disabled_obs_overhead_under_3_percent():
+    send_s = _measure_send_seconds(calls=400)
+    guard_s = _measure_guard_seconds(iterations=200_000)
+    overhead = (guard_s * GUARDS_PER_SEND) / send_s
+    assert overhead < MAX_OVERHEAD_FRACTION, (
+        f"disabled-instrumentation tax {overhead:.2%} exceeds "
+        f"{MAX_OVERHEAD_FRACTION:.0%} (send={send_s * 1e6:.1f}us, "
+        f"guard={guard_s * 1e9:.1f}ns x {GUARDS_PER_SEND} sites)"
+    )
+
+
+def test_null_obs_never_records():
+    """NULL_OBS has no registry and a disabled tracer - nothing to leak."""
+    assert NULL_OBS.enabled is False
+    assert NULL_OBS.metrics is None
+    assert not NULL_OBS.tracer.spans()
