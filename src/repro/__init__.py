@@ -41,6 +41,7 @@ from repro.core import (
 )
 from repro.channel import RPCChannel
 from repro.errors import ReproError
+from repro.hardening import DEFAULT_LIMITS, ResourceLimits
 from repro.resilience import (
     CircuitBreaker,
     FaultInjectingTransport,
@@ -82,6 +83,8 @@ __all__ = [
     "PipelinedChannel",
     "PipelinedSender",
     "ServerSessionManager",
+    "ResourceLimits",
+    "DEFAULT_LIMITS",
     "ReproError",
     "__version__",
 ]

@@ -18,6 +18,8 @@ __all__ = [
     "ChunkOverflowError",
     "SOAPError",
     "SOAPFaultError",
+    "ResourceLimitError",
+    "RequestTooLargeError",
     "TemplateError",
     "StructureMismatchError",
     "DUTError",
@@ -93,6 +95,27 @@ class SOAPFaultError(SOAPError):
         self.detail = detail
 
 
+class ResourceLimitError(SOAPError):
+    """An inbound message exceeded a configured resource limit.
+
+    Raised by the scanner/parser layers when a
+    :class:`~repro.hardening.ResourceLimits` bound (nesting depth,
+    element count, attribute count, token length, body size) is
+    crossed.  A subclass of :class:`SOAPError` so the service layer
+    answers it with a well-formed Client fault instead of a traceback.
+
+    Attributes
+    ----------
+    limit_name:
+        The :class:`~repro.hardening.ResourceLimits` field that was
+        exceeded (e.g. ``"max_xml_depth"``), or ``""`` when unknown.
+    """
+
+    def __init__(self, message: str, limit_name: str = "") -> None:
+        super().__init__(message)
+        self.limit_name = limit_name
+
+
 class TemplateError(ReproError):
     """Template construction or reuse failed."""
 
@@ -133,6 +156,16 @@ class IncompleteHTTPError(HTTPFramingError):
     catch exactly this class and keep receiving; every other
     :class:`HTTPFramingError` is a genuine protocol violation and must
     fail fast.
+    """
+
+
+class RequestTooLargeError(HTTPFramingError):
+    """An HTTP message declares (or accumulates) more payload than the
+    configured :class:`~repro.hardening.ResourceLimits` allow.
+
+    Servers answer it with ``413 Payload Too Large`` *before* closing
+    the connection, distinguishing it from generic malformed framing
+    (plain :class:`HTTPFramingError` → ``400 Bad Request``).
     """
 
 

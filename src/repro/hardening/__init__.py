@@ -1,0 +1,51 @@
+"""Server-side hardening: resource limits + a seeded wire fuzzer.
+
+Two halves:
+
+* :mod:`repro.hardening.limits` — the :class:`ResourceLimits` config
+  enforced at the scanner, parser, and HTTP framing layers (imported
+  eagerly; it has no dependencies beyond :mod:`repro.errors`, so the
+  low-level xmlkit/transport modules can import it without cycles).
+* :mod:`repro.hardening.fuzz` — a deterministic corpus-mutation fuzzer
+  driving mutated wires through ``SOAPService.handle`` and a live
+  ``HTTPSoapServer``, asserting the fault-not-crash invariant.  Loaded
+  lazily because it imports the server stack, which itself imports
+  this package's limits.
+"""
+
+from __future__ import annotations
+
+from repro.hardening.limits import DEFAULT_LIMITS, UNLIMITED, ResourceLimits
+
+__all__ = [
+    "ResourceLimits",
+    "DEFAULT_LIMITS",
+    "UNLIMITED",
+    "WireFuzzer",
+    "HTTPFuzzer",
+    "FuzzReport",
+    "fuzz_service",
+    "fuzz_http",
+    "load_corpus",
+    "build_fuzz_service",
+]
+
+_FUZZ_NAMES = frozenset(
+    [
+        "WireFuzzer",
+        "HTTPFuzzer",
+        "FuzzReport",
+        "fuzz_service",
+        "fuzz_http",
+        "load_corpus",
+        "build_fuzz_service",
+    ]
+)
+
+
+def __getattr__(name: str):
+    if name in _FUZZ_NAMES:
+        from repro.hardening import fuzz
+
+        return getattr(fuzz, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

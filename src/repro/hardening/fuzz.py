@@ -1,0 +1,681 @@
+"""Seeded wire fuzzer for the fault-not-crash contract.
+
+Two drivers share one corpus-mutation engine:
+
+* :func:`fuzz_service` pushes mutated SOAP bodies straight through
+  :meth:`SOAPService.handle` — the invariant is that ``handle`` never
+  raises, always returns a parseable envelope (response or Fault), and
+  that a pristine *probe* wire still gets a non-fault answer after any
+  amount of garbage (no poisoned session state).
+* :func:`fuzz_http` wraps mutated bodies in (sometimes deliberately
+  broken) HTTP framing and drives them through a live
+  :class:`HTTPSoapServer` over real sockets — the invariant is that
+  every connection gets an answer (no hangs, no silent drops) with a
+  status from the allowed set.
+
+Everything is driven by one ``random.Random(seed)``: a failing case
+replays exactly from the printed seed.  Mutations are corpus-based
+(byte-level: bit flips, truncations, slice splices) plus
+structure-aware ones that target what this codebase actually relies
+on: tag splices, digit/width perturbation of the stuffed DUT field
+regions, ``arrayType`` count lies, entity garbage, and
+limits-shaped bombs (nesting depth, attribute count, token length)
+sized just past the service's :class:`ResourceLimits`.
+
+Run standalone (CI ``fuzz-smoke`` job)::
+
+    PYTHONPATH=src python -m repro.hardening.fuzz \
+        --corpus tests/golden --seed 12345 \
+        --service-iterations 2000 --http-iterations 200
+
+Outcome counts are exported through the service's
+:class:`~repro.obs.MetricsRegistry` as
+``repro_fuzz_cases_total{mode,outcome}`` so a fuzzed server's
+``/metrics`` endpoint shows the rejection mix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import re
+import socket
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.hardening.limits import DEFAULT_LIMITS, ResourceLimits
+from repro.schema.types import INT
+from repro.server.service import HTTPSoapServer, Operation, SOAPService
+from repro.soap.fault import SOAPFault
+
+__all__ = [
+    "WireFuzzer",
+    "HTTPFuzzer",
+    "FuzzReport",
+    "build_fuzz_service",
+    "load_corpus",
+    "default_corpus",
+    "fuzz_service",
+    "fuzz_http",
+    "ALLOWED_HTTP_STATUSES",
+    "main",
+]
+
+#: Statuses a hardened front end may legitimately answer with.
+ALLOWED_HTTP_STATUSES = frozenset({200, 400, 404, 408, 413, 503})
+
+#: Operations appearing in the golden corpus — the fuzz service
+#: registers a handler for each so pristine wires dispatch cleanly.
+CORPUS_OPERATIONS = (
+    "putDoubles",
+    "putMesh",
+    "exchangeAds",
+    "shareArrays",
+    "configure",
+)
+
+_DIGIT_RUN = re.compile(rb"[0-9][0-9.eE+\-]{0,30}")
+_ARRAYTYPE = re.compile(rb'arrayType="[^"]*"')
+
+
+# ----------------------------------------------------------------------
+# Corpus
+# ----------------------------------------------------------------------
+def load_corpus(path) -> List[bytes]:
+    """Load every ``*.xml``/``*.bin`` wire under *path*, sorted by name."""
+    directory = Path(path)
+    files = sorted(
+        p for p in directory.glob("*") if p.suffix in (".xml", ".bin")
+    )
+    if not files:
+        raise FileNotFoundError(f"no corpus wires under {directory}")
+    return [p.read_bytes() for p in files]
+
+
+def _synthetic_corpus() -> List[bytes]:
+    """Deterministic fallback wires when no golden corpus is on disk."""
+    import numpy as np
+
+    from repro.core.serializer import build_template
+    from repro.schema.composite import ArrayType
+    from repro.schema.types import DOUBLE, STRING
+    from repro.soap.message import Parameter, SOAPMessage
+
+    doubles = SOAPMessage(
+        "putDoubles",
+        "urn:golden",
+        [
+            Parameter(
+                "data",
+                ArrayType(DOUBLE),
+                np.array([0.0, 1.5, -2.25, 3.141592653589793]),
+            )
+        ],
+    )
+    mixed = SOAPMessage(
+        "configure",
+        "urn:golden",
+        [
+            Parameter("n", INT, -42),
+            Parameter("scale", DOUBLE, 0.125),
+            Parameter("names", ArrayType(STRING), ["alpha", "b<c"]),
+        ],
+    )
+    return [build_template(m).tobytes() for m in (doubles, mixed)]
+
+
+def default_corpus() -> List[bytes]:
+    """``tests/golden`` when running from a checkout, else synthetic."""
+    golden = Path(__file__).resolve().parents[3] / "tests" / "golden"
+    try:
+        return load_corpus(golden)
+    except FileNotFoundError:
+        return _synthetic_corpus()
+
+
+def build_fuzz_service(
+    *,
+    limits: Optional[ResourceLimits] = None,
+    obs=None,
+) -> SOAPService:
+    """A service accepting every corpus operation (``urn:golden``).
+
+    Handlers take arbitrary keyword parameters and return a count, so
+    any well-formed corpus wire dispatches without a fault while the
+    response side still exercises the differential serializer.
+    """
+    from repro.apps.classads import MACHINE_AD_TYPE
+    from repro.schema.mio import MIO_TYPE
+    from repro.schema.registry import TypeRegistry
+
+    registry = TypeRegistry()
+    registry.register_struct(MIO_TYPE)
+    registry.register_struct(MACHINE_AD_TYPE)
+    service = SOAPService("urn:golden", registry, limits=limits, obs=obs)
+
+    def _accept(**params: object) -> int:
+        return len(params)
+
+    for name in CORPUS_OPERATIONS:
+        service.register(
+            Operation(name, _accept, result_type=INT, result_name="count")
+        )
+    return service
+
+
+# ----------------------------------------------------------------------
+# Mutation engine
+# ----------------------------------------------------------------------
+class WireFuzzer:
+    """Deterministic corpus mutator (one :class:`random.Random`).
+
+    Structure-aware mutators are sized off *limits* so the bombs land
+    just past the configured bounds — the interesting side of each
+    limit.
+    """
+
+    def __init__(
+        self,
+        corpus: Sequence[bytes],
+        seed: int = 0,
+        *,
+        limits: Optional[ResourceLimits] = None,
+    ) -> None:
+        self.corpus = [bytes(w) for w in corpus if w]
+        if not self.corpus:
+            raise ValueError("fuzz corpus is empty")
+        self.seed = seed
+        self.limits = limits if limits is not None else DEFAULT_LIMITS
+        self._rng = random.Random(seed)
+        self._mutators: List[Tuple[str, Callable[[random.Random, bytes], bytes]]] = [
+            ("identity", lambda rng, w: w),
+            ("bit_flip", self._bit_flip),
+            ("truncate", self._truncate),
+            ("delete_slice", self._delete_slice),
+            ("duplicate_slice", self._duplicate_slice),
+            ("tag_splice", self._tag_splice),
+            ("digit_perturb", self._digit_perturb),
+            ("width_perturb", self._width_perturb),
+            ("arraytype_lie", self._arraytype_lie),
+            ("entity_garbage", self._entity_garbage),
+            ("utf8_garbage", self._utf8_garbage),
+            ("nest_bomb", self._nest_bomb),
+            ("attr_bomb", self._attr_bomb),
+            ("token_bomb", self._token_bomb),
+            ("pure_garbage", self._pure_garbage),
+        ]
+
+    def next_case(self) -> Tuple[bytes, str]:
+        """One mutated wire plus the mutator name that produced it."""
+        rng = self._rng
+        wire = rng.choice(self.corpus)
+        name, mutate = rng.choice(self._mutators)
+        return mutate(rng, wire), name
+
+    # -- byte-level ----------------------------------------------------
+    @staticmethod
+    def _bit_flip(rng: random.Random, wire: bytes) -> bytes:
+        out = bytearray(wire)
+        for _ in range(rng.randint(1, 8)):
+            out[rng.randrange(len(out))] ^= 1 << rng.randrange(8)
+        return bytes(out)
+
+    @staticmethod
+    def _truncate(rng: random.Random, wire: bytes) -> bytes:
+        return wire[: rng.randrange(len(wire))]
+
+    @staticmethod
+    def _delete_slice(rng: random.Random, wire: bytes) -> bytes:
+        i = rng.randrange(len(wire))
+        j = min(len(wire), i + rng.randint(1, 64))
+        return wire[:i] + wire[j:]
+
+    @staticmethod
+    def _duplicate_slice(rng: random.Random, wire: bytes) -> bytes:
+        i = rng.randrange(len(wire))
+        j = min(len(wire), i + rng.randint(1, 64))
+        return wire[:j] + wire[i:j] + wire[j:]
+
+    # -- structure-aware -----------------------------------------------
+    def _tag_splice(self, rng: random.Random, wire: bytes) -> bytes:
+        """Copy one tag-ish region over another (mismatched tag soup)."""
+        starts = [m.start() for m in re.finditer(rb"<", wire)]
+        if len(starts) < 2:
+            return self._bit_flip(rng, wire)
+        src, dst = rng.sample(starts, 2)
+        piece = wire[src : src + rng.randint(2, 40)]
+        return wire[:dst] + piece + wire[dst:]
+
+    def _digit_perturb(self, rng: random.Random, wire: bytes) -> bytes:
+        """Corrupt characters inside a numeric run (DUT field region)."""
+        runs = list(_DIGIT_RUN.finditer(wire))
+        if not runs:
+            return self._bit_flip(rng, wire)
+        run = rng.choice(runs)
+        out = bytearray(wire)
+        for _ in range(rng.randint(1, 3)):
+            pos = rng.randrange(run.start(), run.end())
+            out[pos] = rng.choice(b"0123456789.-+eEZ#")
+        return bytes(out)
+
+    def _width_perturb(self, rng: random.Random, wire: bytes) -> bytes:
+        """Grow or shrink a numeric run (breaks stuffed-width framing)."""
+        runs = list(_DIGIT_RUN.finditer(wire))
+        if not runs:
+            return self._truncate(rng, wire)
+        run = rng.choice(runs)
+        if rng.random() < 0.5:
+            extra = bytes(rng.choice(b"0123456789") for _ in range(rng.randint(1, 24)))
+            return wire[: run.end()] + extra + wire[run.end() :]
+        keep = rng.randrange(run.end() - run.start())
+        return wire[: run.start() + keep] + wire[run.end() :]
+
+    def _arraytype_lie(self, rng: random.Random, wire: bytes) -> bytes:
+        """Make ``arrayType`` disagree with the actual item count."""
+        match = _ARRAYTYPE.search(wire)
+        if match is None:
+            return self._tag_splice(rng, wire)
+        lie = rng.choice(
+            [
+                b'arrayType="xsd:double[%d]"' % rng.randrange(0, 1 << 16),
+                b'arrayType="xsd:double[-1]"',
+                b'arrayType="garbage"',
+                b'arrayType=""',
+            ]
+        )
+        return wire[: match.start()] + lie + wire[match.end() :]
+
+    def _entity_garbage(self, rng: random.Random, wire: bytes) -> bytes:
+        junk = rng.choice(
+            [b"&bogus;", b"&#xFFFFFFFF;", b"&#x110000;", b"&#-1;", b"&#;", b"&"]
+        )
+        pos = rng.randrange(len(wire))
+        return wire[:pos] + junk + wire[pos:]
+
+    def _utf8_garbage(self, rng: random.Random, wire: bytes) -> bytes:
+        junk = rng.choice([b"\xff\xfe", b"\xc3", b"\xe2\x28\xa1", b"\x80"])
+        pos = rng.randrange(len(wire))
+        return wire[:pos] + junk + wire[pos:]
+
+    # -- limits-shaped bombs -------------------------------------------
+    def _nest_bomb(self, rng: random.Random, wire: bytes) -> bytes:
+        depth = self.limits.max_xml_depth + rng.randint(1, 64)
+        return b"<d>" * depth + b"x" + b"</d>" * depth
+
+    def _attr_bomb(self, rng: random.Random, wire: bytes) -> bytes:
+        count = self.limits.max_attributes + rng.randint(1, 64)
+        attrs = b" ".join(b'a%d="v"' % i for i in range(count))
+        return b"<e " + attrs + b"/>"
+
+    def _token_bomb(self, rng: random.Random, wire: bytes) -> bytes:
+        name = b"t" * (self.limits.max_token_bytes + rng.randint(1, 64))
+        return b"<" + name + b">x</" + name + b">"
+
+    @staticmethod
+    def _pure_garbage(rng: random.Random, wire: bytes) -> bytes:
+        return bytes(rng.getrandbits(8) for _ in range(rng.randint(1, 256)))
+
+
+class HTTPFuzzer:
+    """Wraps :class:`WireFuzzer` bodies in (possibly broken) framing."""
+
+    FRAMINGS = (
+        "valid",
+        "valid",  # weighted: most cases exercise body parsing, not framing
+        "chunked",
+        "lying_short",
+        "lying_long",
+        "chunk_truncated",
+        "chunk_bad_size",
+        "garbage_request_line",
+        "header_bomb",
+        "oversize_declared",
+    )
+
+    def __init__(self, wire_fuzzer: WireFuzzer) -> None:
+        self.wires = wire_fuzzer
+        self.limits = wire_fuzzer.limits
+        self._rng = wire_fuzzer._rng
+
+    def next_case(self) -> Tuple[bytes, str]:
+        """One raw request byte-string plus a ``framing/mutator`` label."""
+        rng = self._rng
+        body, mutator = self.wires.next_case()
+        framing = rng.choice(self.FRAMINGS)
+        raw = getattr(self, "_frame_" + framing)(rng, body)
+        return raw, f"{framing}/{mutator}"
+
+    @staticmethod
+    def _head(length: int) -> bytes:
+        return (
+            b"POST / HTTP/1.1\r\nContent-Type: text/xml\r\n"
+            b"Content-Length: %d\r\n\r\n" % length
+        )
+
+    def _frame_valid(self, rng: random.Random, body: bytes) -> bytes:
+        return self._head(len(body)) + body
+
+    def _frame_chunked(self, rng: random.Random, body: bytes) -> bytes:
+        out = [
+            b"POST / HTTP/1.1\r\nContent-Type: text/xml\r\n"
+            b"Transfer-Encoding: chunked\r\n\r\n"
+        ]
+        pos = 0
+        while pos < len(body):
+            size = min(len(body) - pos, rng.randint(1, 512))
+            out.append(b"%x\r\n" % size + body[pos : pos + size] + b"\r\n")
+            pos += size
+        out.append(b"0\r\n\r\n")
+        return b"".join(out)
+
+    def _frame_lying_short(self, rng: random.Random, body: bytes) -> bytes:
+        """Declare more bytes than are sent (EOF mid-body)."""
+        return self._head(len(body) + rng.randint(1, 512)) + body
+
+    def _frame_lying_long(self, rng: random.Random, body: bytes) -> bytes:
+        """Declare fewer bytes than are sent (tail parsed as garbage)."""
+        declared = rng.randrange(len(body)) if body else 0
+        return self._head(declared) + body
+
+    def _frame_chunk_truncated(self, rng: random.Random, body: bytes) -> bytes:
+        """Chunked framing cut at a chunk boundary or mid-chunk."""
+        whole = self._frame_chunked(rng, body)
+        header_end = whole.index(b"\r\n\r\n") + 4
+        cut = rng.randrange(header_end, len(whole))
+        return whole[:cut]
+
+    def _frame_chunk_bad_size(self, rng: random.Random, body: bytes) -> bytes:
+        bad = rng.choice([b"ZZZ", b"-5", b"1x", b""])
+        return (
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            + bad
+            + b"\r\n"
+            + body[:16]
+        )
+
+    def _frame_garbage_request_line(
+        self, rng: random.Random, body: bytes
+    ) -> bytes:
+        line = bytes(rng.getrandbits(8) for _ in range(rng.randint(1, 64)))
+        return line.replace(b"\r", b"?").replace(b"\n", b"?") + b"\r\n\r\n"
+
+    def _frame_header_bomb(self, rng: random.Random, body: bytes) -> bytes:
+        filler = b"X-Junk: " + b"j" * 1024 + b"\r\n"
+        count = self.limits.max_header_bytes // len(filler) + 2
+        return (
+            b"POST / HTTP/1.1\r\n" + filler * count
+            + b"Content-Length: 0\r\n\r\n"
+        )
+
+    def _frame_oversize_declared(self, rng: random.Random, body: bytes) -> bytes:
+        declared = self.limits.max_body_bytes + rng.randint(1, 1 << 16)
+        return self._head(declared) + body[:64]
+
+
+# ----------------------------------------------------------------------
+# Reports and drivers
+# ----------------------------------------------------------------------
+@dataclass
+class FuzzReport:
+    """Aggregated result of one fuzz run (one seed)."""
+
+    seed: int
+    mode: str = "service"
+    iterations: int = 0
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    mutators: Dict[str, int] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def record(self, outcome: str, mutator: str) -> None:
+        self.iterations += 1
+        self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+        self.mutators[mutator] = self.mutators.get(mutator, 0) + 1
+
+    def violate(self, description: str) -> None:
+        self.violations.append(f"[seed={self.seed}] {description}")
+
+    def summary(self) -> str:
+        mix = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.outcomes.items())
+        )
+        verdict = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"{self.mode} fuzz: {self.iterations} cases (seed {self.seed}) "
+            f"[{mix}] -> {verdict}"
+        )
+
+
+def _classify_response(response: object) -> str:
+    """``ok``/``fault`` for a parseable envelope; raises otherwise."""
+    if not isinstance(response, (bytes, bytearray)) or not response:
+        raise ValueError(f"non-bytes response: {type(response).__name__}")
+    fault = SOAPFault.from_xml(bytes(response))
+    return "fault" if fault is not None else "ok"
+
+
+def fuzz_service(
+    service: Optional[SOAPService] = None,
+    corpus: Optional[Sequence[bytes]] = None,
+    *,
+    iterations: int = 2000,
+    seed: int = 0,
+    probe_every: int = 100,
+) -> FuzzReport:
+    """Drive mutated wires through ``service.handle``; see module doc.
+
+    Every *probe_every* cases (and once at the end) a pristine corpus
+    wire is replayed and must get a non-fault response — garbage must
+    never poison the session for the next legitimate caller.
+    """
+    service = service if service is not None else build_fuzz_service()
+    wires = list(corpus) if corpus is not None else default_corpus()
+    fuzzer = WireFuzzer(wires, seed, limits=service.limits)
+    report = FuzzReport(seed=seed, mode="service")
+    counter = (
+        service.obs.metrics.counter(
+            "repro_fuzz_cases_total",
+            "Fuzz cases by driver mode and outcome",
+            ("mode", "outcome"),
+        )
+        if service.obs.metrics is not None
+        else None
+    )
+
+    # Calibrate the probe set: corpus wires the service answers
+    # without a fault when pristine.  There must be at least one,
+    # otherwise the "recovers after garbage" invariant is vacuous.
+    probes = [w for w in fuzzer.corpus if _classify_response(service.handle(w)) == "ok"]
+    if not probes:
+        report.violate("no corpus wire gets a non-fault response pristine")
+        return report
+
+    def _probe(case_no: int) -> None:
+        probe = probes[(case_no // max(1, probe_every)) % len(probes)]
+        try:
+            outcome = _classify_response(service.handle(probe))
+        except Exception as exc:  # noqa: BLE001 - the invariant under test
+            report.violate(f"probe after case {case_no} raised {exc!r}")
+            return
+        if outcome != "ok":
+            report.violate(
+                f"probe after case {case_no} faulted: session state poisoned"
+            )
+
+    for case_no in range(iterations):
+        wire, mutator = fuzzer.next_case()
+        try:
+            response = service.handle(wire)
+            outcome = _classify_response(response)
+        except Exception as exc:  # noqa: BLE001 - the invariant under test
+            report.violate(
+                f"case {case_no} ({mutator}, {len(wire)}B) escaped handle(): "
+                f"{type(exc).__name__}: {exc}"
+            )
+            outcome = "crash"
+        report.record(outcome, mutator)
+        if counter is not None:
+            counter.inc(mode="service", outcome=outcome)
+        if probe_every and (case_no + 1) % probe_every == 0:
+            _probe(case_no)
+    _probe(iterations)
+    return report
+
+
+def _one_exchange(
+    host: str, port: int, raw: bytes, timeout: float
+) -> Tuple[str, bytes]:
+    """Send *raw*, half-close, read to EOF.  ``(disposition, bytes)``."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        try:
+            sock.sendall(raw)
+            sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            # The server may reject and close while we are still
+            # writing (e.g. oversized framing) — whatever it answered
+            # before the reset is still on our receive queue.
+            pass
+        chunks: List[bytes] = []
+        while True:
+            try:
+                data = sock.recv(65536)
+            except socket.timeout:
+                return "hang", b"".join(chunks)
+            except OSError:
+                break
+            if not data:
+                break
+            chunks.append(data)
+    return "closed", b"".join(chunks)
+
+
+def fuzz_http(
+    service: Optional[SOAPService] = None,
+    corpus: Optional[Sequence[bytes]] = None,
+    *,
+    iterations: int = 200,
+    seed: int = 0,
+    host: str = "127.0.0.1",
+    timeout: float = 10.0,
+) -> FuzzReport:
+    """Fuzz a live :class:`HTTPSoapServer` over real sockets.
+
+    One fresh connection per case (half-closed after sending, so the
+    server's EOF handling is on the hook every time).  Violations:
+    read timeout (hang), empty response (silent drop), or a status
+    outside :data:`ALLOWED_HTTP_STATUSES`.
+    """
+    service = service if service is not None else build_fuzz_service()
+    wires = list(corpus) if corpus is not None else default_corpus()
+    fuzzer = HTTPFuzzer(WireFuzzer(wires, seed, limits=service.limits))
+    report = FuzzReport(seed=seed, mode="http")
+    counter = (
+        service.obs.metrics.counter(
+            "repro_fuzz_cases_total",
+            "Fuzz cases by driver mode and outcome",
+            ("mode", "outcome"),
+        )
+        if service.obs.metrics is not None
+        else None
+    )
+    with HTTPSoapServer(service, host) as server:
+        for case_no in range(iterations):
+            raw, label = fuzzer.next_case()
+            disposition, payload = _one_exchange(host, server.port, raw, timeout)
+            if disposition == "hang":
+                report.violate(f"case {case_no} ({label}): server hung")
+                outcome = "hang"
+            elif not payload:
+                report.violate(
+                    f"case {case_no} ({label}): connection closed with no "
+                    "response (silent drop)"
+                )
+                outcome = "silent_drop"
+            else:
+                status = _first_status(payload)
+                if status is None:
+                    report.violate(
+                        f"case {case_no} ({label}): unparseable response "
+                        f"{payload[:60]!r}"
+                    )
+                    outcome = "garbled"
+                elif status not in ALLOWED_HTTP_STATUSES:
+                    report.violate(
+                        f"case {case_no} ({label}): unexpected status {status}"
+                    )
+                    outcome = f"http_{status}"
+                else:
+                    outcome = f"http_{status}"
+            report.record(outcome, label)
+            if counter is not None:
+                counter.inc(mode="http", outcome=outcome)
+    return report
+
+
+def _first_status(payload: bytes) -> Optional[int]:
+    """Status code of the first HTTP response in *payload* (or None)."""
+    line, _, _ = payload.partition(b"\r\n")
+    parts = line.split()
+    if len(parts) < 2 or not parts[0].startswith(b"HTTP/"):
+        return None
+    try:
+        return int(parts[1])
+    except ValueError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# CLI (the CI fuzz-smoke job)
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.hardening.fuzz",
+        description="Seeded wire fuzzer for the hardened SOAP stack.",
+    )
+    parser.add_argument(
+        "--corpus",
+        default=None,
+        help="directory of seed wires (default: tests/golden, else synthetic)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--service-iterations", type=int, default=2000)
+    parser.add_argument("--http-iterations", type=int, default=200)
+    args = parser.parse_args(argv)
+
+    corpus = load_corpus(args.corpus) if args.corpus else default_corpus()
+    print(f"fuzz seed: {args.seed} ({len(corpus)} corpus wires)")
+
+    reports = []
+    if args.service_iterations > 0:
+        reports.append(
+            fuzz_service(
+                corpus=corpus, iterations=args.service_iterations, seed=args.seed
+            )
+        )
+        print(reports[-1].summary())
+    if args.http_iterations > 0:
+        reports.append(
+            fuzz_http(
+                corpus=corpus, iterations=args.http_iterations, seed=args.seed
+            )
+        )
+        print(reports[-1].summary())
+
+    failed = [v for r in reports for v in r.violations]
+    for violation in failed[:25]:
+        print(f"VIOLATION: {violation}")
+    if failed:
+        print(f"FAILED with {len(failed)} violations (replay with --seed {args.seed})")
+        return 1
+    print("fault-not-crash invariant held for every case")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI job
+    sys.exit(main())

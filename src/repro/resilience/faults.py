@@ -158,7 +158,9 @@ class FaultInjectingTransport:
         return total_bytes if total_bytes is not None else forwarded
 
     # ------------------------------------------------------------------
-    def recv_http_response(self, limit: int = 1 << 24):
+    def recv_http_response(self, limit: Optional[int] = None):
+        """*limit* ``None`` defers to the wrapped transport's
+        :class:`~repro.hardening.ResourceLimits` recv cap."""
         spec, self._recv_fault = self._recv_fault, None
         if spec is not None and spec.kind in ("truncate", "reset-before-recv"):
             if spec.kind == "reset-before-recv":

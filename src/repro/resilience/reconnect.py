@@ -20,6 +20,7 @@ import threading
 from typing import Optional, Tuple
 
 from repro.errors import TransportError
+from repro.hardening.limits import ResourceLimits
 from repro.transport.base import ViewStream
 from repro.transport.tcp import TCPTransport
 
@@ -44,11 +45,14 @@ class ReconnectingTCPTransport:
         *,
         gather: bool = True,
         connect_timeout: float = 5.0,
+        limits: Optional[ResourceLimits] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.gather = gather
         self.connect_timeout = connect_timeout
+        #: Passed to each dialed TCPTransport (recv-size cap etc.).
+        self.limits = limits
         self._tcp: Optional[TCPTransport] = None
         self._closed = False
         # Guards dial/teardown: a pipelined channel drives send and
@@ -79,6 +83,7 @@ class ReconnectingTCPTransport:
                     self.port,
                     gather=self.gather,
                     connect_timeout=self.connect_timeout,
+                    limits=self.limits,
                 )
                 self.connections += 1
             return self._tcp
@@ -102,7 +107,10 @@ class ReconnectingTCPTransport:
         self.bytes_total += sent
         return sent
 
-    def recv_http_response(self, limit: int = 1 << 24) -> Tuple[int, dict, bytes]:
+    def recv_http_response(
+        self, limit: Optional[int] = None
+    ) -> Tuple[int, dict, bytes]:
+        """*limit* ``None`` defers to the dialed transport's limits."""
         tcp = self.connect()
         try:
             return tcp.recv_http_response(limit)

@@ -30,6 +30,7 @@ from typing import Dict, Hashable, Iterator, List, Optional
 from repro.core.client import BSoapClient
 from repro.core.policy import DiffPolicy
 from repro.core.stats import ClientStats
+from repro.hardening.limits import ResourceLimits
 from repro.obs import NULL_OBS, Observability
 from repro.schema.registry import TypeRegistry
 from repro.server.diffdeser import DeserKind, DifferentialDeserializer
@@ -81,9 +82,10 @@ class ServerSession:
         *,
         pinned: bool = False,
         obs: Optional[Observability] = None,
+        limits: Optional[ResourceLimits] = None,
     ) -> None:
         self.key = key
-        self.deserializer = DifferentialDeserializer(registry)
+        self.deserializer = DifferentialDeserializer(registry, limits)
         self.sink = CollectSink()
         self.responder = BSoapClient(self.sink, response_policy, obs=obs)
         self.lock = threading.Lock()
@@ -151,12 +153,16 @@ class ServerSessionManager:
         *,
         max_sessions: int = 256,
         obs: Optional[Observability] = None,
+        limits: Optional[ResourceLimits] = None,
     ) -> None:
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
         self.registry = registry
         self.response_policy = response_policy
         self.max_sessions = max_sessions
+        #: Resource limits handed to each session's deserializer, so
+        #: every connection shares one inbound threat model.
+        self.limits = limits
         #: Shared by every session's responder: the registry is never
         #: reset and counts at the same sites as each responder's
         #: ClientStats, so its totals match
@@ -190,6 +196,7 @@ class ServerSessionManager:
                     self.response_policy,
                     pinned=key == DEFAULT_SESSION,
                     obs=self.obs,
+                    limits=self.limits,
                 )
                 self._sessions[key] = session
                 self.sessions_created += 1

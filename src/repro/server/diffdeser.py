@@ -31,6 +31,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.hardening.limits import ResourceLimits
 from repro.schema.registry import TypeRegistry
 from repro.server.parser import DecodedMessage, ParseResult, SOAPRequestParser
 
@@ -57,8 +58,12 @@ class DeserReport:
 class DifferentialDeserializer:
     """Template-matching deserializer (see module docstring)."""
 
-    def __init__(self, registry: Optional[TypeRegistry] = None) -> None:
-        self.parser = SOAPRequestParser(registry)
+    def __init__(
+        self,
+        registry: Optional[TypeRegistry] = None,
+        limits: Optional[ResourceLimits] = None,
+    ) -> None:
+        self.parser = SOAPRequestParser(registry, limits)
         self._last_raw: Optional[np.ndarray] = None  # uint8 copy
         self._result: Optional[ParseResult] = None
         self.stats = {kind: 0 for kind in DeserKind}
@@ -101,13 +106,22 @@ class DifferentialDeserializer:
             return self._full_parse(data)
 
         changed = np.unique(owner)
-        for j in changed.tolist():
-            raw = data[int(starts[j]) : int(ends[j])]
-            # Trim at the (possibly moved) closing tag.
-            lt = raw.find(b"<")
-            if lt >= 0:
-                raw = raw[:lt]
-            result.set_leaf(j, raw)
+        try:
+            for j in changed.tolist():
+                raw = data[int(starts[j]) : int(ends[j])]
+                # Trim at the (possibly moved) closing tag.
+                lt = raw.find(b"<")
+                if lt >= 0:
+                    raw = raw[:lt]
+                result.set_leaf(j, raw)
+        except Exception:
+            # A leaf failed to re-parse (garbage bytes inside a value
+            # span) after earlier leaves were already updated in place.
+            # The cached decode and the raw template now disagree, so
+            # the template must not survive — drop it and let the fault
+            # propagate; the next request pays one full parse.
+            self.reset()
+            raise
         # Refresh the raw template in place (only the changed regions).
         for j in changed.tolist():
             s, e = int(starts[j]), int(ends[j])

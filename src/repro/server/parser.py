@@ -19,7 +19,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import SOAPError
+from repro.errors import ResourceLimitError, SOAPError
+from repro.hardening.limits import DEFAULT_LIMITS, ResourceLimits
 from repro.schema.composite import StructType
 from repro.schema.registry import TypeRegistry
 from repro.schema.types import XSDType, primitive_by_name
@@ -45,7 +46,13 @@ def _leaf_from_text(xsd_type: XSDType, text: str):
     """
     if xsd_type.np_dtype is None:  # string
         return text
-    return xsd_type.parse(text.encode("ascii"))
+    try:
+        raw = text.encode("ascii")
+    except UnicodeEncodeError:
+        raise SOAPError(
+            f"non-ASCII text in {xsd_type.name!r} leaf: {text[:40]!r}"
+        ) from None
+    return xsd_type.parse(raw)
 
 
 @dataclass(slots=True)
@@ -151,55 +158,98 @@ class ParseResult:
             param.value = value
 
 
-class SOAPRequestParser:
-    """Parses SOAP 1.1 RPC requests against a type registry."""
+class _Frame:
+    """Mutable per-element state during the iterative tree build."""
 
-    def __init__(self, registry: Optional[TypeRegistry] = None) -> None:
+    __slots__ = ("start", "children", "text_parts", "span")
+
+    def __init__(self, start: StartElement) -> None:
+        self.start = start
+        self.children: List[_Node] = []
+        self.text_parts: List[str] = []
+        self.span: Optional[Tuple[int, int]] = None
+
+
+class SOAPRequestParser:
+    """Parses SOAP 1.1 RPC requests against a type registry.
+
+    *limits* (default :data:`~repro.hardening.DEFAULT_LIMITS`) bounds
+    body size, nesting depth, element/attribute counts, and token
+    lengths; crossing any of them raises
+    :class:`~repro.errors.ResourceLimitError` (a
+    :class:`~repro.errors.SOAPError`, so services answer with a
+    Client fault).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[TypeRegistry] = None,
+        limits: Optional[ResourceLimits] = None,
+    ) -> None:
         self.registry = registry or TypeRegistry()
+        self.limits = limits if limits is not None else DEFAULT_LIMITS
 
     # ------------------------------------------------------------------
     # tree building
     # ------------------------------------------------------------------
     def _build_tree(self, data: bytes) -> _Node:
-        events: List[Event] = list(XMLScanner(data, keep_whitespace=True))
+        """Build the element tree with an explicit stack.
+
+        Iterative on purpose: nesting depth is attacker-controlled, so
+        the build must never recurse (a 10k-deep document would
+        otherwise die with ``RecursionError`` instead of faulting).
+        The scanner enforces ``limits`` incrementally while the event
+        list materializes.
+        """
+        if len(data) > self.limits.max_body_bytes:
+            raise ResourceLimitError(
+                f"body of {len(data)} bytes exceeds "
+                f"max_body_bytes={self.limits.max_body_bytes}",
+                "max_body_bytes",
+            )
+        events: List[Event] = list(
+            XMLScanner(data, keep_whitespace=True, limits=self.limits)
+        )
         i = 0
         while i < len(events) and not isinstance(events[i], StartElement):
             i += 1
         if i == len(events):
             raise SOAPError("no root element")
-        node, next_i = self._element(events, i)
-        return node
 
-    def _element(self, events: List[Event], i: int) -> Tuple[_Node, int]:
-        start = events[i]
-        assert isinstance(start, StartElement)
+        stack: List[_Frame] = [_Frame(events[i])]
         i += 1
-        children: List[_Node] = []
-        text_parts: List[str] = []
-        span: Optional[Tuple[int, int]] = None
-        while i < len(events):
+        n = len(events)
+        while i < n:
             ev = events[i]
+            frame = stack[-1]
             if isinstance(ev, EndElement):
-                if span is None and not children:
+                span = frame.span
+                if span is None and not frame.children:
                     # Empty leaf: zero-length span at the close tag.
                     off = ev.offset if ev.offset >= 0 else 0
                     span = (off, off)
-                return (
-                    _Node(start.name, dict(start.attrs), children,
-                          "".join(text_parts), span),
-                    i + 1,
+                node = _Node(
+                    frame.start.name,
+                    dict(frame.start.attrs),
+                    frame.children,
+                    "".join(frame.text_parts),
+                    span,
                 )
-            if isinstance(ev, Characters):
-                text_parts.append(ev.text)
-                nxt = events[i + 1]
+                stack.pop()
+                if not stack:
+                    return node
+                stack[-1].children.append(node)
+            elif isinstance(ev, Characters):
+                frame.text_parts.append(ev.text)
+                nxt = events[i + 1] if i + 1 < n else ev
                 end_off = getattr(nxt, "offset", ev.offset + len(ev.text))
-                span = (span[0] if span else ev.offset, end_off)
-                i += 1
+                frame.span = (
+                    frame.span[0] if frame.span else ev.offset,
+                    end_off,
+                )
             elif isinstance(ev, StartElement):
-                child, i = self._element(events, i)
-                children.append(child)
-            else:
-                i += 1
+                stack.append(_Frame(ev))
+            i += 1
         raise SOAPError("unterminated element tree")
 
     # ------------------------------------------------------------------

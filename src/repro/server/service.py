@@ -25,11 +25,19 @@ from __future__ import annotations
 import itertools
 import socket
 import threading
+import time
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.policy import DiffPolicy
 from repro.core.stats import ClientStats
-from repro.errors import SOAPError, TransportError
+from repro.errors import (
+    LexicalError,
+    ResourceLimitError,
+    SchemaError,
+    SOAPError,
+    XMLError,
+)
+from repro.hardening.limits import DEFAULT_LIMITS, ResourceLimits
 from repro.obs import Observability
 from repro.runtime.sessions import (
     DeserializerView,
@@ -82,11 +90,17 @@ class SOAPService:
         definition: Optional[object] = None,
         max_sessions: int = 256,
         obs: Optional[Observability] = None,
+        limits: Optional[ResourceLimits] = None,
     ) -> None:
         self.namespace = namespace
         #: Optional :class:`~repro.wsdl.model.ServiceDef` for WSDL serving.
         self.definition = definition
         self.registry = registry or TypeRegistry()
+        #: Inbound resource limits shared by every layer serving this
+        #: service: the HTTP front end (framing/body/deadline caps),
+        #: each session's parser (depth/element/attribute/token caps),
+        #: and :meth:`handle`'s own body-size check.
+        self.limits = limits if limits is not None else DEFAULT_LIMITS
         self._operations: Dict[str, Operation] = {}
         self._peeker = OperationPeeker(())
         self._differential_deser = differential_deser
@@ -105,14 +119,21 @@ class SOAPService:
                 "repro_faults_returned_total",
                 "Requests answered with a SOAP Fault",
             )
+            self._rejects_counter = self.obs.metrics.counter(
+                "repro_requests_rejected_total",
+                "Requests rejected before dispatch, by reason",
+                ("reason",),
+            )
         else:
             self._requests_counter = None
             self._faults_counter = None
+            self._rejects_counter = None
         self.sessions = ServerSessionManager(
             self.registry,
             response_policy,
             max_sessions=max_sessions,
             obs=self.obs,
+            limits=self.limits,
         )
 
     # ------------------------------------------------------------------
@@ -221,6 +242,12 @@ class SOAPService:
 
     def _handle_in_session(self, session: ServerSession, body: bytes) -> bytes:
         try:
+            if len(body) > self.limits.max_body_bytes:
+                raise ResourceLimitError(
+                    f"request body of {len(body)} bytes exceeds "
+                    f"max_body_bytes={self.limits.max_body_bytes}",
+                    "max_body_bytes",
+                )
             # Trie peek (Chiu et al.'s tag-trie optimization applied
             # to dispatch): an unknown operation tag faults before any
             # parsing work is spent on the body.
@@ -232,15 +259,34 @@ class SOAPService:
             if op is None:
                 raise SOAPError(f"unknown operation {decoded.operation!r}")
             kwargs = {p.name: p.value for p in decoded.params}
-            result = op.handler(**kwargs)
+            try:
+                result = op.handler(**kwargs)
+            except TypeError as exc:
+                # An arity/keyword mismatch between the wire message
+                # and the handler signature is the caller's fault, not
+                # a server bug — fuzzer-built envelopes with the wrong
+                # parameter set land here.
+                raise SOAPError(
+                    f"bad parameters for {op.name!r}: {exc}"
+                ) from exc
             session.requests_handled += 1
             if self._requests_counter is not None:
                 self._requests_counter.inc()
             return self._serialize_response(session, op, result)
-        except SOAPError as exc:
+        except (SOAPError, XMLError, LexicalError, SchemaError) as exc:
+            # Anything the request bytes can provoke in the scan /
+            # parse / decode layers is the client's fault: answer a
+            # well-formed Client fault, never a traceback.
             session.faults_returned += 1
             if self._faults_counter is not None:
                 self._faults_counter.inc()
+            if self._rejects_counter is not None:
+                reason = (
+                    exc.limit_name
+                    if isinstance(exc, ResourceLimitError) and exc.limit_name
+                    else type(exc).__name__
+                )
+                self._rejects_counter.inc(reason=reason)
             return SOAPFault.client(str(exc)).to_xml()
         except Exception as exc:  # handler bug → Server fault
             session.faults_returned += 1
@@ -269,6 +315,15 @@ class SOAPService:
         return session.sink.last
 
 
+#: Reason phrases for the front end's rejection responses.
+_STATUS_PHRASES = {
+    400: "Bad Request",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    503: "Service Unavailable",
+}
+
+
 class HTTPSoapServer:
     """Threaded HTTP front end dispatching POSTs to a service.
 
@@ -276,6 +331,25 @@ class HTTPSoapServer:
     :class:`~repro.runtime.sessions.ServerSessionManager`), so
     concurrent clients neither race on shared deserializer state nor
     destroy each other's differential matches.
+
+    The front end enforces the service's
+    :class:`~repro.hardening.ResourceLimits` at the socket layer —
+    the fault-not-crash contract for bytes that never make it to a
+    SOAP body:
+
+    * more than ``max_concurrent_connections`` live connections →
+      extras are answered ``503`` and closed at accept time;
+    * no complete request within ``read_deadline`` seconds → ``408``;
+    * peer EOF with a partial request buffered → ``400``;
+    * oversized framing (header block, declared or accumulated body,
+      total buffered bytes past ``recv_cap``) → ``413``;
+    * any other unparseable framing → ``400``;
+    * more than ``max_requests_per_connection`` requests pipelined on
+      one connection → ``503`` for the excess request.
+
+    Every rejection is a well-formed HTTP response with
+    ``Connection: close``, counted in ``repro_http_rejects_total``
+    (labelled by status) on the service's metrics registry.
     """
 
     def __init__(self, service: SOAPService, host: str = "127.0.0.1") -> None:
@@ -287,6 +361,14 @@ class HTTPSoapServer:
         self._conn_threads: List[threading.Thread] = []
         self._conn_ids = itertools.count(1)
         self._running = threading.Event()
+        if service.obs.metrics is not None:
+            self._rejects_counter = service.obs.metrics.counter(
+                "repro_http_rejects_total",
+                "Connections/requests rejected at the HTTP layer, by status",
+                ("status",),
+            )
+        else:
+            self._rejects_counter = None
 
     # ------------------------------------------------------------------
     def start(self) -> "HTTPSoapServer":
@@ -313,24 +395,61 @@ class HTTPSoapServer:
                 continue
             except OSError:
                 break
+            # Reap finished connection threads so a long-lived server
+            # handling many short connections doesn't accumulate dead
+            # Thread objects without bound — and so the live count
+            # below reflects reality.
+            self._conn_threads = [
+                t for t in self._conn_threads if t.is_alive()
+            ]
+            limit = self.service.limits.max_concurrent_connections
+            if len(self._conn_threads) >= limit:
+                self._reject(conn, 503)
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+                continue
             session_id = f"conn-{next(self._conn_ids)}"
             thread = threading.Thread(
                 target=self._serve, args=(conn, session_id), daemon=True
             )
             thread.start()
-            # Reap finished connection threads so a long-lived server
-            # handling many short connections doesn't accumulate dead
-            # Thread objects without bound.
-            self._conn_threads = [
-                t for t in self._conn_threads if t.is_alive()
-            ]
             self._conn_threads.append(thread)
 
+    def _reject(self, conn: socket.socket, status: int) -> None:
+        """Answer a rejection status cleanly; count it.
+
+        Always a complete, well-formed HTTP response with
+        ``Connection: close`` — the fault-not-crash contract promises
+        the peer an answer, never a silently dropped socket.
+        """
+        if self._rejects_counter is not None:
+            self._rejects_counter.inc(status=str(status))
+        phrase = _STATUS_PHRASES.get(status, "Error")
+        head = (
+            f"HTTP/1.1 {status} {phrase}\r\n"
+            "Content-Length: 0\r\nConnection: close\r\n\r\n"
+        ).encode("ascii")
+        try:
+            conn.sendall(head)
+        except OSError:  # peer already gone — nothing owed
+            pass
+
     def _serve(self, conn: socket.socket, session_id: str) -> None:
+        limits = self.service.limits
         conn.settimeout(0.2)
+        deadline = time.monotonic() + limits.read_deadline
         buffered = b""
+        served = 0
         try:
             while self._running.is_set():
+                if time.monotonic() > deadline:
+                    # No complete request within the read deadline —
+                    # idle keep-alive or a slow-loris drip; either way
+                    # the connection slot is reclaimed with a 408.
+                    self._reject(conn, 408)
+                    break
                 try:
                     data = conn.recv(1 << 20)
                 except socket.timeout:
@@ -338,12 +457,28 @@ class HTTPSoapServer:
                 except OSError:
                     break
                 if not data:
+                    if buffered:
+                        # Peer hung up mid-request: the partial
+                        # request can never complete.
+                        self._reject(conn, 400)
                     break
                 buffered += data
-                drained = self._drain_requests(conn, buffered, session_id)
-                if drained is None:
-                    break  # malformed request: connection dropped
-                buffered = drained
+                if len(buffered) > limits.recv_cap:
+                    # Backstop for framing that grows without ever
+                    # declaring a length (parse_http_request caps the
+                    # declared sizes before this trips).
+                    self._reject(conn, 413)
+                    break
+                before = served
+                outcome, buffered, served = self._drain_requests(
+                    conn, buffered, session_id, served
+                )
+                if outcome == "close":
+                    break
+                if served != before:
+                    # Progress at the request level re-arms the
+                    # deadline; a byte-at-a-time drip does not.
+                    deadline = time.monotonic() + limits.read_deadline
         finally:
             try:
                 conn.close()
@@ -354,37 +489,60 @@ class HTTPSoapServer:
             self.service.sessions.close_session(session_id)
 
     def _drain_requests(
-        self, conn: socket.socket, buffered: bytes, session_id: str
-    ) -> Optional[bytes]:
-        from repro.errors import HTTPFramingError, IncompleteHTTPError
+        self,
+        conn: socket.socket,
+        buffered: bytes,
+        session_id: str,
+        served: int,
+    ) -> Tuple[str, bytes, int]:
+        """Serve every complete request in *buffered*.
 
+        Returns ``(outcome, remaining, served)`` where *outcome* is
+        ``"open"`` (keep reading) or ``"close"`` (drop the
+        connection), *remaining* is the unconsumed byte tail, and
+        *served* counts requests answered over the connection's life.
+        """
+        from repro.errors import (
+            HTTPFramingError,
+            IncompleteHTTPError,
+            RequestTooLargeError,
+        )
+
+        limits = self.service.limits
         while True:
             try:
-                request, consumed = parse_http_request(buffered)
+                request, consumed = parse_http_request(
+                    buffered, limits=limits
+                )
             except IncompleteHTTPError:
-                return buffered  # wait for more bytes
+                return "open", buffered, served  # wait for more bytes
+            except RequestTooLargeError:
+                self._reject(conn, 413)
+                return "close", b"", served
             except HTTPFramingError:
-                # Malformed beyond repair: answer 400 and signal the
-                # caller to drop the connection (None), since request
-                # boundaries in the stream can no longer be trusted.
-                try:
-                    conn.sendall(
-                        b"HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n"
-                    )
-                except OSError:
-                    pass
-                return None
+                # Malformed beyond repair: request boundaries in the
+                # stream can no longer be trusted.
+                self._reject(conn, 400)
+                return "close", b"", served
+            if served >= limits.max_requests_per_connection:
+                self._reject(conn, 503)
+                return "close", b"", served
+            served += 1
             if request.method == "GET" and request.path.endswith("?wsdl"):
                 response_body = self._wsdl_response(conn)
                 buffered = buffered[consumed:]
-                if response_body is None or not buffered:
-                    return b""
+                if response_body is None:
+                    return "close", b"", served
+                if not buffered:
+                    return "open", b"", served
                 continue
             if request.method == "GET" and request.path.rstrip("/") == "/metrics":
                 response_body = self._metrics_response(conn)
                 buffered = buffered[consumed:]
-                if response_body is None or not buffered:
-                    return b""
+                if response_body is None:
+                    return "close", b"", served
+                if not buffered:
+                    return "open", b"", served
                 continue
             response_body = self.service.handle(request.body, session_id)
             head = (
@@ -395,10 +553,10 @@ class HTTPSoapServer:
             try:
                 conn.sendall(head + response_body)
             except OSError:
-                return b""
+                return "close", b"", served
             buffered = buffered[consumed:]
             if not buffered:
-                return b""
+                return "open", b"", served
 
     def _metrics_response(self, conn: socket.socket) -> Optional[bytes]:
         """Serve the service registry in Prometheus text format.

@@ -16,6 +16,7 @@ import threading
 from typing import List, Optional
 
 from repro.errors import TransportError
+from repro.hardening.limits import DEFAULT_LIMITS, ResourceLimits
 from repro.transport.tcp import apply_paper_options
 
 __all__ = ["DummyServer"]
@@ -25,6 +26,14 @@ _CANNED_RESPONSE = (
     b"Content-Type: text/xml\r\n"
     b"Content-Length: 0\r\n"
     b"\r\n"
+)
+
+_CANNED_400 = (
+    b"HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+)
+_CANNED_413 = (
+    b"HTTP/1.1 413 Payload Too Large\r\n"
+    b"Content-Length: 0\r\nConnection: close\r\n\r\n"
 )
 
 
@@ -37,11 +46,24 @@ class DummyServer:
         When True, replies with an empty 200 after each *complete*
         HTTP request (requires well-formed framing from the client).
         Default False: pure drain, never writes.
+    limits:
+        :class:`~repro.hardening.ResourceLimits` shared with the
+        serving stack: bounds concurrent connections (extras are
+        closed immediately) and, in respond mode, header/body sizes
+        (oversized → 413, malformed → 400, then the connection keeps
+        draining without responding — it is still a drain server).
     """
 
-    def __init__(self, host: str = "127.0.0.1", respond: bool = False) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        respond: bool = False,
+        *,
+        limits: Optional[ResourceLimits] = None,
+    ) -> None:
         self.host = host
         self.respond = respond
+        self.limits = limits if limits is not None else DEFAULT_LIMITS
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._conn_threads: List[threading.Thread] = []
@@ -49,6 +71,7 @@ class DummyServer:
         self._lock = threading.Lock()
         self.bytes_drained = 0
         self.connections = 0
+        self.connections_rejected = 0
         self.port: int = 0
 
     # ------------------------------------------------------------------
@@ -78,17 +101,25 @@ class DummyServer:
                 continue
             except OSError:
                 break
+            # Reap finished drain threads: under many short-lived
+            # connections this list would otherwise grow without bound.
+            self._conn_threads = [
+                t for t in self._conn_threads if t.is_alive()
+            ]
+            if len(self._conn_threads) >= self.limits.max_concurrent_connections:
+                with self._lock:
+                    self.connections_rejected += 1
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+                continue
             with self._lock:
                 self.connections += 1
             thread = threading.Thread(
                 target=self._drain_loop, args=(conn,), daemon=True
             )
             thread.start()
-            # Reap finished drain threads: under many short-lived
-            # connections this list would otherwise grow without bound.
-            self._conn_threads = [
-                t for t in self._conn_threads if t.is_alive()
-            ]
             self._conn_threads.append(thread)
 
     def _drain_loop(self, conn: socket.socket) -> None:
@@ -119,14 +150,30 @@ class DummyServer:
     def _maybe_respond(self, conn: socket.socket, buffered: bytes) -> bytes:
         """Reply once per complete HTTP request found in the buffer."""
         from repro.transport.http import parse_http_request
-        from repro.errors import HTTPFramingError, IncompleteHTTPError
+        from repro.errors import (
+            HTTPFramingError,
+            IncompleteHTTPError,
+            RequestTooLargeError,
+        )
 
         while True:
             try:
-                _req, consumed = parse_http_request(buffered)
+                _req, consumed = parse_http_request(buffered, limits=self.limits)
             except IncompleteHTTPError:
                 return buffered  # incomplete — wait for more bytes
+            except RequestTooLargeError:
+                # Answer before giving up on framing, then keep
+                # draining without responding (still a drain server).
+                try:
+                    conn.sendall(_CANNED_413)
+                except OSError:
+                    pass
+                return b""
             except HTTPFramingError:
+                try:
+                    conn.sendall(_CANNED_400)
+                except OSError:
+                    pass
                 return b""  # malformed — keep draining, stop responding
             try:
                 conn.sendall(_CANNED_RESPONSE)

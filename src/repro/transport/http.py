@@ -21,7 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.errors import HTTPFramingError, IncompleteHTTPError
+from repro.errors import (
+    HTTPFramingError,
+    IncompleteHTTPError,
+    RequestTooLargeError,
+)
+from repro.hardening.limits import ResourceLimits
 from repro.transport.base import Transport, ViewStream
 
 __all__ = ["HTTPTransport", "parse_http_request", "decode_chunked", "HTTPRequest"]
@@ -162,14 +167,18 @@ class HTTPRequest:
     body: bytes
 
 
-def decode_chunked(data: bytes) -> Tuple[bytes, int]:
+def decode_chunked(data: bytes, max_body: Optional[int] = None) -> Tuple[bytes, int]:
     """Decode a chunked body; return ``(payload, bytes_consumed)``.
 
     Raises :class:`IncompleteHTTPError` when the body is merely
-    truncated (more bytes may arrive) and plain
-    :class:`HTTPFramingError` when the framing is provably invalid.
+    truncated (more bytes may arrive), plain
+    :class:`HTTPFramingError` when the framing is provably invalid,
+    and :class:`RequestTooLargeError` when *max_body* is given and the
+    declared chunk sizes add up past it — checked against the declared
+    sizes so an oversized body is rejected before it is buffered.
     """
     out: List[bytes] = []
+    decoded = 0
     pos = 0
     while True:
         eol = data.find(_CRLF, pos)
@@ -180,6 +189,13 @@ def decode_chunked(data: bytes) -> Tuple[bytes, int]:
             size = int(size_line, 16)
         except ValueError:
             raise HTTPFramingError(f"bad chunk size {size_line!r}") from None
+        if size < 0:
+            raise HTTPFramingError(f"negative chunk size {size_line!r}")
+        decoded += size
+        if max_body is not None and decoded > max_body:
+            raise RequestTooLargeError(
+                f"chunked body exceeds {max_body} bytes"
+            )
         pos = eol + 2
         if size == 0:
             # Optional trailers until blank line.
@@ -248,22 +264,40 @@ def _content_length(headers: Dict[str, str]) -> int:
     return length
 
 
-def parse_http_request(data: bytes) -> Tuple[HTTPRequest, int]:
+def parse_http_request(
+    data: bytes, *, limits: Optional[ResourceLimits] = None
+) -> Tuple[HTTPRequest, int]:
     """Parse one HTTP request from *data*.
 
     Returns the request and the number of bytes consumed (so a server
     can handle pipelined requests on one connection).  Raises
-    :class:`HTTPFramingError` on malformed or incomplete input.
+    :class:`IncompleteHTTPError` when more bytes could complete the
+    request, :class:`HTTPFramingError` when it is malformed beyond
+    repair, and — when *limits* is given —
+    :class:`RequestTooLargeError` when the header block or the
+    declared body size crosses the configured bounds (the declared
+    ``Content-Length``/chunk sizes are checked *before* the body is
+    buffered, so a lying header cannot make the server accumulate it).
     """
+    max_header = limits.max_header_bytes if limits is not None else None
+    max_body = limits.max_body_bytes if limits is not None else None
     head_end = data.find(b"\r\n\r\n")
     if head_end < 0:
+        if max_header is not None and len(data) > max_header:
+            raise RequestTooLargeError(
+                f"header block exceeds {max_header} bytes without terminating"
+            )
         raise IncompleteHTTPError("incomplete HTTP header block")
+    if max_header is not None and head_end > max_header:
+        raise RequestTooLargeError(f"header block exceeds {max_header} bytes")
     head = data[:head_end].decode("latin-1")
     lines = head.split("\r\n")
     try:
         method, path, version = lines[0].split(" ", 2)
     except ValueError:
         raise HTTPFramingError(f"bad request line {lines[0]!r}") from None
+    if not version.startswith("HTTP/"):
+        raise HTTPFramingError(f"bad request line {lines[0]!r}")
     headers: Dict[str, str] = {}
     for line in lines[1:]:
         if ":" not in line:
@@ -273,12 +307,16 @@ def parse_http_request(data: bytes) -> Tuple[HTTPRequest, int]:
 
     body_start = head_end + 4
     if headers.get("transfer-encoding", "").lower() == "chunked":
-        body, consumed = decode_chunked(data[body_start:])
+        body, consumed = decode_chunked(data[body_start:], max_body)
         return (
             HTTPRequest(method, path, version, headers, body),
             body_start + consumed,
         )
     length = _content_length(headers)
+    if max_body is not None and length > max_body:
+        raise RequestTooLargeError(
+            f"Content-Length {length} exceeds max_body_bytes={max_body}"
+        )
     if body_start + length > len(data):
         raise IncompleteHTTPError("truncated identity body")
     body = data[body_start : body_start + length]

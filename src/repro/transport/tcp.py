@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.buffers.iovec import IOV_MAX
 from repro.errors import TransportError
+from repro.hardening.limits import DEFAULT_LIMITS, ResourceLimits
 from repro.transport.base import ViewStream
 
 __all__ = ["TCPTransport", "PAPER_SOCKET_OPTIONS", "apply_paper_options"]
@@ -44,6 +45,11 @@ class TCPTransport:
         Use ``sendmsg`` with iovec batching (default).  When False,
         falls back to ``sendall`` per segment — the ablation bench
         compares the two.
+    limits:
+        :class:`~repro.hardening.ResourceLimits` bounding how many
+        response bytes :meth:`recv_http_response` buffers (its
+        ``recv_cap``), replacing the old hardcoded ``1 << 24`` so
+        client and server agree on one configurable bound.
     """
 
     def __init__(
@@ -53,8 +59,10 @@ class TCPTransport:
         *,
         gather: bool = True,
         connect_timeout: float = 5.0,
+        limits: Optional[ResourceLimits] = None,
     ) -> None:
         self.gather = gather
+        self.limits = limits if limits is not None else DEFAULT_LIMITS
         try:
             self._sock = socket.create_connection((host, port), timeout=connect_timeout)
         except OSError as exc:
@@ -120,11 +128,13 @@ class TCPTransport:
         return sent
 
     # ------------------------------------------------------------------
-    def recv_http_response(self, limit: int = 1 << 24):
+    def recv_http_response(self, limit: Optional[int] = None):
         """Read one complete HTTP response from the connection.
 
         Returns ``(status, headers, body)``.  Used by the RPC helpers
         for request/response round trips against a real service.
+        *limit* overrides the configured ``limits.recv_cap`` for this
+        one read (``None`` uses the transport's limits).
 
         Only :class:`IncompleteHTTPError` triggers another ``recv`` —
         a genuinely malformed response (bad status line, bad chunk
@@ -134,18 +144,30 @@ class TCPTransport:
         from repro.errors import IncompleteHTTPError
         from repro.transport.http import parse_http_response
 
+        if limit is None:
+            limit = self.limits.recv_cap
         buffered = self._recv_buffer
-        while len(buffered) < limit:
+        while True:
             try:
                 status, headers, body, consumed = parse_http_response(buffered)
             except IncompleteHTTPError:
                 pass
             else:
+                if consumed > limit:
+                    # The cap applies to *this response's* size, not
+                    # the raw buffer: pipelined surplus behind it is
+                    # the next response's business.
+                    self._recv_buffer = b""
+                    raise TransportError(
+                        f"response of {consumed} bytes exceeds size limit {limit}"
+                    )
                 # Keep the surplus: pipelined responses arrive
                 # back-to-back, and bytes past this response belong to
                 # the next one.
                 self._recv_buffer = buffered[consumed:]
                 return status, headers, body
+            if len(buffered) >= limit:
+                break
             try:
                 data = self._sock.recv(65536)
             except OSError as exc:

@@ -99,6 +99,19 @@ def escape_attr(data: bytes) -> bytes:
     return bytes(out)
 
 
+def _codepoint_utf8(cp: int, ref: bytes) -> bytes:
+    """Encode a numeric character reference, rejecting non-characters.
+
+    Out-of-range and surrogate code points would otherwise escape as
+    :class:`ValueError`/:class:`UnicodeEncodeError` — wire garbage must
+    stay an :class:`XMLError` so servers answer with a fault.
+    """
+    try:
+        return chr(cp).encode("utf-8")
+    except (ValueError, UnicodeEncodeError):
+        raise XMLError(f"character reference {ref!r} out of range") from None
+
+
 def unescape(data: bytes) -> bytes:
     """Resolve the five predefined entities and numeric char refs.
 
@@ -126,13 +139,13 @@ def unescape(data: bytes) -> bytes:
                 cp = int(name[2:], 16)
             except ValueError as exc:
                 raise XMLError(f"bad hex character reference {name!r}") from exc
-            out += chr(cp).encode("utf-8")
+            out += _codepoint_utf8(cp, name)
         elif name.startswith(b"#"):
             try:
                 cp = int(name[1:], 10)
             except ValueError as exc:
                 raise XMLError(f"bad character reference {name!r}") from exc
-            out += chr(cp).encode("utf-8")
+            out += _codepoint_utf8(cp, name)
         else:
             repl = _NAMED_ENTITIES.get(name)
             if repl is None:

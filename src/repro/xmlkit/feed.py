@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.errors import XMLSyntaxError
+from repro.errors import ResourceLimitError, XMLSyntaxError
+from repro.hardening.limits import ResourceLimits
 from repro.xmlkit.escape import XML_WHITESPACE, unescape
 from repro.xmlkit.scanner import (
     Characters,
@@ -24,6 +25,7 @@ from repro.xmlkit.scanner import (
     Event,
     ProcessingInstruction,
     StartElement,
+    decode_utf8,
     parse_start_tag_at,
 )
 
@@ -51,12 +53,19 @@ def _find_tag_end(data: bytes, pos: int) -> int:
 class FeedScanner:
     """Streaming tokenizer with the whole-document scanner's semantics."""
 
-    def __init__(self, *, keep_whitespace: bool = False) -> None:
+    def __init__(
+        self,
+        *,
+        keep_whitespace: bool = False,
+        limits: Optional[ResourceLimits] = None,
+    ) -> None:
         self._buf = bytearray()
         self._base = 0  # global offset of _buf[0]
         self._stack: List[str] = []
         self._seen_root = False
         self._keep_ws = keep_whitespace
+        self._limits = limits
+        self._elements = 0
         self._finished = False
 
     # ------------------------------------------------------------------
@@ -122,7 +131,7 @@ class FeedScanner:
                 raise XMLSyntaxError("character data outside root element", base)
             if not self._keep_ws and all(b in _WS for b in run):
                 return []
-            return [Characters(unescape(run).decode("utf-8"), base)]
+            return [Characters(decode_utf8(unescape(run), base), base)]
 
         # Markup. Decide the construct kind; some prefixes are ambiguous
         # until more bytes arrive ("<!" could open a comment or CDATA).
@@ -134,7 +143,7 @@ class FeedScanner:
             end = data.find(b"-->", 4)
             if end < 0:
                 return self._need_more(final)
-            text = data[4:end].decode("utf-8")
+            text = decode_utf8(data[4:end], base)
             if "--" in text:
                 raise XMLSyntaxError("'--' inside comment", base)
             self._consume(end + 3)
@@ -148,7 +157,7 @@ class FeedScanner:
                 return self._need_more(final)
             if not self._stack:
                 raise XMLSyntaxError("CDATA outside root element", base)
-            text = data[9:end].decode("utf-8")
+            text = decode_utf8(data[9:end], base)
             self._consume(end + 3)
             return [Characters(text, base)]
 
@@ -176,7 +185,7 @@ class FeedScanner:
             self._consume(end + 2)
             return [
                 ProcessingInstruction(
-                    target.decode("utf-8"), rest.decode("utf-8").strip(), base
+                    decode_utf8(target, base), decode_utf8(rest, base).strip(), base
                 )
             ]
 
@@ -184,7 +193,7 @@ class FeedScanner:
             end = data.find(b">", 2)
             if end < 0:
                 return self._need_more(final)
-            name = data[2:end].strip(XML_WHITESPACE).decode("utf-8")
+            name = decode_utf8(data[2:end].strip(XML_WHITESPACE), base)
             if not self._stack:
                 raise XMLSyntaxError(f"unexpected </{name}>", base)
             expected = self._stack.pop()
@@ -199,11 +208,26 @@ class FeedScanner:
         end = _find_tag_end(data, 1)
         if end < 0:
             return self._need_more(final)
-        name, attrs, self_closing, consumed = parse_start_tag_at(data, 0)
+        limits = self._limits
+        name, attrs, self_closing, consumed = parse_start_tag_at(
+            data, 0, limits=limits
+        )
         if not self._stack:
             if self._seen_root:
                 raise XMLSyntaxError("multiple root elements", base)
             self._seen_root = True
+        if limits is not None:
+            self._elements += 1
+            if self._elements > limits.max_xml_elements:
+                raise ResourceLimitError(
+                    f"document exceeds max_xml_elements={limits.max_xml_elements}",
+                    "max_xml_elements",
+                )
+            if not self_closing and len(self._stack) >= limits.max_xml_depth:
+                raise ResourceLimitError(
+                    f"nesting exceeds max_xml_depth={limits.max_xml_depth}",
+                    "max_xml_depth",
+                )
         self._consume(consumed)
         if self_closing:
             return [

@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
-from repro.errors import XMLSyntaxError
+from repro.errors import ResourceLimitError, XMLSyntaxError
+from repro.hardening.limits import ResourceLimits
 from repro.xmlkit.escape import XML_WHITESPACE, unescape
 
 __all__ = [
@@ -29,10 +30,24 @@ __all__ = [
     "Event",
     "XMLScanner",
     "parse_document",
+    "decode_utf8",
 ]
 
 _WS = frozenset(XML_WHITESPACE)
 _NAME_END = frozenset(b" \t\r\n/>=")
+
+
+def decode_utf8(data: bytes, pos: int = -1) -> str:
+    """Decode *data* as UTF-8, mapping failure to :class:`XMLSyntaxError`.
+
+    Untrusted wires routinely contain invalid byte sequences; those
+    must surface as a malformed-document error (→ SOAP Fault), never
+    as a raw :class:`UnicodeDecodeError` escaping the parse.
+    """
+    try:
+        return data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise XMLSyntaxError(f"invalid UTF-8: {exc.reason}", pos) from None
 
 
 @dataclass(frozen=True, slots=True)
@@ -82,15 +97,19 @@ Event = Union[StartElement, EndElement, Characters, Comment, ProcessingInstructi
 
 
 def parse_start_tag_at(
-    data: bytes, pos: int
+    data: bytes, pos: int, *, limits: Optional[ResourceLimits] = None
 ) -> Tuple[str, Dict[str, str], bool, int]:
     """Parse a start tag beginning at ``data[pos] == b'<'``.
 
     Returns ``(name, attrs, self_closing, end_pos)``; raises
-    :class:`XMLSyntaxError` on malformed or truncated input.  Shared
+    :class:`XMLSyntaxError` on malformed or truncated input and
+    :class:`~repro.errors.ResourceLimitError` when *limits* bound the
+    token length or attribute count and the tag exceeds them.  Shared
     by the whole-document :class:`XMLScanner` and the incremental
     :class:`~repro.xmlkit.feed.FeedScanner`.
     """
+    max_token = limits.max_token_bytes if limits is not None else None
+    max_attrs = limits.max_attributes if limits is not None else None
     n = len(data)
     i = pos + 1
     start = i
@@ -98,7 +117,12 @@ def parse_start_tag_at(
         i += 1
     if i == start:
         raise XMLSyntaxError("empty element name", pos)
-    name = data[start:i].decode("utf-8")
+    if max_token is not None and i - start > max_token:
+        raise ResourceLimitError(
+            f"element name exceeds max_token_bytes={max_token}",
+            "max_token_bytes",
+        )
+    name = decode_utf8(data[start:i], pos)
 
     attrs: Dict[str, str] = {}
     self_closing = False
@@ -121,7 +145,12 @@ def parse_start_tag_at(
         astart = i
         while i < n and data[i] not in _NAME_END:
             i += 1
-        aname = data[astart:i].decode("utf-8")
+        if max_token is not None and i - astart > max_token:
+            raise ResourceLimitError(
+                f"attribute name exceeds max_token_bytes={max_token}",
+                "max_token_bytes",
+            )
+        aname = decode_utf8(data[astart:i], astart)
         if not aname:
             raise XMLSyntaxError("malformed attribute", astart)
         while i < n and data[i] in _WS:
@@ -138,9 +167,19 @@ def parse_start_tag_at(
         vend = data.find(bytes([quote]), i)
         if vend < 0:
             raise XMLSyntaxError(f"unterminated value for {aname!r}", i)
+        if max_token is not None and vend - i > max_token:
+            raise ResourceLimitError(
+                f"attribute {aname!r} value exceeds max_token_bytes={max_token}",
+                "max_token_bytes",
+            )
         if aname in attrs:
             raise XMLSyntaxError(f"duplicate attribute {aname!r}", astart)
-        attrs[aname] = unescape(data[i:vend]).decode("utf-8")
+        if max_attrs is not None and len(attrs) >= max_attrs:
+            raise ResourceLimitError(
+                f"element has more than max_attributes={max_attrs} attributes",
+                "max_attributes",
+            )
+        attrs[aname] = decode_utf8(unescape(data[i:vend]), i)
         i = vend + 1
     return name, attrs, self_closing, i
 
@@ -157,11 +196,26 @@ class XMLScanner:
         XML whitespace are suppressed.  bSOAP's stuffing pads messages
         with inter-element whitespace, so consumers comparing logical
         content want it dropped; the layout tests enable it.
+    limits:
+        Optional :class:`~repro.hardening.ResourceLimits`.  When set,
+        nesting depth, total element count, per-element attribute
+        count, and token lengths are enforced *during* the scan (a
+        nesting/element bomb is rejected incrementally, before it can
+        materialize a huge event list), raising
+        :class:`~repro.errors.ResourceLimitError`.
     """
 
-    def __init__(self, data: bytes, *, keep_whitespace: bool = False) -> None:
+    def __init__(
+        self,
+        data: bytes,
+        *,
+        keep_whitespace: bool = False,
+        limits: Optional[ResourceLimits] = None,
+    ) -> None:
         self._data = data
         self._keep_ws = keep_whitespace
+        self._limits = limits
+        self._elements = 0
         self._pos = 0
         self._stack: List[str] = []
         self._seen_root = False
@@ -208,14 +262,14 @@ class XMLScanner:
                 raise XMLSyntaxError("character data outside root element", pos)
             if not self._keep_ws and all(b in _WS for b in run):
                 return self._next_event()
-            return Characters(unescape(run).decode("utf-8"), pos)
+            return Characters(decode_utf8(unescape(run), pos), pos)
 
         # A markup construct.
         if data.startswith(b"<!--", pos):
             end = data.find(b"-->", pos + 4)
             if end < 0:
                 raise XMLSyntaxError("unterminated comment", pos)
-            text = data[pos + 4 : end].decode("utf-8")
+            text = decode_utf8(data[pos + 4 : end], pos)
             if "--" in text:
                 raise XMLSyntaxError("'--' inside comment", pos)
             self._pos = end + 3
@@ -228,7 +282,7 @@ class XMLScanner:
             if not self._stack:
                 raise XMLSyntaxError("CDATA outside root element", pos)
             self._pos = end + 3
-            return Characters(data[pos + 9 : end].decode("utf-8"), pos)
+            return Characters(decode_utf8(data[pos + 9 : end], pos), pos)
 
         if data.startswith(b"<!DOCTYPE", pos):
             raise XMLSyntaxError("DOCTYPE is not allowed in SOAP messages", pos)
@@ -249,14 +303,14 @@ class XMLScanner:
                 target, rest = body[:space], body[space + 1 :]
             self._pos = end + 2
             return ProcessingInstruction(
-                target.decode("utf-8"), rest.decode("utf-8").strip(), pos
+                decode_utf8(target, pos), decode_utf8(rest, pos).strip(), pos
             )
 
         if data.startswith(b"</", pos):
             end = data.find(b">", pos + 2)
             if end < 0:
                 raise XMLSyntaxError("unterminated end tag", pos)
-            name = data[pos + 2 : end].strip(XML_WHITESPACE).decode("utf-8")
+            name = decode_utf8(data[pos + 2 : end].strip(XML_WHITESPACE), pos)
             if not self._stack:
                 raise XMLSyntaxError(f"unexpected </{name}>", pos)
             expected = self._stack.pop()
@@ -272,12 +326,27 @@ class XMLScanner:
 
     # ------------------------------------------------------------------
     def _scan_start_tag(self, pos: int) -> StartElement:
-        name, attrs, self_closing, i = parse_start_tag_at(self._data, pos)
+        limits = self._limits
+        name, attrs, self_closing, i = parse_start_tag_at(
+            self._data, pos, limits=limits
+        )
 
         if not self._stack:
             if self._seen_root:
                 raise XMLSyntaxError("multiple root elements", pos)
             self._seen_root = True
+        if limits is not None:
+            self._elements += 1
+            if self._elements > limits.max_xml_elements:
+                raise ResourceLimitError(
+                    f"document exceeds max_xml_elements={limits.max_xml_elements}",
+                    "max_xml_elements",
+                )
+            if not self_closing and len(self._stack) >= limits.max_xml_depth:
+                raise ResourceLimitError(
+                    f"nesting exceeds max_xml_depth={limits.max_xml_depth}",
+                    "max_xml_depth",
+                )
         self._pos = i
         if self_closing:
             self._pending_end = EndElement(name, pos)
