@@ -1,0 +1,241 @@
+"""Ablation — compiled rewrite plans + conversion caches on the steady-state path.
+
+The plan cache (``repro.core.plan``) targets the paper's best case:
+a client resending the same message shape with fresh values, hitting
+PERFECT_STRUCTURAL match every time.  This bench measures what the
+cache is worth there, and what it costs where it cannot help:
+
+* workload ``cycle`` — the same dirty-index signature every send,
+  values drawn from a quantized pool (steady state: every send after
+  the first two is a plan hit, and recurring readings hit the
+  conversion memo — the sensor-array / iterative-solver pattern);
+* workload ``churn`` — a rotating signature set larger than
+  ``max_plans_per_segment`` and full-entropy fresh values (every send
+  misses and recompiles, and the conversion memo can never hit: the
+  worst case for both caches, bounded by the memo's adaptive bypass).
+
+Variants: ``off`` (plans + conversion cache disabled), ``plan``
+(plans only), ``plan+conv`` (the default policy).  Formats: ``minimal``
+(variable-width text) and ``fixed`` (24-char ``%24.16e`` fields under
+MAX stuffing — the splice fast path).
+
+Before timing, each grid cell re-runs a small copy of itself against
+the ``off`` variant through :class:`CollectSink` and asserts the wire
+bytes are identical — plans may change *when* bytes are computed,
+never *which* bytes.
+
+Emits one ``repro-bench-result/1`` document.  The headline row
+(``fixed``/``cycle``/``plan+conv``) is what the CI ``perf-smoke`` job
+checks against ``BENCH_plan_cache.json``.
+
+Usage::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_ablation_plan_cache.py \
+        --out BENCH_plan_cache.json
+    PYTHONPATH=src:benchmarks python benchmarks/bench_ablation_plan_cache.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bench.resultjson import dump_result, make_result, validate_result
+from repro.bench.workloads import double_array_message, doubles_of_width
+from repro.core.client import BSoapClient
+from repro.core.policy import DiffPolicy, PlanPolicy, StuffingPolicy, StuffMode
+from repro.lexical.cache import clear_memos
+from repro.lexical.floats import FloatFormat
+from repro.transport.loopback import CollectSink, MemcpySink
+
+REQUIRED_COLUMNS = (
+    "fmt",
+    "workload",
+    "variant",
+    "n",
+    "sends",
+    "mean_send_ms",
+    "values_per_sec",
+    "plan_hits",
+    "plan_misses",
+    "plan_spliced",
+    "speedup_vs_off",
+)
+
+FORMATS = ("minimal", "fixed")
+WORKLOADS = ("cycle", "churn")
+VARIANTS = ("off", "plan", "plan+conv")
+
+#: ``cycle`` reuses one signature; ``churn`` rotates through more
+#: strides than the per-segment plan budget, so nothing ever hits.
+CYCLE_STRIDES = (4,)
+CHURN_STRIDES = (3, 4, 5, 7, 11, 13)
+
+
+def _policy(fmt: str, variant: str) -> DiffPolicy:
+    plan = {
+        "off": PlanPolicy(enabled=False, conversion_cache=False),
+        "plan": PlanPolicy(enabled=True, conversion_cache=False),
+        "plan+conv": PlanPolicy(enabled=True, conversion_cache=True),
+    }[variant]
+    if fmt == "fixed":
+        return DiffPolicy(
+            float_format=FloatFormat.FIXED,
+            stuffing=StuffingPolicy(StuffMode.MAX),
+            plan=plan,
+        )
+    return DiffPolicy(plan=plan)
+
+
+def _run_cell(
+    fmt: str,
+    workload: str,
+    variant: str,
+    n: int,
+    sends: int,
+    seed: int,
+    sink=None,
+) -> Dict[str, object]:
+    """Drive one grid cell; returns the timing row (sans speedup)."""
+    clear_memos()
+    policy = _policy(fmt, variant)
+    client = BSoapClient(sink if sink is not None else MemcpySink(), policy)
+    # Constant-width seed values so MINIMAL stays on the rewrite path
+    # (random widths would measure shifting, not the plan cache).
+    call = client.prepare(double_array_message(doubles_of_width(n, 18, seed=seed)))
+    call.send()
+    tracked = call.tracked("data")
+    strides = CYCLE_STRIDES if workload == "cycle" else CHURN_STRIDES
+    rng = np.random.default_rng(seed)
+    # ``cycle`` draws from a quantized reading pool (values recur →
+    # conversion-memo hits); ``churn`` generates fresh full-entropy
+    # values every send (memo can never hit).
+    pool = doubles_of_width(512, 18, seed=seed + 1) if workload == "cycle" else None
+
+    dirty_total = [0]
+    spliced_total = [0]
+
+    def one_send(i: int, timed: bool = False) -> float:
+        idx = np.arange(0, n, strides[i % len(strides)])
+        if timed:
+            dirty_total[0] += len(idx)
+        if pool is not None:
+            vals = pool[rng.integers(0, len(pool), len(idx))]
+        else:
+            vals = doubles_of_width(len(idx), 18, seed=int(rng.integers(1 << 30)))
+        tracked.update(idx, vals)
+        t0 = time.perf_counter()
+        report = call.send()
+        dt = time.perf_counter() - t0
+        if timed:
+            spliced_total[0] += report.rewrite.plan_spliced
+        return dt
+
+    # Warmup covers template build + first-resend expansion + plan
+    # compilation, so the timed region is the steady state.
+    warmup = 2 * len(strides)
+    for i in range(warmup):
+        one_send(i)
+    elapsed = sum(one_send(warmup + i, timed=True) for i in range(sends))
+
+    stats = client.stats
+    return {
+        "fmt": fmt,
+        "workload": workload,
+        "variant": variant,
+        "n": n,
+        "sends": sends,
+        "mean_send_ms": round(elapsed / sends * 1e3, 4),
+        "values_per_sec": round(dirty_total[0] / elapsed, 1),
+        "plan_hits": stats.plan_hits,
+        "plan_misses": stats.plan_misses,
+        "plan_spliced": spliced_total[0],
+        "speedup_vs_off": 1.0,
+    }
+
+
+def _assert_wire_identical(fmt: str, workload: str, seed: int) -> None:
+    """Plans on/off must produce byte-identical messages (small copy)."""
+    captures = {}
+    for variant in ("off", "plan+conv"):
+        sink = CollectSink()
+        _run_cell(fmt, workload, variant, n=512, sends=4, seed=seed, sink=sink)
+        captures[variant] = sink.messages
+    if captures["off"] != captures["plan+conv"]:
+        raise AssertionError(
+            f"wire bytes diverged with plans on ({fmt}/{workload})"
+        )
+
+
+def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=65536,
+                        help="double-array length (default 65536)")
+    parser.add_argument("--sends", type=int, default=30,
+                        help="timed sends per grid cell (default 30)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: stdout)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI run: small array, few sends")
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = parse_args(argv)
+    if args.smoke:
+        args.n = 4096
+        args.sends = 8
+
+    for fmt in FORMATS:
+        for workload in WORKLOADS:
+            _assert_wire_identical(fmt, workload, args.seed)
+    print("wire identity: plans on == plans off (all cells)", file=sys.stderr)
+
+    rows: List[Dict[str, object]] = []
+    for fmt in FORMATS:
+        for workload in WORKLOADS:
+            base_ms = None
+            for variant in VARIANTS:
+                row = _run_cell(fmt, workload, variant, args.n, args.sends, args.seed)
+                if variant == "off":
+                    base_ms = row["mean_send_ms"]
+                row["speedup_vs_off"] = round(base_ms / row["mean_send_ms"], 3)
+                rows.append(row)
+                print(
+                    f"{fmt:>7}/{workload:<5} {variant:<9} "
+                    f"{row['mean_send_ms']:9.3f} ms/send  "
+                    f"x{row['speedup_vs_off']:.2f} vs off  "
+                    f"(hits={row['plan_hits']} spliced={row['plan_spliced']})",
+                    file=sys.stderr,
+                )
+
+    doc = make_result(
+        "ablation_plan_cache",
+        params={
+            "n": args.n,
+            "sends": args.sends,
+            "seed": args.seed,
+            "smoke": args.smoke,
+            "headline": "fmt=fixed workload=cycle variant=plan+conv",
+        },
+        results=rows,
+        notes=(
+            "perfect-structural resends over MemcpySink; mutation untimed; "
+            "wire identity plans-on vs plans-off asserted before timing"
+        ),
+    )
+    validate_result(doc, required_columns=REQUIRED_COLUMNS)
+    dump_result(doc, args.out)
+    if args.out:
+        print(f"wrote {args.out} ({len(rows)} rows)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ from repro.core import (
     MatchKind,
     MessageTemplate,
     OverlayPolicy,
+    PlanPolicy,
     PreparedCall,
     SendReport,
     StuffMode,
@@ -66,6 +67,7 @@ __all__ = [
     "StuffingPolicy",
     "StuffMode",
     "OverlayPolicy",
+    "PlanPolicy",
     "Expansion",
     "MatchKind",
     "SendReport",

@@ -81,6 +81,14 @@ class ChunkedBuffer:
         self._order: List[int] = []
         self._next_cid = 0
         self._bytes_moved = 0  # instrumentation: memmove traffic from gaps
+        #: Monotonic **layout epoch**: bumped by every operation that
+        #: moves bytes or changes backing stores (gap open, realloc,
+        #: split, steal).  Compiled rewrite plans (``repro.core.plan``)
+        #: capture the epoch at build time and are valid only while it
+        #: is unchanged — cheap O(1) invalidation with no tracking of
+        #: *what* moved.  Note a fresh buffer restarts at 0, so plan
+        #: caches must be cleared explicitly on template rebuild.
+        self.layout_epoch = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -164,6 +172,7 @@ class ChunkedBuffer:
             moved = chunk.used - pos
             chunk.open_gap(pos, delta)
             self._bytes_moved += moved
+            self.layout_epoch += 1
             return GapResult("inplace", cid, pos, delta, region_start)
         except ChunkOverflowError:
             pass
@@ -182,6 +191,7 @@ class ChunkedBuffer:
         moved = chunk.used - pos
         chunk.open_gap(pos, delta)
         self._bytes_moved += moved + chunk.used - delta  # realloc copies everything
+        self.layout_epoch += 1
         return GapResult("realloc", chunk.cid, pos, delta, region_start)
 
     def _split_for_gap(
@@ -197,6 +207,7 @@ class ChunkedBuffer:
         fresh.append(b"\x00" * delta)  # the gap; caller overwrites it
         fresh.append(tail[head_len:])
         self._bytes_moved += len(tail)
+        self.layout_epoch += 1
         return GapResult(
             "split", chunk.cid, pos, delta, region_start, new_cid=fresh.cid
         )
@@ -205,6 +216,7 @@ class ChunkedBuffer:
         """memmove a short span within one chunk (*stealing* support)."""
         self.chunk(cid).move_range(src, dst, length)
         self._bytes_moved += length
+        self.layout_epoch += 1
 
     # ------------------------------------------------------------------
     # inspection / sending

@@ -11,13 +11,20 @@ serialized form:
   chunk tail (possibly reallocating or splitting the chunk), then
   write.
 
-Two code paths per parameter:
+Three code paths per parameter:
+
+**Plan path** (steady state — the same dirty signature repeating
+under an unchanged layout): a compiled :class:`~repro.core.plan.RewritePlan`
+replays precomputed offsets/close-tags/chunk groupings, skipping the
+per-send planning below entirely; max-stuffed fixed-format double
+runs collapse to strided NumPy splices.
 
 **Fast path** (perfect structural match — no value outgrew its field,
 checked with one vectorized comparison): DUT columns for the dirty
 subset are pulled into plain Python lists once and the write loop
 touches the chunk ``bytearray`` directly.  Locations cannot move on
-this path, so the cached offsets stay valid.
+this path, so the cached offsets stay valid — which is also what
+makes the freshly compiled plan stored here valid for the next send.
 
 **Slow path** (some value needs expansion): entries are processed in
 ascending document order through :func:`write_entry`, re-reading
@@ -30,6 +37,7 @@ from typing import TYPE_CHECKING, List, Sequence
 
 import numpy as np
 
+from repro.core.plan import compile_plan
 from repro.core.policy import DiffPolicy, Expansion
 from repro.core.stats import RewriteStats
 from repro.core.stealing import try_steal
@@ -109,6 +117,7 @@ def _fast_rewrite(
     bp: "BoundParam",
     idxs: np.ndarray,
     texts: Sequence[bytes],
+    lens_l: List[int],
     lens: np.ndarray,
     stats: RewriteStats,
 ) -> None:
@@ -124,7 +133,6 @@ def _fast_rewrite(
     offs: List[int] = dut.value_off[idxs].tolist()
     olds: List[int] = dut.ser_len[idxs].tolist()
     cids: List[int] = dut.chunk_id[idxs].tolist()
-    lens_l: List[int] = lens.tolist()
 
     uniform = bp.arity == 1
     if uniform:
@@ -160,7 +168,12 @@ def _fast_rewrite(
             if new_len < old:
                 gap = old - new_len
                 start = end_v + clen
-                data[start : start + gap] = pad[gap]  # type: ignore[index]
+                # _PAD only interns gaps < 64; a string shrinking by
+                # more (possible for TrackedStringArray) needs a
+                # fresh pad of the exact size.
+                data[start : start + gap] = (  # type: ignore[index]
+                    pad[gap] if gap < 64 else b" " * gap
+                )
                 pad_bytes += gap
 
     dut.ser_len[idxs] = lens
@@ -190,6 +203,9 @@ def iter_rewrite_and_views(
     dut = template.dut
     buffer = template.buffer
     fmt = policy.float_format
+    plan_pol = policy.plan
+    cache = template.plan_cache if plan_pol.enabled else None
+    conv = plan_pol.enabled and plan_pol.conversion_cache
     index = 0
     while index < buffer.num_chunks:
         cid = buffer.chunk_id_at(index)
@@ -202,13 +218,47 @@ def iter_rewrite_and_views(
                 # Sorted dirty indices + contiguous param entry ranges
                 # ⇒ one param's entries form one contiguous run.
                 take = idxs[(idxs >= bp.entry_base) & (idxs < bp.entry_end)]
-                texts = bp.tracked.lexical_for(take - bp.entry_base, fmt)
-                lens = np.fromiter(map(len, texts), dtype=np.int32, count=len(texts))
-                if bool((lens > dut.field_width[take]).any()):
-                    for entry, text in zip(take.tolist(), texts):
-                        write_entry(template, entry, text, policy, stats, obs)
-                else:
-                    _fast_rewrite(template, bp, take, texts, lens, stats)
+                texts = None
+                done = False
+                if cache is not None:
+                    seg_lo = max(lo, bp.entry_base)
+                    seg_hi = min(hi, bp.entry_end)
+                    plan = cache.lookup(
+                        (seg_lo, seg_hi),
+                        buffer.layout_epoch,
+                        dut.dirty[seg_lo:seg_hi],
+                        stats,
+                    )
+                    if plan is not None:
+                        stats.plan_hits += 1
+                        texts = plan.execute(template, bp, policy, stats)
+                        done = texts is None
+                    else:
+                        stats.plan_misses += 1
+                if not done:
+                    if texts is None:
+                        texts = bp.tracked.lexical_for(
+                            take - bp.entry_base, fmt, cached=conv
+                        )
+                    lens_l = list(map(len, texts))
+                    lens = np.asarray(lens_l, dtype=np.int32)
+                    if bool((lens > dut.field_width[take]).any()):
+                        for entry, text in zip(take.tolist(), texts):
+                            write_entry(template, entry, text, policy, stats, obs)
+                    else:
+                        _fast_rewrite(template, bp, take, texts, lens_l, lens, stats)
+                        if (
+                            cache is not None
+                            and len(take) >= plan_pol.min_dirty
+                            and cache.should_compile((seg_lo, seg_hi))
+                        ):
+                            cache.store(
+                                (seg_lo, seg_hi),
+                                compile_plan(
+                                    template, bp, seg_lo, seg_hi, take, policy
+                                ),
+                                plan_pol.max_plans_per_segment,
+                            )
                 dut.dirty[take] = False
                 pos += len(take)
         chunk = buffer.chunk(cid)
@@ -223,6 +273,9 @@ def iter_rewrite_and_views(
             values=stats.values_rewritten,
             expansions=stats.expansions,
             tag_shifts=stats.tag_shifts,
+            plan_hits=stats.plan_hits,
+            plan_misses=stats.plan_misses,
+            plan_spliced=stats.plan_spliced,
         )
 
 
@@ -237,20 +290,56 @@ def rewrite_dirty(
         t0 = perf_counter()
     stats = RewriteStats()
     dut = template.dut
+    buffer = template.buffer
     fmt = policy.float_format
+    plan_pol = policy.plan
+    cache = template.plan_cache if plan_pol.enabled else None
+    conv = plan_pol.enabled and plan_pol.conversion_cache
     for bp in template.params:
         base, end = bp.entry_base, bp.entry_end
-        idxs = dut.dirty_indices(base, end)
-        if len(idxs) == 0:
+        seg = dut.dirty[base:end]
+        if not seg.any():
             continue
-        texts = bp.tracked.lexical_for(idxs - base, fmt)
-        lens = np.fromiter(map(len, texts), dtype=np.int32, count=len(texts))
+        texts = None
+        if cache is not None:
+            plan = cache.lookup((base, end), buffer.layout_epoch, seg, stats)
+            if plan is not None:
+                stats.plan_hits += 1
+                texts = plan.execute(template, bp, policy, stats)
+                if texts is None:
+                    dut.clear_dirty(base, end)
+                    continue
+                # Some value outgrew its field: the plan handed back
+                # the converted texts; expansion path below.
+                idxs = plan.take
+            else:
+                stats.plan_misses += 1
+                idxs = base + np.flatnonzero(seg)
+        else:
+            idxs = base + np.flatnonzero(seg)
+        if texts is None:
+            texts = bp.tracked.lexical_for(idxs - base, fmt, cached=conv)
+        lens_l = list(map(len, texts))
+        lens = np.asarray(lens_l, dtype=np.int32)
         if bool((lens > dut.field_width[idxs]).any()):
             # Partial structural match: at least one expansion needed.
             for entry, text in zip(idxs.tolist(), texts):
                 write_entry(template, entry, text, policy, stats, obs)
         else:
-            _fast_rewrite(template, bp, idxs, texts, lens, stats)
+            _fast_rewrite(template, bp, idxs, texts, lens_l, lens, stats)
+            if (
+                cache is not None
+                and len(idxs) >= plan_pol.min_dirty
+                and cache.should_compile((base, end))
+            ):
+                # Layout unchanged by the fast path, so locations
+                # gathered now are exactly what the next identical
+                # dirty signature needs.
+                cache.store(
+                    (base, end),
+                    compile_plan(template, bp, base, end, idxs, policy),
+                    plan_pol.max_plans_per_segment,
+                )
         dut.clear_dirty(base, end)
     if tracing:
         obs.tracer.emit(
@@ -261,5 +350,8 @@ def rewrite_dirty(
             values=stats.values_rewritten,
             expansions=stats.expansions,
             tag_shifts=stats.tag_shifts,
+            plan_hits=stats.plan_hits,
+            plan_misses=stats.plan_misses,
+            plan_spliced=stats.plan_spliced,
         )
     return stats

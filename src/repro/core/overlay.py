@@ -166,6 +166,7 @@ class OverlayTemplate:
         leaf_types: Tuple[XSDType, ...],
         n_items: int,
         fmt: FloatFormat,
+        conv: bool = False,
     ) -> None:
         self.signature = signature
         self.prefix = prefix
@@ -176,6 +177,10 @@ class OverlayTemplate:
         self.leaf_types = leaf_types
         self.n_items = n_items
         self.fmt = fmt
+        #: Route the per-portion re-conversion through the conversion
+        #: memo — overlay sends reformat the *whole* array every time,
+        #: so repeated values benefit even more than the diff path.
+        self.conv = conv
         self.sends = 0
         from repro.core.template import next_template_id
 
@@ -228,13 +233,17 @@ class OverlayTemplate:
         for p in range(self.full_portions):
             lo = p * per_portion * arity
             hi = lo + per_portion * arity
-            texts = self.tracked.lexical_for(np.arange(lo, hi), self.fmt)
+            texts = self.tracked.lexical_for(
+                np.arange(lo, hi), self.fmt, cached=self.conv
+            )
             self.portion.rewrite(texts, stats)
             yield self.portion.view()
         if self.tail is not None:
             lo = self.full_portions * per_portion * arity
             hi = self.n_items * arity
-            texts = self.tracked.lexical_for(np.arange(lo, hi), self.fmt)
+            texts = self.tracked.lexical_for(
+                np.arange(lo, hi), self.fmt, cached=self.conv
+            )
             self.tail.rewrite(texts, stats)
             yield self.tail.view()
         yield self.suffix
@@ -356,4 +365,5 @@ def build_overlay_template(
         leaf_types=leaf_types,
         n_items=n_items,
         fmt=fmt,
+        conv=policy.plan.enabled and policy.plan.conversion_cache,
     )

@@ -47,6 +47,15 @@ class RewriteStats:
     steals: int = 0
     #: Bytes of pad written (shrinks + stuffing maintenance).
     pad_bytes: int = 0
+    #: Rewrite segments served by a cached plan (no per-send planning).
+    plan_hits: int = 0
+    #: Segments that compiled a fresh plan (first sight of a dirty
+    #: signature, or cache miss after eviction).
+    plan_misses: int = 0
+    #: Cached plans dropped because the buffer layout epoch moved.
+    plan_invalidations: int = 0
+    #: Values written through a plan's strided splice runs.
+    plan_spliced: int = 0
 
     @property
     def expansions(self) -> int:
@@ -61,6 +70,10 @@ class RewriteStats:
         self.splits += other.splits
         self.steals += other.steals
         self.pad_bytes += other.pad_bytes
+        self.plan_hits += other.plan_hits
+        self.plan_misses += other.plan_misses
+        self.plan_invalidations += other.plan_invalidations
+        self.plan_spliced += other.plan_spliced
 
 
 @dataclass(slots=True)
@@ -103,6 +116,10 @@ class ClientStats:
     rollbacks: int = 0
     #: Forced full serializations performed to resynchronize the peer.
     forced_full_sends: int = 0
+    #: Rewrite-plan cache activity (see RewriteStats), client-lifetime.
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_invalidations: int = 0
 
     def record(self, report: SendReport) -> None:
         self.sends += 1
@@ -110,6 +127,10 @@ class ClientStats:
         self.bytes_sent += report.bytes_sent
         if report.forced_full:
             self.forced_full_sends += 1
+        rw = report.rewrite
+        self.plan_hits += rw.plan_hits
+        self.plan_misses += rw.plan_misses
+        self.plan_invalidations += rw.plan_invalidations
 
     def merge_from(self, other: "ClientStats") -> None:
         """Accumulate *other*'s counters (per-session stats merged on read)."""
@@ -120,6 +141,9 @@ class ClientStats:
         self.templates_built += other.templates_built
         self.rollbacks += other.rollbacks
         self.forced_full_sends += other.forced_full_sends
+        self.plan_hits += other.plan_hits
+        self.plan_misses += other.plan_misses
+        self.plan_invalidations += other.plan_invalidations
 
     def summary(self) -> str:
         parts = [f"sends={self.sends}", f"bytes={self.bytes_sent}"]
@@ -131,4 +155,6 @@ class ClientStats:
             parts.append(f"rollbacks={self.rollbacks}")
         if self.forced_full_sends:
             parts.append(f"resyncs={self.forced_full_sends}")
+        if self.plan_hits or self.plan_misses:
+            parts.append(f"plan_hits={self.plan_hits}/{self.plan_hits + self.plan_misses}")
         return " ".join(parts)

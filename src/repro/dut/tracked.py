@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import DUTError, SchemaError
+from repro.lexical.cache import format_double_fixed_blob
 from repro.lexical.floats import FloatFormat, format_double_array
 from repro.lexical.integers import format_int_array
 from repro.schema.composite import StructType
@@ -33,13 +34,21 @@ __all__ = [
 
 
 def format_column(
-    xsd_type: XSDType, values: np.ndarray | Sequence, fmt: FloatFormat
+    xsd_type: XSDType,
+    values: np.ndarray | Sequence,
+    fmt: FloatFormat,
+    cached: bool = False,
 ) -> List[bytes]:
-    """Batch-format a homogeneous column of values."""
+    """Batch-format a homogeneous column of values.
+
+    ``cached=True`` routes doubles through the conversion memo and
+    ints through the small-int table (:mod:`repro.lexical.cache`);
+    output bytes are identical either way.
+    """
     if xsd_type is DOUBLE:
-        return format_double_array(values, fmt)
+        return format_double_array(values, fmt, cached=cached)
     if xsd_type is INT or xsd_type is LONG:
-        return format_int_array(values)
+        return format_int_array(values, cached=cached)
     return [xsd_type.format(v) for v in values]
 
 
@@ -142,13 +151,32 @@ class TrackedArray(_Bindable):
         self._data[:] = incoming
 
     # -- serialization support -------------------------------------------
-    def lexical_all(self, fmt: FloatFormat) -> List[bytes]:
+    def lexical_all(self, fmt: FloatFormat, cached: bool = False) -> List[bytes]:
         """Lexical forms of every element, in order."""
-        return format_column(self.xsd_type, self._data, fmt)
+        return format_column(self.xsd_type, self._data, fmt, cached=cached)
 
-    def lexical_for(self, leaf_indices: np.ndarray, fmt: FloatFormat) -> List[bytes]:
+    def lexical_for(
+        self, leaf_indices: np.ndarray, fmt: FloatFormat, cached: bool = False
+    ) -> List[bytes]:
         """Lexical forms for specific leaf indices, in the given order."""
-        return format_column(self.xsd_type, self._data[leaf_indices], fmt)
+        return format_column(
+            self.xsd_type, self._data[leaf_indices], fmt, cached=cached
+        )
+
+    def lexical_fixed_blob(
+        self, leaf_indices: np.ndarray, cached: bool = False
+    ) -> Optional[bytes]:
+        """Fixed-width batch form for the rewrite-plan splice path.
+
+        Doubles only: one contiguous ``n × 24``-byte blob (row *k* is
+        leaf ``leaf_indices[k]``'s exact lexical form under
+        :attr:`FloatFormat.FIXED`), or ``None`` when any selected
+        value is non-finite — the caller falls back to the
+        variable-width path.
+        """
+        if self.xsd_type is not DOUBLE:
+            return None
+        return format_double_fixed_blob(self._data[leaf_indices], cached=cached)
 
     def _expected_shape(self) -> tuple:
         return (len(self._data),)
@@ -259,11 +287,11 @@ class TrackedStructArray(_Bindable):
         col[:] = incoming
 
     # -- serialization support -------------------------------------------
-    def lexical_all(self, fmt: FloatFormat) -> List[bytes]:
+    def lexical_all(self, fmt: FloatFormat, cached: bool = False) -> List[bytes]:
         """All leaves in document (item-major) order."""
         arity = self.arity
         per_field = [
-            format_column(f.xsd_type, self._cols[f.name], fmt)
+            format_column(f.xsd_type, self._cols[f.name], fmt, cached=cached)
             for f in self.struct.fields
         ]
         out: List[bytes] = [b""] * (self._n * arity)
@@ -271,7 +299,9 @@ class TrackedStructArray(_Bindable):
             out[fpos::arity] = texts
         return out
 
-    def lexical_for(self, leaf_indices: np.ndarray, fmt: FloatFormat) -> List[bytes]:
+    def lexical_for(
+        self, leaf_indices: np.ndarray, fmt: FloatFormat, cached: bool = False
+    ) -> List[bytes]:
         """Lexical forms for specific leaf indices, preserving order."""
         arity = self.arity
         out: List[Optional[bytes]] = [None] * len(leaf_indices)
@@ -281,7 +311,9 @@ class TrackedStructArray(_Bindable):
             sel = np.flatnonzero(fields == fpos)
             if len(sel) == 0:
                 continue
-            texts = format_column(f.xsd_type, self._cols[f.name][items[sel]], fmt)
+            texts = format_column(
+                f.xsd_type, self._cols[f.name][items[sel]], fmt, cached=cached
+            )
             for k, text in zip(sel, texts):
                 out[k] = text
         return out  # type: ignore[return-value]
@@ -310,14 +342,16 @@ class TrackedScalar(_Bindable):
         if self._dirty is not None:
             self._dirty[0] = True
 
-    def lexical_all(self, fmt: FloatFormat) -> List[bytes]:
+    def lexical_all(self, fmt: FloatFormat, cached: bool = False) -> List[bytes]:
         if self.xsd_type is DOUBLE:
             from repro.lexical.floats import format_double
 
             return [format_double(self._value, fmt)]
         return [self.xsd_type.format(self._value)]
 
-    def lexical_for(self, leaf_indices: np.ndarray, fmt: FloatFormat) -> List[bytes]:
+    def lexical_for(
+        self, leaf_indices: np.ndarray, fmt: FloatFormat, cached: bool = False
+    ) -> List[bytes]:
         return [self.lexical_all(fmt)[0] for _ in leaf_indices]
 
     def __len__(self) -> int:
@@ -351,10 +385,12 @@ class TrackedStringArray(_Bindable):
     def xsd_type(self) -> XSDType:
         return STRING
 
-    def lexical_all(self, fmt: FloatFormat) -> List[bytes]:
+    def lexical_all(self, fmt: FloatFormat, cached: bool = False) -> List[bytes]:
         return [STRING.format(s) for s in self._items]
 
-    def lexical_for(self, leaf_indices: np.ndarray, fmt: FloatFormat) -> List[bytes]:
+    def lexical_for(
+        self, leaf_indices: np.ndarray, fmt: FloatFormat, cached: bool = False
+    ) -> List[bytes]:
         return [STRING.format(self._items[int(i)]) for i in leaf_indices]
 
     def _expected_shape(self) -> tuple:

@@ -11,6 +11,15 @@ schema lexical forms.  Everything the serializers need lives here:
   an MIO — ``[int,int,double]`` — at most 46).
 """
 
+from repro.lexical.cache import (
+    DOUBLE_FIXED_WIDTH,
+    ConversionMemo,
+    clear_memos,
+    format_double_fixed_blob,
+    memo_for,
+    memo_stats,
+    small_int_bytes,
+)
 from repro.lexical.integers import (
     INT_MAX_WIDTH,
     LONG_MAX_WIDTH,
@@ -33,6 +42,13 @@ __all__ = [
     "INT_MAX_WIDTH",
     "LONG_MAX_WIDTH",
     "DOUBLE_MAX_WIDTH",
+    "DOUBLE_FIXED_WIDTH",
+    "ConversionMemo",
+    "memo_for",
+    "memo_stats",
+    "clear_memos",
+    "small_int_bytes",
+    "format_double_fixed_blob",
     "FloatFormat",
     "format_int",
     "parse_int",

@@ -15,9 +15,22 @@ Two formats are supported:
 ``FloatFormat.G17``
     ``%.17g`` — fixed 17 significant digits, also round-trip exact,
     at most 24 characters.
+``FloatFormat.FIXED``
+    ``%24.16e`` — every finite double occupies **exactly** 24
+    characters (17 significant digits, round-trip exact; shorter
+    forms are left-padded with spaces, legal under XSD's
+    ``whiteSpace=collapse``).  Constant widths mean a resend can
+    never shift a closing tag, which is what enables the
+    rewrite-plan *splice* path (``repro.core.plan``) to write whole
+    dirty runs with strided NumPy assignments.
 
 Special values use the XML Schema lexical forms ``INF``, ``-INF`` and
 ``NaN``.
+
+Batch converters accept ``cached=True`` to route repeated values
+through the conversion memo in :mod:`repro.lexical.cache` —
+byte-identical output, one dict probe instead of a fresh conversion
+on a hit.
 """
 
 from __future__ import annotations
@@ -29,10 +42,16 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.errors import LexicalError
+from repro.lexical.cache import (
+    DOUBLE_FIXED_WIDTH,
+    format_double_fixed,
+    memo_format_batch,
+)
 
 __all__ = [
     "DOUBLE_MAX_WIDTH",
     "DOUBLE_MIN_WIDTH",
+    "DOUBLE_FIXED_WIDTH",
     "FloatFormat",
     "format_double",
     "parse_double",
@@ -61,6 +80,10 @@ class FloatFormat(enum.Enum):
     #: (``5.0`` → ``5``).  This matches the paper's C encoder, whose
     #: smallest double costs a single character, and is the default.
     MINIMAL = "minimal"
+    #: Constant-width ``%24.16e``: every finite double is exactly 24
+    #: characters, enabling splice-run rewrite plans (no closing-tag
+    #: shift can ever occur for doubles).
+    FIXED = "fixed"
 
 
 def format_double(value: float, fmt: FloatFormat = FloatFormat.MINIMAL) -> bytes:
@@ -73,6 +96,8 @@ def format_double(value: float, fmt: FloatFormat = FloatFormat.MINIMAL) -> bytes
         return b"-INF"
     if fmt is FloatFormat.G17:
         return b"%.17g" % value
+    if fmt is FloatFormat.FIXED:
+        return format_double_fixed(value)
     text = repr(value)
     if fmt is FloatFormat.MINIMAL:
         if text.endswith(".0"):
@@ -101,14 +126,43 @@ def parse_double(data: bytes) -> float:
         raise LexicalError(f"invalid double lexical form {data!r}") from exc
 
 
+def _format_minimal_one(v: float) -> bytes:
+    text = repr(v)
+    if text.endswith(".0"):
+        text = text[:-2]
+    return text.encode("ascii")
+
+
+def _format_shortest_one(v: float) -> bytes:
+    return repr(v).encode("ascii")
+
+
+def _format_g17_one(v: float) -> bytes:
+    return b"%.17g" % v
+
+
+#: Per-format finite-value converters for the memoized batch path.
+_FORMAT_ONE = {
+    FloatFormat.MINIMAL: _format_minimal_one,
+    FloatFormat.SHORTEST: _format_shortest_one,
+    FloatFormat.G17: _format_g17_one,
+    FloatFormat.FIXED: format_double_fixed,
+}
+
+
 def format_double_array(
-    values: Sequence[float] | np.ndarray, fmt: FloatFormat = FloatFormat.MINIMAL
+    values: Sequence[float] | np.ndarray,
+    fmt: FloatFormat = FloatFormat.MINIMAL,
+    cached: bool = False,
 ) -> List[bytes]:
     """Batch conversion of doubles to lexical forms.
 
     The hot loop runs over unboxed Python floats (``ndarray.tolist``)
     — the fastest pure-Python formulation; this *is* the measured
-    conversion cost that differential serialization avoids.
+    conversion cost that differential serialization avoids.  With
+    ``cached=True`` repeated finite values resolve through the
+    conversion memo (:mod:`repro.lexical.cache`) instead of being
+    re-converted; output bytes are identical either way.
     """
     if isinstance(values, np.ndarray):
         if values.dtype.kind != "f":
@@ -119,24 +173,27 @@ def format_double_array(
         values = list(values)
         finite = all(v == v and abs(v) != math.inf for v in values)
 
-    if fmt is FloatFormat.G17:
-        if finite:
-            return [b"%.17g" % v for v in values]
+    if not finite:
         return [format_double(v, fmt) for v in values]
+
+    if cached:
+        return memo_format_batch(values, fmt.value, _FORMAT_ONE[fmt])
+
+    if fmt is FloatFormat.G17:
+        return [b"%.17g" % v for v in values]
+
+    if fmt is FloatFormat.FIXED:
+        return [b"%24.16e" % v for v in values]
 
     if fmt is FloatFormat.MINIMAL:
-        if finite:
-            out: List[bytes] = []
-            append = out.append
-            for v in values:
-                text = repr(v)
-                if text.endswith(".0"):
-                    text = text[:-2]
-                append(text.encode("ascii"))
-            return out
-        return [format_double(v, fmt) for v in values]
+        out: List[bytes] = []
+        append = out.append
+        for v in values:
+            text = repr(v)
+            if text.endswith(".0"):
+                text = text[:-2]
+            append(text.encode("ascii"))
+        return out
 
     # SHORTEST
-    if finite:
-        return [repr(v).encode("ascii") for v in values]
-    return [format_double(v, fmt) for v in values]
+    return [repr(v).encode("ascii") for v in values]

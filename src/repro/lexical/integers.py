@@ -12,6 +12,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.errors import LexicalError
+from repro.lexical.cache import format_int_array_cached
 
 __all__ = [
     "INT_MAX_WIDTH",
@@ -63,16 +64,22 @@ def parse_int(data: bytes) -> int:
     return int(text)
 
 
-def format_int_array(values: Sequence[int] | np.ndarray) -> List[bytes]:
+def format_int_array(
+    values: Sequence[int] | np.ndarray, cached: bool = False
+) -> List[bytes]:
     """Vectorized batch conversion of integers to lexical forms.
 
     Accepts any integer sequence or NumPy integer array.  Returns a
     list of ``bytes``, one per element, in order.  The NumPy
     ``tolist()`` conversion moves the per-element unboxing into C,
-    which is the idiomatic fast path for this kind of loop.
+    which is the idiomatic fast path for this kind of loop.  With
+    ``cached=True`` values resolve through the precomputed small-int
+    table (:mod:`repro.lexical.cache`) where possible.
     """
+    if isinstance(values, np.ndarray) and values.dtype.kind not in "iu":
+        raise LexicalError(f"expected integer array, got dtype {values.dtype}")
+    if cached:
+        return format_int_array_cached(values)
     if isinstance(values, np.ndarray):
-        if values.dtype.kind not in "iu":
-            raise LexicalError(f"expected integer array, got dtype {values.dtype}")
         values = values.tolist()
     return [b"%d" % v for v in values]

@@ -100,6 +100,8 @@ class Observability:
         "_forced_full",
         "_call_latency",
         "_call_retries",
+        "_plan_events",
+        "_plan_spliced",
     )
 
     def __init__(
@@ -169,6 +171,15 @@ class Observability:
                 "repro_call_retries_total",
                 "Failed attempts that were retried",
             )
+            self._plan_events = metrics.counter(
+                "repro_plan_events_total",
+                "Rewrite-plan cache activity (hit / miss / invalidation)",
+                ("event",),
+            )
+            self._plan_spliced = metrics.counter(
+                "repro_plan_spliced_values_total",
+                "Values written via strided splice runs of cached plans",
+            )
 
     # ------------------------------------------------------------------
     # constructors
@@ -208,6 +219,14 @@ class Observability:
             n = getattr(rewrite, attr)
             if n:
                 self._expansions.inc(n, mode=mode)
+        if rewrite.plan_hits:
+            self._plan_events.inc(rewrite.plan_hits, event="hit")
+        if rewrite.plan_misses:
+            self._plan_events.inc(rewrite.plan_misses, event="miss")
+        if rewrite.plan_invalidations:
+            self._plan_events.inc(rewrite.plan_invalidations, event="invalidation")
+        if rewrite.plan_spliced:
+            self._plan_spliced.inc(rewrite.plan_spliced)
         if report.forced_full:
             self._forced_full.inc()
 

@@ -98,6 +98,18 @@ class TestSameWidthRewrites:
         rewrite_dirty(t, DiffPolicy())
         oracle(t, msg(Parameter("s", ArrayType(STRING), ["xyz", "def"])))
 
+    def test_string_shrink_pads_gap_of_64_or_more(self):
+        # Regression: the fast path padded shrink gaps from a 64-byte
+        # preallocated blank; a shrink of >= 64 bytes indexed past it.
+        for shrink in (63, 64, 65, 200):
+            wide = "w" * (shrink + 3)
+            m = msg(Parameter("s", ArrayType(STRING), [wide, "def"]))
+            t = build_template(m)
+            t.tracked("s")[0] = "abc"
+            rewrite_dirty(t, DiffPolicy())
+            t.validate()
+            oracle(t, msg(Parameter("s", ArrayType(STRING), ["abc", "def"])))
+
 
 class TestExpansion:
     def _grow_template(self, policy=None):

@@ -7,13 +7,15 @@ wire must always canonically equal a from-scratch serialization of
 that message — and the match-kind accounting must stay sane.
 """
 
+import dataclasses
+
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.buffers.config import ChunkPolicy
 from repro.core.client import BSoapClient
-from repro.core.policy import DiffPolicy, Expansion, StuffingPolicy, StuffMode
+from repro.core.policy import DiffPolicy, Expansion, PlanPolicy, StuffingPolicy, StuffMode
 from repro.core.serializer import build_template
 from repro.core.stats import MatchKind
 from repro.lexical.floats import FloatFormat
@@ -105,3 +107,75 @@ class TestAutoDiffProperty:
             assert report.match_kind is MatchKind.CONTENT_MATCH
         else:
             assert report.match_kind is MatchKind.FIRST_TIME
+
+
+class TestPlanCacheProperty:
+    """Cached rewrite plans must be wire-invisible (ISSUE 5 satellite).
+
+    Two clients run the same randomized call sequence — one with the
+    plan cache + conversion memo on (the default), one with both off.
+    Sequences deliberately mix perfect-structural repeats (plan hits)
+    with width-growing values (shift/split/steal invalidations) and
+    occasional template rebuilds; every send must produce the exact
+    same bytes either way, and each must canonically match a fresh
+    serialization.
+    """
+
+    # Each op is (dirty stride, value pool index); strides repeat so
+    # plans get hit, pools include wide values so layouts get invalidated.
+    _POOLS = [
+        [0.5, 7.0, -1.0],                      # narrow: same-width rewrites
+        [123.456, 0.1234567890123456],         # mid-width
+        [1e200, -1.2345678901234567e-300],     # wide: forces expansion
+        [0.0, -0.0, float("inf"), float("nan")],  # specials: splice fallback
+    ]
+
+    @given(
+        st.integers(min_value=8, max_value=40),
+        st.lists(
+            st.tuples(
+                st.sampled_from([1, 2, 3, 7]),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=2,
+            max_size=10,
+        ),
+        st.sampled_from(POLICIES),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_plans_on_off_byte_identical(self, n, ops, policy, rebuild_midway):
+        def run(plans: bool):
+            sink = CollectSink()
+            client = BSoapClient(
+                sink,
+                dataclasses.replace(
+                    policy, plan=PlanPolicy(enabled=plans, conversion_cache=plans)
+                ),
+            )
+            call = client.prepare(
+                SOAPMessage(
+                    "op", "urn:p", [Parameter("a", ArrayType(DOUBLE), [1.5] * n)]
+                )
+            )
+            call.send()
+            tracked = call.tracked("a")
+            for i, (stride, pool) in enumerate(ops):
+                idx = np.arange(0, n, stride)
+                vals = self._POOLS[pool] * (len(idx) // len(self._POOLS[pool]) + 1)
+                tracked.update(idx, np.asarray(vals[: len(idx)]))
+                call.send()
+                if rebuild_midway and i == len(ops) // 2:
+                    call.template.rebuild_in_place(client.policy)
+            expected = SOAPMessage(
+                "op",
+                "urn:p",
+                [Parameter("a", ArrayType(DOUBLE), list(map(float, tracked.data)))],
+            )
+            wire_oracle(sink, expected, client.policy)
+            return sink.messages, client.stats
+
+        on_wire, on_stats = run(True)
+        off_wire, off_stats = run(False)
+        assert on_wire == off_wire
+        assert (off_stats.plan_hits, off_stats.plan_misses) == (0, 0)
