@@ -1,0 +1,281 @@
+"""Ablation — bytes on the wire: delta frames vs full-XML resends.
+
+The delta wire protocol (``repro.wire``, docs/wire_protocol.md) trades
+a negotiated binary patch frame for the full stuffed document on
+steady-state resends.  This bench measures what that is worth in
+payload bytes and send latency across dirty fractions:
+
+* ``full-xml`` — the plain differential client; every resend ships the
+  whole (rewritten-in-place) document;
+* ``delta`` — the same client with ``DeltaPolicy(offer=True)`` over a
+  negotiated :class:`~repro.wire.loopback.DeltaLoopback` peer; eligible
+  resends ship RDF1 frames, the peer reconstructs from its mirror.
+
+Both variants run the identical mutation schedule (fixed-format MAX
+stuffing, so every resend is a perfect structural match and the grid
+isolates *wire bytes*, not match level).  At ``dirty_frac=1.0`` the
+frame outgrows ``max_frame_fraction`` and the encoder voluntarily
+falls back to full XML — the grid keeps that cell to show the
+degradation floor is ~1.0x, never worse.
+
+Before timing, two sanity gates run on small copies:
+
+* wire identity — every document the delta peer reconstructs is
+  byte-identical to the plain client's serialization, per call;
+* fallback drill — a structural change and a wiped-mirror resync
+  (epoch loss) both degrade to full XML and then resume framing.
+
+Emits one ``repro-bench-result/1`` document.  The headline row
+(``delta`` at ``dirty_frac=0.01``) is what the CI ``perf-smoke`` job
+checks against ``BENCH_delta_wire.json`` (>= 50x payload reduction).
+
+Usage::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_ablation_delta_wire.py \
+        --out BENCH_delta_wire.json
+    PYTHONPATH=src:benchmarks python benchmarks/bench_ablation_delta_wire.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bench.resultjson import dump_result, make_result, validate_result
+from repro.bench.workloads import double_array_message, doubles_of_width
+from repro.core.client import BSoapClient
+from repro.core.policy import DeltaPolicy, DiffPolicy, StuffingPolicy, StuffMode
+from repro.errors import DeltaResyncError
+from repro.lexical.floats import FloatFormat
+from repro.transport.loopback import CollectSink
+from repro.wire.loopback import DeltaLoopback
+
+REQUIRED_COLUMNS = (
+    "variant",
+    "n",
+    "dirty_frac",
+    "sends",
+    "delta_sends",
+    "full_sends",
+    "mean_payload_bytes",
+    "mean_send_ms",
+    "calls_per_sec",
+    "reduction_vs_full",
+)
+
+VARIANTS = ("full-xml", "delta")
+FRACTIONS = (0.01, 0.1, 1.0)
+
+#: Headline cell for the CI gate: sparse dirty set, frames at their best.
+HEADLINE_FRAC = 0.01
+MIN_HEADLINE_REDUCTION = 50.0
+
+
+def _policy(variant: str) -> DiffPolicy:
+    # Fixed-format MAX stuffing keeps every field width constant, so
+    # each resend is a perfect structural match and the two variants
+    # differ only in what crosses the wire.
+    return DiffPolicy(
+        float_format=FloatFormat.FIXED,
+        stuffing=StuffingPolicy(StuffMode.MAX),
+        delta=DeltaPolicy(offer=(variant == "delta")),
+    )
+
+
+def _make_client(variant: str, n: int, seed: int, *, keep_documents=False):
+    loop = DeltaLoopback(keep_documents=keep_documents)
+    client = BSoapClient(loop, _policy(variant))
+    if client.wire is not None:
+        client.wire.negotiated = True  # the loopback peer always accepts
+    call = client.prepare(double_array_message(doubles_of_width(n, 18, seed=seed)))
+    call.send()
+    return loop, client, call
+
+
+def _mutation_schedule(n: int, frac: float, sends: int, seed: int):
+    """Deterministic (idx, values) pairs shared by both variants."""
+    rng = np.random.default_rng(seed)
+    k = max(1, int(frac * n))
+    out = []
+    for i in range(sends):
+        idx = np.sort(rng.choice(n, k, replace=False)) if k < n else np.arange(n)
+        out.append((idx, doubles_of_width(k, 18, seed=seed + 1 + i)))
+    return out
+
+
+def _run_cell(
+    variant: str, n: int, frac: float, sends: int, seed: int
+) -> Dict[str, object]:
+    loop, client, call = _make_client(variant, n, seed)
+    tracked = call.tracked("data")
+    schedule = _mutation_schedule(n, frac, sends + 1, seed + 7)
+    # One untimed warm send covers frame-path setup (baseline snapshot).
+    tracked.update(*schedule[0])
+    call.send()
+    bytes0, delta0, full0 = loop.payload_bytes, loop.delta_sends, loop.full_sends
+    elapsed = 0.0
+    for idx, vals in schedule[1:]:
+        tracked.update(idx, vals)
+        t0 = time.perf_counter()
+        call.send()
+        elapsed += time.perf_counter() - t0
+    payload = loop.payload_bytes - bytes0
+    return {
+        "variant": variant,
+        "n": n,
+        "dirty_frac": frac,
+        "sends": sends,
+        "delta_sends": loop.delta_sends - delta0,
+        "full_sends": loop.full_sends - full0,
+        "mean_payload_bytes": round(payload / sends, 1),
+        "mean_send_ms": round(elapsed / sends * 1e3, 4),
+        "calls_per_sec": round(sends / elapsed, 1),
+        "reduction_vs_full": 1.0,
+    }
+
+
+def _assert_wire_identical(n: int, frac: float, seed: int) -> None:
+    """Every reconstructed document == the plain client's bytes."""
+    loop, client, call = _make_client("delta", n, seed, keep_documents=True)
+    plain_sink = CollectSink()
+    plain = BSoapClient(plain_sink, _policy("full-xml"))
+    plain_call = plain.prepare(
+        double_array_message(doubles_of_width(n, 18, seed=seed))
+    )
+    plain_call.send()
+    plain_tracked = plain_call.tracked("data")
+    tracked = call.tracked("data")
+    for i, (idx, vals) in enumerate(_mutation_schedule(n, frac, 6, seed + 7)):
+        tracked.update(idx, vals)
+        plain_tracked.update(idx, vals)
+        call.send()
+        plain_call.send()
+        if loop.last_document != plain_sink.last:
+            raise AssertionError(
+                f"delta reconstruction diverged from the plain wire "
+                f"(dirty_frac={frac}, call {i})"
+            )
+    if frac <= 0.1 and loop.delta_sends == 0:
+        raise AssertionError(
+            f"identity check at dirty_frac={frac} never framed - "
+            "the bench would not be measuring the delta path"
+        )
+
+
+def _assert_fallback_recovers(n: int, seed: int) -> None:
+    """Structural change and mirror loss both degrade, then resume."""
+    loop, client, call = _make_client("delta", n, seed)
+    tracked = call.tracked("data")
+    schedule = _mutation_schedule(n, 0.05, 6, seed + 7)
+    tracked.update(*schedule[0])
+    assert call.send().delta, "steady state should frame"
+    # Structural change: a fresh message shape is a first-time full send.
+    wide = client.prepare(
+        double_array_message(doubles_of_width(n + 3, 18, seed=seed + 1))
+    )
+    assert not wide.send().delta, "structural change must ship full XML"
+    # Epoch loss: the peer forgets its mirrors; the client sees a resync
+    # error, resends full, and frames again on the next dirty send.
+    tracked.update(*schedule[1])
+    loop.delta.clear()
+    try:
+        call.send()
+        raise AssertionError("wiped mirror should have raised a resync")
+    except DeltaResyncError:
+        pass
+    assert not call.send().delta, "post-resync recovery must be full XML"
+    tracked.update(*schedule[2])
+    assert call.send().delta, "framing must resume after resync"
+
+
+def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=65536,
+                        help="double-array length (default 65536)")
+    parser.add_argument("--sends", type=int, default=30,
+                        help="timed sends per grid cell (default 30)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: stdout)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI run: small array, few sends")
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = parse_args(argv)
+    if args.smoke:
+        args.n = 4096
+        args.sends = 8
+
+    for frac in FRACTIONS:
+        _assert_wire_identical(512, frac, args.seed)
+    _assert_fallback_recovers(512, args.seed)
+    print(
+        "wire identity: delta reconstruction == full wire (all fractions); "
+        "fallback drill passed",
+        file=sys.stderr,
+    )
+
+    rows: List[Dict[str, object]] = []
+    headline = None
+    for frac in FRACTIONS:
+        base_bytes = None
+        for variant in VARIANTS:
+            row = _run_cell(variant, args.n, frac, args.sends, args.seed)
+            if variant == "full-xml":
+                base_bytes = row["mean_payload_bytes"]
+            row["reduction_vs_full"] = round(
+                base_bytes / max(row["mean_payload_bytes"], 1e-9), 2
+            )
+            if variant == "delta" and frac == HEADLINE_FRAC:
+                headline = row
+            rows.append(row)
+            print(
+                f"frac={frac:<5} {variant:<9} "
+                f"{row['mean_payload_bytes']:>12.1f} B/send  "
+                f"x{row['reduction_vs_full']:.1f} vs full  "
+                f"({row['delta_sends']} frames, {row['full_sends']} full, "
+                f"{row['mean_send_ms']:.3f} ms/send)",
+                file=sys.stderr,
+            )
+
+    if headline is None or headline["reduction_vs_full"] < MIN_HEADLINE_REDUCTION:
+        got = None if headline is None else headline["reduction_vs_full"]
+        print(
+            f"FAIL: headline reduction {got} < {MIN_HEADLINE_REDUCTION}x "
+            f"at dirty_frac={HEADLINE_FRAC}",
+            file=sys.stderr,
+        )
+        return 1
+
+    doc = make_result(
+        "ablation_delta_wire",
+        params={
+            "n": args.n,
+            "sends": args.sends,
+            "seed": args.seed,
+            "smoke": args.smoke,
+            "headline": f"variant=delta dirty_frac={HEADLINE_FRAC}",
+        },
+        results=rows,
+        notes=(
+            "perfect-structural resends over DeltaLoopback; mutation "
+            "untimed; per-call byte identity vs the plain client and a "
+            "structural+resync fallback drill asserted before timing; "
+            "dirty_frac=1.0 shows the max_frame_fraction degradation floor"
+        ),
+    )
+    validate_result(doc, required_columns=REQUIRED_COLUMNS)
+    dump_result(doc, args.out)
+    if args.out:
+        print(f"wrote {args.out} ({len(rows)} rows)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

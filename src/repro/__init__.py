@@ -28,6 +28,7 @@ Quickstart::
 
 from repro.core import (
     BSoapClient,
+    DeltaPolicy,
     DiffPolicy,
     Expansion,
     MatchKind,
@@ -57,6 +58,7 @@ from repro.runtime import (
     ServerSessionManager,
 )
 from repro.soap import Parameter, SOAPMessage
+from repro.wire import DeltaEncoder, DeltaLoopback, DeltaSession
 
 __version__ = "1.0.0"
 
@@ -68,6 +70,10 @@ __all__ = [
     "StuffMode",
     "OverlayPolicy",
     "PlanPolicy",
+    "DeltaPolicy",
+    "DeltaEncoder",
+    "DeltaSession",
+    "DeltaLoopback",
     "Expansion",
     "MatchKind",
     "SendReport",

@@ -41,6 +41,7 @@ from repro.core.policy import DiffPolicy
 from repro.core.stats import SendReport
 from repro.obs import NULL_OBS, Observability
 from repro.errors import (
+    DeltaResyncError,
     HTTPStatusError,
     ReproError,
     SOAPFaultError,
@@ -108,10 +109,16 @@ class RPCChannel:
         #: Shared with the client and framer, so one registry carries
         #: the per-send counters, wire bytes, and call latency/retries.
         self.obs: Observability = obs if obs is not None else NULL_OBS
+        resolved_policy = policy if policy is not None else DiffPolicy()
         self._http = HTTPTransport(
-            self._raw, mode=http_mode, host=host, path=path, obs=self.obs
+            self._raw,
+            mode=http_mode,
+            host=host,
+            path=path,
+            obs=self.obs,
+            delta_offer=resolved_policy.delta.offer,
         )
-        self.client = BSoapClient(self._http, policy, obs=self.obs)
+        self.client = BSoapClient(self._http, resolved_policy, obs=self.obs)
         self.retry = retry or RetryPolicy()
         self.breaker = breaker or CircuitBreaker()
         # Responses are differentially deserialized: a service reusing
@@ -213,9 +220,20 @@ class RPCChannel:
         tracing = self.obs.tracer.enabled
         if tracing:
             t0 = time.perf_counter()
-        status, _headers, body = self._raw.recv_http_response()
+        status, headers, body = self._raw.recv_http_response()
+        with self._stats_lock:
+            self.client.stats.bytes_received += len(body)
+        self.obs.record_bytes_received(len(body))
+        wire = self.client.wire
+        if status == 409 and headers.get("x-repro-delta-resync"):
+            # The server lost (or refused) our delta mirror: treat as a
+            # retryable transport problem — the retry path quarantines
+            # the template, which forces a full resynchronizing resend.
+            raise DeltaResyncError("server requested delta resync")
         if status != 200:
             raise HTTPStatusError(status)
+        if wire is not None and headers.get("x-repro-delta") == "1":
+            wire.negotiated = True
         try:
             fault = SOAPFault.from_xml(body)
         except (ReproError, UnicodeDecodeError) as exc:
@@ -246,6 +264,10 @@ class RPCChannel:
 
     def _mark_broken(self) -> None:
         """Drop the connection so no stale half-response survives."""
+        if self.client.wire is not None:
+            # A new connection means a new server session with no delta
+            # mirrors: every template must re-announce its baseline.
+            self.client.wire.reset_baselines()
         disconnect = getattr(self._raw, "disconnect", None)
         if disconnect is not None:
             disconnect()

@@ -22,6 +22,7 @@ from repro.core.policy import (
     DiffPolicy,
     Expansion,
     OverlayPolicy,
+    DeltaPolicy,
     PlanPolicy,
     StuffMode,
     StuffingPolicy,
@@ -39,6 +40,7 @@ __all__ = [
     "StuffingPolicy",
     "StuffMode",
     "OverlayPolicy",
+    "DeltaPolicy",
     "PlanPolicy",
     "Expansion",
     "PlanCache",

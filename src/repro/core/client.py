@@ -50,6 +50,7 @@ from repro.errors import StructureMismatchError, TemplateError, TransportError
 from repro.soap.message import SOAPMessage, Signature, structure_signature
 from repro.transport.base import Transport
 from repro.transport.loopback import NullSink
+from repro.wire.client import DeltaEncoder
 
 __all__ = ["BSoapClient", "PreparedCall"]
 
@@ -99,6 +100,14 @@ class BSoapClient:
         #: May be shared with other clients (§6 template sharing).
         self.store = store if store is not None else TemplateStore(
             self.policy.template_variants
+        )
+        #: Delta-frame encoder (None unless the policy offers delta).
+        #: Frames flow only once the peer negotiates — the channel
+        #: flips ``wire.negotiated`` from the response headers.
+        self.wire: Optional[DeltaEncoder] = (
+            DeltaEncoder(self.policy.delta, self.transport, obs=self.obs)
+            if self.policy.delta.offer
+            else None
         )
 
     # ------------------------------------------------------------------
@@ -252,6 +261,8 @@ class BSoapClient:
         except TransportError:
             # Some chunks may be on the wire, others not even rewritten.
             template.rollback_send(snapshot)
+            if self.wire is not None:
+                self.wire.invalidate(template.template_id)
             self.stats.rollbacks += 1
             self.obs.record_rollback()
             raise
@@ -287,9 +298,14 @@ class BSoapClient:
                 rewrite,
                 forced_full=forced_full,
                 moved_before=moved_before,
+                snapshot=snapshot,
             )
         except TransportError:
             template.rollback_send(snapshot)
+            if self.wire is not None:
+                # Whether the announce or frame reached the server is
+                # unknown; the next send re-announces from scratch.
+                self.wire.invalidate(template.template_id)
             self.stats.rollbacks += 1
             self.obs.record_rollback()
             raise
@@ -302,11 +318,28 @@ class BSoapClient:
         forced_full: bool = False,
         moved_before: int = 0,
         template_id: Optional[int] = None,
+        snapshot=None,
     ) -> SendReport:
         t0 = perf_counter() if self.obs.enabled else 0.0
-        bytes_sent = self.transport.send_message(
-            template.buffer.views(), template.total_bytes
-        )
+        wire = self.wire
+        frame = None
+        if wire is not None and template_id is None:
+            # template_id overrides mark templates that do not survive
+            # the call (full-every-time mode) — those never announce.
+            if (
+                not forced_full
+                and snapshot is not None
+                and kind in (MatchKind.CONTENT_MATCH, MatchKind.PERFECT_STRUCTURAL)
+            ):
+                frame = wire.try_encode(template, snapshot, rewrite)
+            if frame is None:
+                wire.announce(template)
+        if frame is not None:
+            bytes_sent = self.transport.send_delta_frame(frame)
+        else:
+            bytes_sent = self.transport.send_message(
+                template.buffer.views(), template.total_bytes
+            )
         template.sends += 1
         report = SendReport(
             match_kind=kind,
@@ -318,6 +351,7 @@ class BSoapClient:
                 template.template_id if template_id is None else template_id
             ),
             forced_full=forced_full,
+            delta=frame is not None,
         )
         self._record(report, moved_before=moved_before, started=t0)
         return report
@@ -405,6 +439,7 @@ class BSoapClient:
                 chunks=report.num_chunks,
                 pipelined=pipelined,
                 forced_full=report.forced_full,
+                delta=report.delta,
             )
 
     # ------------------------------------------------------------------
@@ -419,6 +454,8 @@ class BSoapClient:
         signature = structure_signature(message)
         for template in self.store.variants(signature):
             template.suspect = True  # type: ignore[attr-defined]
+            if self.wire is not None:
+                self.wire.invalidate(template.template_id)
 
     # ------------------------------------------------------------------
     def close(self) -> None:

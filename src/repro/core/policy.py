@@ -22,6 +22,7 @@ __all__ = [
     "StuffingPolicy",
     "OverlayPolicy",
     "PlanPolicy",
+    "DeltaPolicy",
     "DiffPolicy",
     "Expansion",
 ]
@@ -128,6 +129,31 @@ class PlanPolicy:
 
 
 @dataclass(frozen=True, slots=True)
+class DeltaPolicy:
+    """Negotiated binary delta frames for repro↔repro traffic.
+
+    Off by default: ``offer=True`` makes the client add the
+    ``X-Repro-Delta`` offer and baseline-announce headers to full-XML
+    sends; binary frames flow only after the server's response
+    acknowledges support *and* a baseline has been announced, and only
+    for content / perfect-structural sends under an unchanged buffer
+    layout.  Everything else — expansions, layout-epoch movement,
+    document-length change, server resync — falls back to full XML
+    with a fresh announce.  See ``docs/wire_protocol.md``.
+    """
+
+    offer: bool = False
+    #: Sends needing more coalesced splices than this go full-XML
+    #: (the client-side twin of ``ResourceLimits.max_delta_splices``).
+    max_splices: int = 1 << 16
+    #: A frame bigger than this fraction of the document goes
+    #: full-XML instead: at high churn the patch approaches the
+    #: document size and full XML re-announces a clean baseline for
+    #: free, keeping calls/sec no worse than the full path.
+    max_frame_fraction: float = 0.5
+
+
+@dataclass(frozen=True, slots=True)
 class DiffPolicy:
     """Top-level bSOAP client configuration."""
 
@@ -160,6 +186,10 @@ class DiffPolicy:
     #: Compiled rewrite plans + conversion caches for the steady-state
     #: resend path (see :class:`PlanPolicy`).
     plan: PlanPolicy = field(default_factory=PlanPolicy)
+    #: Negotiated binary delta frames (see :class:`DeltaPolicy`);
+    #: defaults off — nothing changes on the wire unless offered *and*
+    #: acknowledged by the server.
+    delta: DeltaPolicy = field(default_factory=DeltaPolicy)
 
     def derived_portion_items(self, item_bytes: int) -> int:
         """Items per overlay portion given a serialized item size."""

@@ -96,6 +96,9 @@ class SendReport:
     #: Failed attempts before this send succeeded (filled by the
     #: retrying caller, e.g. RPCChannel; 0 for direct sends).
     retries: int = 0
+    #: This send went out as a binary delta frame instead of full XML
+    #: (``bytes_sent`` is then the frame size, not the document size).
+    delta: bool = False
 
     @property
     def serialized_everything(self) -> bool:
@@ -110,7 +113,14 @@ class ClientStats:
     by_kind: Dict[MatchKind, int] = field(
         default_factory=lambda: {k: 0 for k in MatchKind}
     )
+    #: Payload bytes handed to the transport (tx; delta frames count
+    #: at their frame size, which is what makes the bandwidth win
+    #: visible here).
     bytes_sent: int = 0
+    #: Response body bytes received (rx; filled by RPCChannel).
+    bytes_received: int = 0
+    #: Sends shipped as binary delta frames.
+    delta_sends: int = 0
     templates_built: int = 0
     #: Send epochs rolled back after a transport failure.
     rollbacks: int = 0
@@ -125,6 +135,8 @@ class ClientStats:
         self.sends += 1
         self.by_kind[report.match_kind] += 1
         self.bytes_sent += report.bytes_sent
+        if report.delta:
+            self.delta_sends += 1
         if report.forced_full:
             self.forced_full_sends += 1
         rw = report.rewrite
@@ -138,6 +150,8 @@ class ClientStats:
         for kind, count in other.by_kind.items():
             self.by_kind[kind] += count
         self.bytes_sent += other.bytes_sent
+        self.bytes_received += other.bytes_received
+        self.delta_sends += other.delta_sends
         self.templates_built += other.templates_built
         self.rollbacks += other.rollbacks
         self.forced_full_sends += other.forced_full_sends
@@ -151,6 +165,10 @@ class ClientStats:
             f"{kind.value}={count}" for kind, count in self.by_kind.items() if count
         ]
         parts.append(f"templates={self.templates_built}")
+        if self.delta_sends:
+            parts.append(f"delta={self.delta_sends}")
+        if self.bytes_received:
+            parts.append(f"rx={self.bytes_received}")
         if self.rollbacks:
             parts.append(f"rollbacks={self.rollbacks}")
         if self.forced_full_sends:

@@ -27,6 +27,8 @@ __all__ = [
     "HTTPFramingError",
     "IncompleteHTTPError",
     "HTTPStatusError",
+    "DeltaFrameError",
+    "DeltaResyncError",
     "PoolError",
     "PoolTimeoutError",
     "WSDLError",
@@ -180,6 +182,41 @@ class HTTPStatusError(TransportError):
     def __init__(self, status: int, detail: str = "") -> None:
         super().__init__(f"HTTP {status} from server" + (f": {detail}" if detail else ""))
         self.status = status
+
+
+class DeltaFrameError(TransportError):
+    """A binary delta frame is malformed or violates a resource cap.
+
+    Raised by :func:`repro.wire.frame.decode_frame` (bad magic,
+    truncated directory, splice count past
+    ``ResourceLimits.max_delta_splices``, offsets out of bounds vs the
+    declared document length, CRC mismatch...).  Servers answer it
+    with the resync status instead of crashing — a lying frame must
+    never corrupt the session mirror.
+    """
+
+    def __init__(self, message: str, reason: str = "frame-error") -> None:
+        super().__init__(message)
+        #: Short machine label for ``repro_delta_frames_total{outcome}``.
+        self.reason = reason
+
+
+class DeltaResyncError(TransportError):
+    """The delta-frame protocol needs a full-XML resynchronization.
+
+    Server side: a structurally valid frame cannot be applied (unknown
+    template id, stale layout epoch, sequence gap, document length
+    mismatch) — the mirror is dropped and the client told to resend
+    full XML.  Client side: the channel received the resync status and
+    converts it to this error; a :class:`TransportError` subclass, so
+    the default retry classifier treats it as retryable, and the
+    quarantined template's next send is a baseline-re-announcing full
+    serialization.
+    """
+
+    def __init__(self, message: str, reason: str = "resync") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 class PoolError(ReproError):

@@ -13,6 +13,19 @@ Two drivers share one corpus-mutation engine:
   every connection gets an answer (no hangs, no silent drops) with a
   status from the allowed set.
 
+Two more target the binary delta-frame protocol (``repro.wire``),
+sharing a :class:`DeltaFrameFuzzer` whose mutators aim at each
+decoder/mirror check individually (truncations, splice-count and
+doc-len lies, out-of-bounds offsets, stale epochs, sequence gaps):
+
+* :func:`fuzz_delta` announces a baseline then pushes mutated frames
+  through :meth:`SOAPService.handle_wire` — only 200/409 may come
+  back, nothing raises, and a pristine frame still reconstructs after
+  any garbage;
+* :func:`fuzz_delta_http` does the same over real sockets, one
+  connection per case carrying a well-formed announce plus a mutated
+  frame.
+
 Everything is driven by one ``random.Random(seed)``: a failing case
 replays exactly from the printed seed.  Mutations are corpus-based
 (byte-level: bit flips, truncations, slice splices) plus
@@ -26,7 +39,8 @@ Run standalone (CI ``fuzz-smoke`` job)::
 
     PYTHONPATH=src python -m repro.hardening.fuzz \
         --corpus tests/golden --seed 12345 \
-        --service-iterations 2000 --http-iterations 200
+        --service-iterations 2000 --http-iterations 200 \
+        --delta-iterations 600 --delta-http-iterations 100
 
 Outcome counts are exported through the service's
 :class:`~repro.obs.MetricsRegistry` as
@@ -40,6 +54,7 @@ import argparse
 import random
 import re
 import socket
+import struct
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -49,22 +64,27 @@ from repro.hardening.limits import DEFAULT_LIMITS, ResourceLimits
 from repro.schema.types import INT
 from repro.server.service import HTTPSoapServer, Operation, SOAPService
 from repro.soap.fault import SOAPFault
+from repro.wire.frame import HEADER, encode_frame
 
 __all__ = [
     "WireFuzzer",
     "HTTPFuzzer",
+    "DeltaFrameFuzzer",
     "FuzzReport",
     "build_fuzz_service",
     "load_corpus",
     "default_corpus",
     "fuzz_service",
     "fuzz_http",
+    "fuzz_delta",
+    "fuzz_delta_http",
     "ALLOWED_HTTP_STATUSES",
     "main",
 ]
 
-#: Statuses a hardened front end may legitimately answer with.
-ALLOWED_HTTP_STATUSES = frozenset({200, 400, 404, 408, 413, 503})
+#: Statuses a hardened front end may legitimately answer with
+#: (409 is the delta protocol's resync signal).
+ALLOWED_HTTP_STATUSES = frozenset({200, 400, 404, 408, 409, 413, 503})
 
 #: Operations appearing in the golden corpus — the fuzz service
 #: registers a handler for each so pristine wires dispatch cleanly.
@@ -315,6 +335,213 @@ class WireFuzzer:
 
     @staticmethod
     def _pure_garbage(rng: random.Random, wire: bytes) -> bytes:
+        return bytes(rng.getrandbits(8) for _ in range(rng.randint(1, 256)))
+
+
+# Byte offsets of the delta-frame header fields ("<4sQIIQII"): the
+# header is not CRC-covered, so patching these fields yields frames
+# that pass the CRC check and land on the decoder's semantic checks.
+_F_TEMPLATE = 4
+_F_EPOCH = 12
+_F_SEQ = 16
+_F_DOC_LEN = 20
+_F_COUNT = 28
+
+
+def _patch_u32(frame: bytes, offset: int, value: int) -> bytes:
+    return frame[:offset] + struct.pack("<I", value & 0xFFFFFFFF) + frame[offset + 4:]
+
+
+def _patch_u64(frame: bytes, offset: int, value: int) -> bytes:
+    return (
+        frame[:offset]
+        + struct.pack("<Q", value & 0xFFFFFFFFFFFFFFFF)
+        + frame[offset + 8:]
+    )
+
+
+class DeltaFrameFuzzer:
+    """Structure-aware mutator for binary delta frames.
+
+    Each case starts from a freshly encoded *valid* frame (splices
+    copying bytes of the mirror body, so pristine application is a
+    no-op reconstruction) and applies one mutation targeting a
+    specific decoder or mirror-matching check: framing lies (magic,
+    truncation, CRC), directory lies (splice-count, widths,
+    out-of-bounds and overlapping offsets, payload length), and state
+    lies (stale/future epochs, sequence gaps, unknown templates,
+    doc_len disagreement).
+    """
+
+    def __init__(
+        self, rng: random.Random, limits: Optional[ResourceLimits] = None
+    ) -> None:
+        self._rng = rng
+        self.limits = limits if limits is not None else DEFAULT_LIMITS
+        self._mutators: List[
+            Tuple[str, Callable[[random.Random, bytes, dict], bytes]]
+        ] = [
+            ("identity", lambda rng, f, ctx: f),
+            ("truncate", self._truncate),
+            ("bit_flip", self._bit_flip),
+            ("bad_magic", self._bad_magic),
+            ("splice_count_lie", self._splice_count_lie),
+            ("giant_splice_count", self._giant_splice_count),
+            ("stale_epoch", self._stale_epoch),
+            ("future_epoch", self._future_epoch),
+            ("sequence_gap", self._sequence_gap),
+            ("doc_len_lie", self._doc_len_lie),
+            ("unknown_template", self._unknown_template),
+            ("oob_offset", self._oob_offset),
+            ("overlapping_splices", self._overlapping_splices),
+            ("zero_width_splice", self._zero_width_splice),
+            ("payload_length_lie", self._payload_length_lie),
+            ("payload_garbage", self._payload_garbage),
+            ("pure_garbage", self._pure_garbage),
+        ]
+
+    # ------------------------------------------------------------------
+    def valid_frame(
+        self, template_id: int, epoch: int, seq: int, body: bytes
+    ) -> bytes:
+        """A decodable frame whose splices copy *body*'s own bytes."""
+        rng = self._rng
+        offsets: List[int] = []
+        widths: List[int] = []
+        pieces: List[bytes] = []
+        n = rng.randint(0, 4)
+        if n and len(body) >= 8:
+            prev_end = 0
+            for start in sorted(rng.sample(range(len(body)), n)):
+                if start < prev_end:
+                    continue
+                width = min(rng.randint(1, 16), len(body) - start)
+                offsets.append(start)
+                widths.append(width)
+                pieces.append(body[start : start + width])
+                prev_end = start + width
+        return encode_frame(
+            template_id, epoch, seq, len(body), offsets, widths, b"".join(pieces)
+        )
+
+    def next_case(
+        self, template_id: int, epoch: int, seq: int, body: bytes
+    ) -> Tuple[bytes, str]:
+        """One mutated frame plus the mutator name that produced it."""
+        rng = self._rng
+        frame = self.valid_frame(template_id, epoch, seq, body)
+        ctx = {
+            "template_id": template_id,
+            "epoch": epoch,
+            "seq": seq,
+            "body": body,
+        }
+        name, mutate = rng.choice(self._mutators)
+        return mutate(rng, frame, ctx), name
+
+    # -- framing lies --------------------------------------------------
+    @staticmethod
+    def _truncate(rng: random.Random, frame: bytes, ctx: dict) -> bytes:
+        return frame[: rng.randrange(len(frame))]
+
+    @staticmethod
+    def _bit_flip(rng: random.Random, frame: bytes, ctx: dict) -> bytes:
+        out = bytearray(frame)
+        for _ in range(rng.randint(1, 8)):
+            out[rng.randrange(len(out))] ^= 1 << rng.randrange(8)
+        return bytes(out)
+
+    @staticmethod
+    def _bad_magic(rng: random.Random, frame: bytes, ctx: dict) -> bytes:
+        return bytes(rng.getrandbits(8) for _ in range(4)) + frame[4:]
+
+    # -- directory lies ------------------------------------------------
+    @staticmethod
+    def _splice_count_lie(rng: random.Random, frame: bytes, ctx: dict) -> bytes:
+        lie = rng.choice([0, 1, 7, 0xFFFF])
+        return _patch_u32(frame, _F_COUNT, lie)
+
+    def _giant_splice_count(
+        self, rng: random.Random, frame: bytes, ctx: dict
+    ) -> bytes:
+        lie = self.limits.max_delta_splices + rng.randint(1, 1 << 10)
+        return _patch_u32(frame, _F_COUNT, lie)
+
+    @staticmethod
+    def _oob_offset(rng: random.Random, frame: bytes, ctx: dict) -> bytes:
+        doc_len = len(ctx["body"])
+        offset = rng.choice(
+            [doc_len, doc_len + 1, doc_len * 2 + 17, (1 << 63), (1 << 64) - 1]
+        )
+        return encode_frame(
+            ctx["template_id"], ctx["epoch"], ctx["seq"], doc_len,
+            [offset], [4], b"XXXX",
+        )
+
+    @staticmethod
+    def _overlapping_splices(
+        rng: random.Random, frame: bytes, ctx: dict
+    ) -> bytes:
+        return encode_frame(
+            ctx["template_id"], ctx["epoch"], ctx["seq"], len(ctx["body"]),
+            [5, 8], [8, 4], b"Y" * 12,
+        )
+
+    @staticmethod
+    def _zero_width_splice(rng: random.Random, frame: bytes, ctx: dict) -> bytes:
+        return encode_frame(
+            ctx["template_id"], ctx["epoch"], ctx["seq"], len(ctx["body"]),
+            [3], [0], b"",
+        )
+
+    @staticmethod
+    def _payload_length_lie(
+        rng: random.Random, frame: bytes, ctx: dict
+    ) -> bytes:
+        return encode_frame(
+            ctx["template_id"], ctx["epoch"], ctx["seq"], len(ctx["body"]),
+            [2], [6], b"zz",
+        )
+
+    @staticmethod
+    def _payload_garbage(rng: random.Random, frame: bytes, ctx: dict) -> bytes:
+        """Structurally valid frame splicing random bytes into the
+        mirror — exercises parsing of a corrupted reconstruction."""
+        body = ctx["body"]
+        width = min(rng.randint(1, 32), len(body))
+        offset = rng.randrange(len(body) - width + 1)
+        junk = bytes(rng.getrandbits(8) for _ in range(width))
+        return encode_frame(
+            ctx["template_id"], ctx["epoch"], ctx["seq"], len(body),
+            [offset], [width], junk,
+        )
+
+    # -- state lies ----------------------------------------------------
+    @staticmethod
+    def _stale_epoch(rng: random.Random, frame: bytes, ctx: dict) -> bytes:
+        return _patch_u32(frame, _F_EPOCH, max(0, ctx["epoch"] - 1))
+
+    @staticmethod
+    def _future_epoch(rng: random.Random, frame: bytes, ctx: dict) -> bytes:
+        return _patch_u32(frame, _F_EPOCH, ctx["epoch"] + rng.randint(1, 5))
+
+    @staticmethod
+    def _sequence_gap(rng: random.Random, frame: bytes, ctx: dict) -> bytes:
+        lie = rng.choice([0, ctx["seq"] + rng.randint(1, 10)])
+        return _patch_u32(frame, _F_SEQ, lie)
+
+    @staticmethod
+    def _doc_len_lie(rng: random.Random, frame: bytes, ctx: dict) -> bytes:
+        doc_len = len(ctx["body"])
+        lie = rng.choice([0, doc_len - 1, doc_len + 1, doc_len * 2, 1 << 40])
+        return _patch_u64(frame, _F_DOC_LEN, lie)
+
+    @staticmethod
+    def _unknown_template(rng: random.Random, frame: bytes, ctx: dict) -> bytes:
+        return _patch_u64(frame, _F_TEMPLATE, ctx["template_id"] + 1000)
+
+    @staticmethod
+    def _pure_garbage(rng: random.Random, frame: bytes, ctx: dict) -> bytes:
         return bytes(rng.getrandbits(8) for _ in range(rng.randint(1, 256)))
 
 
@@ -618,6 +845,206 @@ def fuzz_http(
     return report
 
 
+#: Headers marking a request body as a binary delta frame.
+_FRAME_HEADERS = {"x-repro-delta": "1", "x-repro-delta-frame": "1"}
+
+#: Template id the delta fuzzers announce their mirrors under.
+_FUZZ_TEMPLATE_ID = 71
+
+
+def _announce_headers(template_id: int, epoch: int) -> Dict[str, str]:
+    return {
+        "x-repro-delta": "1",
+        "x-repro-delta-template": str(template_id),
+        "x-repro-delta-epoch": str(epoch),
+    }
+
+
+def fuzz_delta(
+    service: Optional[SOAPService] = None,
+    corpus: Optional[Sequence[bytes]] = None,
+    *,
+    iterations: int = 600,
+    seed: int = 0,
+    probe_every: int = 50,
+) -> FuzzReport:
+    """Drive mutated delta frames through ``service.handle_wire``.
+
+    Each case announces a fresh full-XML baseline (new epoch), then
+    submits one mutated frame against it.  Invariants: ``handle_wire``
+    never raises, answers only 200 (with a parseable envelope) or 409
+    (resync), and — the probe — a pristine zero-splice frame against a
+    fresh announce still reconstructs and dispatches cleanly after any
+    amount of garbage.
+    """
+    service = service if service is not None else build_fuzz_service()
+    wires = list(corpus) if corpus is not None else default_corpus()
+    rng = random.Random(seed)
+    fuzzer = DeltaFrameFuzzer(rng, service.limits)
+    report = FuzzReport(seed=seed, mode="delta")
+    counter = (
+        service.obs.metrics.counter(
+            "repro_fuzz_cases_total",
+            "Fuzz cases by driver mode and outcome",
+            ("mode", "outcome"),
+        )
+        if service.obs.metrics is not None
+        else None
+    )
+    session_id = "fuzz-delta"
+    probes = [w for w in wires if _classify_response(service.handle(w)) == "ok"]
+    if not probes:
+        report.violate("no corpus wire gets a non-fault response pristine")
+        return report
+    epoch = 0
+
+    def _announce(body: bytes) -> None:
+        nonlocal epoch
+        epoch += 1
+        service.handle_wire(
+            body, _announce_headers(_FUZZ_TEMPLATE_ID, epoch), session_id
+        )
+
+    def _probe(case_no: int) -> None:
+        body = probes[(case_no // max(1, probe_every)) % len(probes)]
+        _announce(body)
+        frame = encode_frame(
+            _FUZZ_TEMPLATE_ID, epoch, 1, len(body), [], [], b""
+        )
+        try:
+            status, _extra, response = service.handle_wire(
+                frame, _FRAME_HEADERS, session_id
+            )
+        except Exception as exc:  # noqa: BLE001 - the invariant under test
+            report.violate(f"probe after case {case_no} raised {exc!r}")
+            return
+        if status != 200 or _classify_response(response) != "ok":
+            report.violate(
+                f"probe after case {case_no} rejected (status {status}): "
+                "delta state poisoned"
+            )
+
+    for case_no in range(iterations):
+        body = rng.choice(probes)
+        _announce(body)
+        frame, mutator = fuzzer.next_case(_FUZZ_TEMPLATE_ID, epoch, 1, body)
+        try:
+            status, _extra, response = service.handle_wire(
+                frame, _FRAME_HEADERS, session_id
+            )
+            if status == 200:
+                outcome = _classify_response(response)
+            elif status == 409:
+                outcome = "resync"
+            else:
+                report.violate(
+                    f"case {case_no} ({mutator}): unexpected status {status}"
+                )
+                outcome = f"status_{status}"
+        except Exception as exc:  # noqa: BLE001 - the invariant under test
+            report.violate(
+                f"case {case_no} ({mutator}, {len(frame)}B) escaped "
+                f"handle_wire(): {type(exc).__name__}: {exc}"
+            )
+            outcome = "crash"
+        report.record(outcome, mutator)
+        if counter is not None:
+            counter.inc(mode="delta", outcome=outcome)
+        if probe_every and (case_no + 1) % probe_every == 0:
+            _probe(case_no)
+    _probe(iterations)
+    return report
+
+
+def fuzz_delta_http(
+    service: Optional[SOAPService] = None,
+    corpus: Optional[Sequence[bytes]] = None,
+    *,
+    iterations: int = 100,
+    seed: int = 0,
+    host: str = "127.0.0.1",
+    timeout: float = 10.0,
+) -> FuzzReport:
+    """Fuzz delta frames against a live :class:`HTTPSoapServer`.
+
+    One fresh connection per case carrying two pipelined POSTs: a
+    well-formed full-XML announce, then a mutated binary frame.
+    Violations: hang, silent drop, fewer than two responses, or any
+    status outside :data:`ALLOWED_HTTP_STATUSES`.
+    """
+    service = service if service is not None else build_fuzz_service()
+    wires = list(corpus) if corpus is not None else default_corpus()
+    rng = random.Random(seed)
+    fuzzer = DeltaFrameFuzzer(rng, service.limits)
+    report = FuzzReport(seed=seed, mode="delta-http")
+    counter = (
+        service.obs.metrics.counter(
+            "repro_fuzz_cases_total",
+            "Fuzz cases by driver mode and outcome",
+            ("mode", "outcome"),
+        )
+        if service.obs.metrics is not None
+        else None
+    )
+    with HTTPSoapServer(service, host) as server:
+        for case_no in range(iterations):
+            body = rng.choice(wires)
+            epoch = case_no + 1
+            announce = (
+                b"POST /soap HTTP/1.1\r\nContent-Type: text/xml\r\n"
+                b"X-Repro-Delta: 1\r\n"
+                b"X-Repro-Delta-Template: %d\r\n"
+                b"X-Repro-Delta-Epoch: %d\r\n"
+                b"Content-Length: %d\r\n\r\n"
+                % (_FUZZ_TEMPLATE_ID, epoch, len(body))
+            ) + body
+            frame, mutator = fuzzer.next_case(
+                _FUZZ_TEMPLATE_ID, epoch, 1, body
+            )
+            frame_req = (
+                b"POST /soap HTTP/1.1\r\n"
+                b"Content-Type: application/x-repro-delta\r\n"
+                b"X-Repro-Delta: 1\r\nX-Repro-Delta-Frame: 1\r\n"
+                b"Content-Length: %d\r\n\r\n" % len(frame)
+            ) + frame
+            disposition, payload = _one_exchange(
+                host, server.port, announce + frame_req, timeout
+            )
+            if disposition == "hang":
+                report.violate(f"case {case_no} ({mutator}): server hung")
+                outcome = "hang"
+            elif not payload:
+                report.violate(
+                    f"case {case_no} ({mutator}): connection closed with "
+                    "no response (silent drop)"
+                )
+                outcome = "silent_drop"
+            else:
+                statuses = [
+                    int(s)
+                    for s in re.findall(rb"HTTP/1\.1 (\d{3})", payload)
+                ]
+                bad = [s for s in statuses if s not in ALLOWED_HTTP_STATUSES]
+                if bad:
+                    report.violate(
+                        f"case {case_no} ({mutator}): unexpected "
+                        f"status(es) {bad}"
+                    )
+                    outcome = "bad_status"
+                elif len(statuses) < 2:
+                    report.violate(
+                        f"case {case_no} ({mutator}): only "
+                        f"{len(statuses)} responses to 2 requests"
+                    )
+                    outcome = "missing_response"
+                else:
+                    outcome = "http_" + "_".join(str(s) for s in statuses)
+            report.record(outcome, mutator)
+            if counter is not None:
+                counter.inc(mode="delta-http", outcome=outcome)
+    return report
+
+
 def _first_status(payload: bytes) -> Optional[int]:
     """Status code of the first HTTP response in *payload* (or None)."""
     line, _, _ = payload.partition(b"\r\n")
@@ -646,6 +1073,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--service-iterations", type=int, default=2000)
     parser.add_argument("--http-iterations", type=int, default=200)
+    parser.add_argument("--delta-iterations", type=int, default=0)
+    parser.add_argument("--delta-http-iterations", type=int, default=0)
     args = parser.parse_args(argv)
 
     corpus = load_corpus(args.corpus) if args.corpus else default_corpus()
@@ -663,6 +1092,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         reports.append(
             fuzz_http(
                 corpus=corpus, iterations=args.http_iterations, seed=args.seed
+            )
+        )
+        print(reports[-1].summary())
+    if args.delta_iterations > 0:
+        reports.append(
+            fuzz_delta(
+                corpus=corpus, iterations=args.delta_iterations, seed=args.seed
+            )
+        )
+        print(reports[-1].summary())
+    if args.delta_http_iterations > 0:
+        reports.append(
+            fuzz_delta_http(
+                corpus=corpus,
+                iterations=args.delta_http_iterations,
+                seed=args.seed,
             )
         )
         print(reports[-1].summary())

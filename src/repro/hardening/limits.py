@@ -57,6 +57,16 @@ class ResourceLimits:
     max_requests_per_connection: int = 100_000
     #: Concurrent connections accepted by a server front end (503).
     max_concurrent_connections: int = 128
+    #: Most splices accepted in one binary delta frame (resync).
+    max_delta_splices: int = 1 << 17
+    #: Largest accepted binary delta frame in bytes (resync).  Framing
+    #: already caps it at ``max_body_bytes``; this is the tighter bound
+    #: a patch-sized payload should never legitimately reach.
+    max_delta_frame_bytes: int = 1 << 24
+    #: Mirror documents retained per server session for delta
+    #: reconstruction (LRU beyond this; an evicted template's next
+    #: frame answers resync and the client re-announces).
+    max_delta_mirrors: int = 4
 
     def __post_init__(self) -> None:
         for f in fields(self):
@@ -97,4 +107,7 @@ UNLIMITED = ResourceLimits(
     read_deadline=86_400.0,
     max_requests_per_connection=1 << 40,
     max_concurrent_connections=1 << 20,
+    max_delta_splices=1 << 30,
+    max_delta_frame_bytes=1 << 40,
+    max_delta_mirrors=1 << 10,
 )

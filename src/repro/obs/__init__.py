@@ -102,6 +102,10 @@ class Observability:
         "_call_retries",
         "_plan_events",
         "_plan_spliced",
+        "_delta_frames",
+        "_delta_bytes_saved",
+        "_bytes_sent",
+        "_bytes_received",
     )
 
     def __init__(
@@ -180,6 +184,26 @@ class Observability:
                 "repro_plan_spliced_values_total",
                 "Values written via strided splice runs of cached plans",
             )
+            self._delta_frames = metrics.counter(
+                "repro_delta_frames_total",
+                "Delta-frame protocol events by outcome "
+                "(encoded / fallback-* client-side, applied / resync-* "
+                "server-side)",
+                ("outcome",),
+            )
+            self._delta_bytes_saved = metrics.counter(
+                "repro_delta_bytes_saved_total",
+                "Document bytes not sent thanks to delta frames "
+                "(doc_len - frame size, summed)",
+            )
+            self._bytes_sent = metrics.counter(
+                "repro_bytes_sent_total",
+                "Payload bytes sent on the wire (tx; frames at frame size)",
+            )
+            self._bytes_received = metrics.counter(
+                "repro_bytes_received_total",
+                "Payload bytes received from the wire (rx)",
+            )
 
     # ------------------------------------------------------------------
     # constructors
@@ -208,6 +232,7 @@ class Observability:
         kind = report.match_kind.value
         self._sends.inc(1, kind=kind)
         self._send_bytes.inc(report.bytes_sent, kind=kind)
+        self._bytes_sent.inc(report.bytes_sent)
         rewrite = report.rewrite
         if rewrite.values_rewritten:
             self._values_rewritten.inc(rewrite.values_rewritten)
@@ -246,6 +271,14 @@ class Observability:
         if self.metrics is not None and n > 0:
             self._buffer_bytes_moved.inc(n)
 
+    def record_delta_frame(self, outcome: str, bytes_saved: int = 0) -> None:
+        """One delta-protocol event (client encode or server apply)."""
+        if self.metrics is None:
+            return
+        self._delta_frames.inc(1, outcome=outcome)
+        if bytes_saved > 0:
+            self._delta_bytes_saved.inc(bytes_saved)
+
     # ------------------------------------------------------------------
     # channel-side recording
     # ------------------------------------------------------------------
@@ -255,6 +288,10 @@ class Observability:
         self._call_latency.observe(duration_s)
         if retries:
             self._call_retries.inc(retries)
+
+    def record_bytes_received(self, n: int) -> None:
+        if self.metrics is not None and n > 0:
+            self._bytes_received.inc(n)
 
 
 #: The shared no-op default: tracing disabled, no registry.

@@ -48,6 +48,8 @@ SPAN_NAMES = (
     "overlay",  # one chunk-overlay streamed send
     "send",  # one complete client send (any match level)
     "recv",  # one response received and decoded
+    "delta-encode",  # one binary delta frame encoded from the dirty set
+    "delta-apply",  # one delta frame applied to a server mirror
 )
 
 

@@ -35,6 +35,7 @@ from repro.obs import NULL_OBS, Observability
 from repro.schema.registry import TypeRegistry
 from repro.server.diffdeser import DeserKind, DifferentialDeserializer
 from repro.transport.loopback import CollectSink
+from repro.wire.server import DeltaSession
 
 __all__ = ["ServerSession", "ServerSessionManager", "DeserializerView"]
 
@@ -70,6 +71,9 @@ class ServerSession:
         "lock",
         "requests_handled",
         "faults_returned",
+        "bytes_received",
+        "bytes_sent",
+        "delta",
         "pinned",
         "in_use",
     )
@@ -91,6 +95,13 @@ class ServerSession:
         self.lock = threading.Lock()
         self.requests_handled = 0
         self.faults_returned = 0
+        #: Request/response payload bytes seen by this session (the
+        #: server-side half of the tx/rx accounting).
+        self.bytes_received = 0
+        self.bytes_sent = 0
+        #: Delta-frame mirror store (repro.wire.server); populated only
+        #: when the front end routes announced bodies / frames here.
+        self.delta = DeltaSession(limits)
         #: Pinned sessions (the default one) are never LRU-evicted.
         self.pinned = pinned
         #: Number of threads currently between acquire() and release();
@@ -178,6 +189,11 @@ class ServerSessionManager:
         self._retired_responses = ClientStats()
         self._retired_handled = 0
         self._retired_faulted = 0
+        self._retired_rx = 0
+        self._retired_tx = 0
+        self._retired_delta_applied = 0
+        self._retired_delta_resyncs = 0
+        self._retired_delta_saved = 0
 
     # ------------------------------------------------------------------
     def acquire(self, key: Optional[Hashable]) -> ServerSession:
@@ -230,6 +246,11 @@ class ServerSessionManager:
         self._retired_responses.merge_from(session.responder.stats)
         self._retired_handled += session.requests_handled
         self._retired_faulted += session.faults_returned
+        self._retired_rx += session.bytes_received
+        self._retired_tx += session.bytes_sent
+        self._retired_delta_applied += session.delta.frames_applied
+        self._retired_delta_resyncs += session.delta.resyncs
+        self._retired_delta_saved += session.delta.bytes_saved
 
     def close_session(self, key: Optional[Hashable]) -> None:
         """Free *key*'s session eagerly (connection closed).
@@ -281,12 +302,27 @@ class ServerSessionManager:
         with self._lock:
             handled = self._retired_handled
             faulted = self._retired_faulted
+            rx = self._retired_rx
+            tx = self._retired_tx
+            delta_applied = self._retired_delta_applied
+            delta_resyncs = self._retired_delta_resyncs
+            delta_saved = self._retired_delta_saved
         for session in self.sessions():
             handled += session.requests_handled
             faulted += session.faults_returned
+            rx += session.bytes_received
+            tx += session.bytes_sent
+            delta_applied += session.delta.frames_applied
+            delta_resyncs += session.delta.resyncs
+            delta_saved += session.delta.bytes_saved
         return {
             "requests_handled": handled,
             "faults_returned": faulted,
+            "bytes_received": rx,
+            "bytes_sent": tx,
+            "delta_frames_applied": delta_applied,
+            "delta_resyncs": delta_resyncs,
+            "delta_bytes_saved": delta_saved,
             "sessions": len(self),
             "sessions_created": self.sessions_created,
             "evictions": self.evictions,

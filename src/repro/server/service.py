@@ -31,6 +31,8 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Un
 from repro.core.policy import DiffPolicy
 from repro.core.stats import ClientStats
 from repro.errors import (
+    DeltaFrameError,
+    DeltaResyncError,
     LexicalError,
     ResourceLimitError,
     SchemaError,
@@ -87,12 +89,17 @@ class SOAPService:
         *,
         response_policy: Optional[DiffPolicy] = None,
         differential_deser: bool = True,
+        delta_enabled: bool = True,
         definition: Optional[object] = None,
         max_sessions: int = 256,
         obs: Optional[Observability] = None,
         limits: Optional[ResourceLimits] = None,
     ) -> None:
         self.namespace = namespace
+        #: Accept the client's ``X-Repro-Delta`` offer and serve binary
+        #: delta frames.  Off → offers are ignored (no ack header), so
+        #: clients stay on full XML; frames are answered with a resync.
+        self.delta_enabled = delta_enabled
         #: Optional :class:`~repro.wsdl.model.ServiceDef` for WSDL serving.
         self.definition = definition
         self.registry = registry or TypeRegistry()
@@ -294,6 +301,87 @@ class SOAPService:
                 self._faults_counter.inc()
             return SOAPFault.server(f"{type(exc).__name__}: {exc}").to_xml()
 
+    # ------------------------------------------------------------------
+    # delta-aware front-end entry point
+    # ------------------------------------------------------------------
+    def handle_wire(
+        self,
+        body: bytes,
+        headers: Dict[str, str],
+        session_id: Optional[Hashable] = None,
+    ) -> Tuple[int, List[str], bytes]:
+        """Handle one request with its HTTP *headers* in view.
+
+        The delta-aware superset of :meth:`handle`: binary frames are
+        reconstructed against the session's mirror before the normal
+        SOAP pipeline runs, announced full-XML bodies deposit mirrors,
+        and offers are acknowledged.  Returns ``(status,
+        extra_header_lines, response_body)`` for the front end to frame
+        — status 200 with the SOAP response, or 409 with an empty body
+        and ``X-Repro-Delta-Resync: 1`` when the client must fall back
+        to full XML.
+
+        *headers* keys must be lowercase (as
+        :func:`~repro.transport.http.parse_http_request` produces).
+        """
+        offered = headers.get("x-repro-delta") == "1"
+        extra: List[str] = []
+        if offered and self.delta_enabled:
+            extra.append("X-Repro-Delta: 1")
+        session = self.sessions.acquire(session_id)
+        try:
+            with session.lock:
+                session.bytes_received += len(body)
+                self.obs.record_bytes_received(len(body))
+                if headers.get("x-repro-delta-frame") == "1":
+                    status, response = self._handle_frame(session, body)
+                    if status != 200:
+                        return status, ["X-Repro-Delta-Resync: 1"], response
+                else:
+                    if offered and self.delta_enabled:
+                        self._maybe_store_mirror(session, headers, body)
+                    response = self._handle_in_session(session, body)
+                session.bytes_sent += len(response)
+                return 200, extra, response
+        finally:
+            self.sessions.release(session)
+
+    def _handle_frame(
+        self, session: ServerSession, body: bytes
+    ) -> Tuple[int, bytes]:
+        """Reconstruct a delta frame and run the SOAP pipeline on it."""
+        if not self.delta_enabled:
+            self.obs.record_delta_frame("resync-disabled")
+            return 409, b""
+        try:
+            document = session.delta.apply(body, self.limits)
+        except (DeltaFrameError, DeltaResyncError) as exc:
+            # A bad frame is a protocol-state problem, not a SOAP
+            # fault: drop to 409 so the client re-announces.  The
+            # mirror is already gone (apply drops it before raising).
+            self.obs.record_delta_frame(f"resync-{exc.reason}")
+            return 409, b""
+        self.obs.record_delta_frame("applied", len(document) - len(body))
+        return 200, self._handle_in_session(session, document)
+
+    def _maybe_store_mirror(
+        self, session: ServerSession, headers: Dict[str, str], body: bytes
+    ) -> None:
+        """Deposit an announced full-XML body as a delta mirror.
+
+        Announce headers are attacker-controlled text: garbage values
+        are ignored (no mirror, no fault) — the client simply never
+        gets a frame accepted against them.
+        """
+        try:
+            template_id = int(headers["x-repro-delta-template"])
+            epoch = int(headers["x-repro-delta-epoch"])
+        except (KeyError, ValueError):
+            return
+        if template_id < 0 or epoch < 0:
+            return
+        session.delta.store(template_id, epoch, body)
+
     def _decode(self, session: ServerSession, body: bytes) -> DecodedMessage:
         if self._differential_deser:
             message, _report = session.deserializer.deserialize(body)
@@ -319,6 +407,7 @@ class SOAPService:
 _STATUS_PHRASES = {
     400: "Bad Request",
     408: "Request Timeout",
+    409: "Conflict",
     413: "Payload Too Large",
     503: "Service Unavailable",
 }
@@ -544,10 +633,15 @@ class HTTPSoapServer:
                 if not buffered:
                     return "open", b"", served
                 continue
-            response_body = self.service.handle(request.body, session_id)
+            status, extra_headers, response_body = self.service.handle_wire(
+                request.body, request.headers, session_id
+            )
+            phrase = "OK" if status == 200 else _STATUS_PHRASES.get(status, "Error")
+            header_lines = "".join(f"{line}\r\n" for line in extra_headers)
             head = (
-                "HTTP/1.1 200 OK\r\n"
+                f"HTTP/1.1 {status} {phrase}\r\n"
                 'Content-Type: text/xml; charset="utf-8"\r\n'
+                f"{header_lines}"
                 f"Content-Length: {len(response_body)}\r\n\r\n"
             ).encode("ascii")
             try:

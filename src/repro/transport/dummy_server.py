@@ -28,6 +28,14 @@ _CANNED_RESPONSE = (
     b"\r\n"
 )
 
+_CANNED_DELTA_RESPONSE = (
+    b"HTTP/1.1 200 OK\r\n"
+    b"Content-Type: text/xml\r\n"
+    b"X-Repro-Delta: 1\r\n"
+    b"Content-Length: 0\r\n"
+    b"\r\n"
+)
+
 _CANNED_400 = (
     b"HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
 )
@@ -59,10 +67,16 @@ class DummyServer:
         host: str = "127.0.0.1",
         respond: bool = False,
         *,
+        delta: bool = False,
         limits: Optional[ResourceLimits] = None,
     ) -> None:
         self.host = host
         self.respond = respond
+        #: In respond mode, acknowledge the client's delta offer
+        #: (``X-Repro-Delta: 1`` on every canned 200) so serializer
+        #: drain benchmarks exercise the frame-encoding send path.
+        #: The bytes are still only drained, never reconstructed.
+        self.delta = delta
         self.limits = limits if limits is not None else DEFAULT_LIMITS
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
@@ -176,7 +190,9 @@ class DummyServer:
                     pass
                 return b""  # malformed — keep draining, stop responding
             try:
-                conn.sendall(_CANNED_RESPONSE)
+                conn.sendall(
+                    _CANNED_DELTA_RESPONSE if self.delta else _CANNED_RESPONSE
+                )
             except OSError:
                 return b""
             buffered = buffered[consumed:]

@@ -46,6 +46,7 @@ class HTTPTransport:
         mode: str = "chunked",
         soap_action: str = '""',
         user_agent: str = "bSOAP-repro/1.0",
+        delta_offer: bool = False,
         obs=None,
     ) -> None:
         if mode not in ("chunked", "content-length"):
@@ -56,6 +57,12 @@ class HTTPTransport:
         self.path = path
         self.soap_action = soap_action
         self.user_agent = user_agent
+        #: When True every request offers the delta-frame protocol
+        #: (``X-Repro-Delta: 1``); see ``docs/wire_protocol.md``.
+        self.delta_offer = delta_offer
+        # Armed by the client's DeltaEncoder just before a full send;
+        # consumed (and cleared) by the next message's header block.
+        self._announce: Optional[Tuple[int, int]] = None
         # Wire-level counters: framing overhead is invisible to the
         # payload-level SendReport, so it is counted here.
         metrics = getattr(obs, "metrics", None)
@@ -75,6 +82,46 @@ class HTTPTransport:
             self._wire_bytes_counter = None
 
     # ------------------------------------------------------------------
+    # delta-frame extensions (consumed by repro.wire.client)
+    # ------------------------------------------------------------------
+    def set_delta_announce(self, template_id: int, epoch: int) -> None:
+        """Arm baseline-announce headers for the next full-XML send."""
+        self._announce = (template_id, epoch)
+
+    def send_delta_frame(self, frame: bytes) -> int:
+        """POST one binary delta frame (always identity-framed)."""
+        lines = [
+            f"POST {self.path} HTTP/1.1",
+            f"Host: {self.host}",
+            f"User-Agent: {self.user_agent}",
+            "Content-Type: application/x-repro-delta",
+            f"SOAPAction: {self.soap_action}",
+            "X-Repro-Delta: 1",
+            "X-Repro-Delta-Frame: 1",
+            f"Content-Length: {len(frame)}",
+        ]
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+        self.inner.send_message([head, frame])
+        self._payload_sent = len(frame)
+        if self._messages_counter is not None:
+            self._messages_counter.inc(1, mode="delta-frame")
+            self._wire_bytes_counter.inc(
+                len(head) + len(frame), mode="delta-frame"
+            )
+        return len(frame)
+
+    def _delta_lines(self) -> List[str]:
+        lines = []
+        if self.delta_offer:
+            lines.append("X-Repro-Delta: 1")
+        if self._announce is not None:
+            template_id, epoch = self._announce
+            self._announce = None
+            lines.append(f"X-Repro-Delta-Template: {template_id}")
+            lines.append(f"X-Repro-Delta-Epoch: {epoch}")
+        return lines
+
+    # ------------------------------------------------------------------
     def _headers(self, content_length: Optional[int]) -> bytes:
         lines = [
             f"POST {self.path} HTTP/1.1" if self.mode == "chunked"
@@ -84,6 +131,8 @@ class HTTPTransport:
             'Content-Type: text/xml; charset="utf-8"',
             f"SOAPAction: {self.soap_action}",
         ]
+        if self.delta_offer:
+            lines += self._delta_lines()
         if self.mode == "chunked":
             lines.append("Transfer-Encoding: chunked")
         else:

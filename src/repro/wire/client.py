@@ -1,0 +1,211 @@
+"""Client side of the delta-frame protocol: baselines + splice harvest.
+
+The :class:`DeltaEncoder` rides along inside
+:class:`~repro.core.client.BSoapClient`:
+
+* every full-XML send of a surviving template *announces* a baseline
+  (template id + a fresh epoch) via headers the HTTP framer injects,
+  so the server can keep a mirror copy of the body;
+* once the server's ``X-Repro-Delta: 1`` response header flips
+  :attr:`negotiated`, eligible steady-state sends are encoded as
+  binary frames instead: the splices are harvested straight from the
+  DUT dirty snapshot taken by ``begin_send()`` — exactly the byte
+  regions (value + closing tag + pad) the differential rewrite is
+  allowed to touch when no field expanded.
+
+Eligibility is deliberately conservative; anything else falls back to
+full XML with a fresh announce, so correctness never depends on the
+optimization:
+
+* match level must be content or perfect-structural with zero
+  expansions (a moved byte invalidates cached offsets),
+* the buffer's ``layout_epoch`` and total length must equal the
+  announced baseline's,
+* the frame must stay under ``max_splices`` and under
+  ``max_frame_fraction`` of the document (at high churn a patch
+  approaches the document size and full XML is strictly cheaper).
+
+This module must not import :mod:`repro.core` (the client imports us);
+templates and policies are duck-typed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.wire.frame import DIR_ENTRY, HEADER, encode_frame
+
+__all__ = ["DeltaEncoder"]
+
+
+class _Baseline:
+    """What the client believes the server mirrors for one template."""
+
+    __slots__ = ("epoch", "seq", "doc_len", "layout_epoch")
+
+    def __init__(self, epoch: int, doc_len: int, layout_epoch: int) -> None:
+        self.epoch = epoch
+        self.seq = 0
+        self.doc_len = doc_len
+        self.layout_epoch = layout_epoch
+
+
+class DeltaEncoder:
+    """Per-client delta-frame state machine (see module docstring)."""
+
+    def __init__(self, policy, transport, obs=None) -> None:
+        self.policy = policy
+        self.transport = transport
+        #: Offer enabled *and* the transport can carry frames.
+        self.active = bool(
+            getattr(policy, "offer", False)
+            and hasattr(transport, "send_delta_frame")
+            and hasattr(transport, "set_delta_announce")
+        )
+        #: Flipped by the channel when the server's response carries
+        #: the acceptance header.  Frames are only sent when True.
+        self.negotiated = False
+        self.obs = obs
+        self._baselines: Dict[int, _Baseline] = {}
+        self._epoch_counter = 0
+        # Lifetime counters (mirrored into metrics when obs is live).
+        self.frames_sent = 0
+        self.bytes_saved = 0
+        self.fallbacks: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def announce(self, template) -> None:
+        """Record a fresh baseline and arm announce headers for the
+        imminent full-XML send of *template*."""
+        if not self.active:
+            return
+        self._epoch_counter += 1
+        baseline = _Baseline(
+            self._epoch_counter,
+            template.total_bytes,
+            template.buffer.layout_epoch,
+        )
+        self._baselines[template.template_id] = baseline
+        self.transport.set_delta_announce(template.template_id, baseline.epoch)
+
+    def invalidate(self, template_id: int) -> None:
+        """Drop one baseline (send failed / template quarantined)."""
+        self._baselines.pop(template_id, None)
+
+    def reset_baselines(self) -> None:
+        """Drop every baseline (the connection — and with it the
+        server session holding the mirrors — died)."""
+        self._baselines.clear()
+
+    # ------------------------------------------------------------------
+    def try_encode(self, template, snapshot, rewrite) -> Optional[bytes]:
+        """Encode this send as a frame, or ``None`` to fall back.
+
+        *snapshot* is the dirty mask captured by ``begin_send()``
+        before the rewrite ran; *rewrite* the pass's stats.
+        """
+        if not (self.active and self.negotiated):
+            return None
+        baseline = self._baselines.get(template.template_id)
+        if baseline is None:
+            return self._fallback("no-baseline")
+        if rewrite.expansions:
+            return self._fallback("expansion")
+        buffer = template.buffer
+        if buffer.layout_epoch != baseline.layout_epoch:
+            return self._fallback("layout-epoch")
+        if template.total_bytes != baseline.doc_len:
+            return self._fallback("doc-len")
+
+        dut = template.dut
+        take = np.flatnonzero(snapshot)
+        if take.size:
+            chunk_ids = buffer.chunk_ids
+            bases = np.zeros(max(chunk_ids) + 1, dtype=np.int64)
+            pos = 0
+            for cid in chunk_ids:
+                bases[cid] = pos
+                pos += buffer.chunk(cid).used
+            cids = dut.chunk_id[take]
+            value_offs = dut.value_off[take].astype(np.int64)
+            # The full region a no-expansion rewrite may touch: value
+            # bytes, the (possibly moved) closing tag, and the pad.
+            widths = (
+                dut.field_width[take].astype(np.int64)
+                + dut.close_len[take].astype(np.int64)
+            )
+            offsets = bases[cids] + value_offs
+            # Entries are in document order, so offsets are sorted;
+            # coalesce byte-adjacent regions into single splices.
+            gap = offsets[1:] != offsets[:-1] + widths[:-1]
+            starts = np.concatenate(([0], np.flatnonzero(gap) + 1))
+            ends = np.concatenate((np.flatnonzero(gap) + 1, [take.size]))
+            cumw = np.concatenate(([0], np.cumsum(widths)))
+            out_offsets = offsets[starts]
+            out_widths = cumw[ends] - cumw[starts]
+            if out_offsets.size > self.policy.max_splices:
+                return self._fallback("too-many-splices")
+            estimated = (
+                HEADER.size
+                + out_offsets.size * DIR_ENTRY.size
+                + int(out_widths.sum())
+            )
+            if estimated > self.policy.max_frame_fraction * baseline.doc_len:
+                return self._fallback("frame-too-large")
+            parts = []
+            cids_l = cids.tolist()
+            offs_l = value_offs.tolist()
+            widths_l = widths.tolist()
+            last_cid = -1
+            data = b""
+            for k in range(take.size):
+                cid = cids_l[k]
+                if cid != last_cid:
+                    data = buffer.chunk(cid).data
+                    last_cid = cid
+                off = offs_l[k]
+                parts.append(bytes(data[off : off + widths_l[k]]))
+            payload = b"".join(parts)
+        else:
+            # Content match: nothing dirty — a header-only frame.
+            out_offsets = ()
+            out_widths = ()
+            payload = b""
+
+        baseline.seq += 1
+        frame = encode_frame(
+            template.template_id,
+            baseline.epoch,
+            baseline.seq,
+            baseline.doc_len,
+            out_offsets,
+            out_widths,
+            payload,
+        )
+        self.frames_sent += 1
+        saved = baseline.doc_len - len(frame)
+        if saved > 0:
+            self.bytes_saved += saved
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            obs.record_delta_frame("encoded", max(0, saved))
+            if obs.tracer.enabled:
+                obs.tracer.emit(
+                    "delta-encode",
+                    template_id=template.template_id,
+                    epoch=baseline.epoch,
+                    seq=baseline.seq,
+                    splices=len(out_offsets),
+                    frame_bytes=len(frame),
+                    doc_bytes=baseline.doc_len,
+                )
+        return frame
+
+    def _fallback(self, reason: str) -> None:
+        self.fallbacks[reason] = self.fallbacks.get(reason, 0) + 1
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            obs.record_delta_frame("fallback-" + reason, 0)
+        return None

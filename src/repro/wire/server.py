@@ -1,0 +1,122 @@
+"""Server side of the delta-frame protocol: per-session mirror store.
+
+One :class:`DeltaSession` lives on each
+:class:`~repro.runtime.sessions.ServerSession`.  Full-XML requests
+carrying announce headers deposit a *mirror* — a byte copy of the body
+keyed by the client's template id.  A later binary frame is decoded
+under the session's :class:`~repro.hardening.ResourceLimits`, matched
+against the mirror's epoch/sequence, applied in place, and the
+reconstructed document handed to the normal SOAP pipeline (where the
+:class:`~repro.server.diffdeser.DifferentialDeserializer` then gets a
+guaranteed same-length, value-spans-only diff — its best case).
+
+Every mismatch *drops* the mirror and raises
+:class:`~repro.errors.DeltaResyncError`; the front end answers the
+resync status and the client re-announces with full XML.  Nothing in
+this module lets a bad frame leave a half-patched mirror behind:
+decode validates everything first, and state checks precede the write.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.errors import DeltaResyncError
+from repro.hardening.limits import DEFAULT_LIMITS, ResourceLimits
+from repro.wire.frame import apply_frame, decode_frame
+
+__all__ = ["DeltaSession"]
+
+
+class _Mirror:
+    __slots__ = ("data", "epoch", "seq")
+
+    def __init__(self, data: bytearray, epoch: int) -> None:
+        self.data = data
+        self.epoch = epoch
+        self.seq = 0
+
+
+class DeltaSession:
+    """Mirror documents and counters for one server session."""
+
+    __slots__ = (
+        "mirrors",
+        "max_mirrors",
+        "frames_applied",
+        "resyncs",
+        "bytes_saved",
+        "last_reconstructed",
+    )
+
+    def __init__(self, limits: Optional[ResourceLimits] = None) -> None:
+        limits = limits if limits is not None else DEFAULT_LIMITS
+        self.mirrors: "OrderedDict[int, _Mirror]" = OrderedDict()
+        self.max_mirrors = limits.max_delta_mirrors
+        self.frames_applied = 0
+        self.resyncs = 0
+        self.bytes_saved = 0
+        #: Most recent reconstructed document (oracle tests compare it
+        #: byte-for-byte against the naive serialization).
+        self.last_reconstructed: Optional[bytes] = None
+
+    # ------------------------------------------------------------------
+    def store(self, template_id: int, epoch: int, body: bytes) -> None:
+        """Deposit the announced baseline *body* as a mirror."""
+        self.mirrors.pop(template_id, None)
+        self.mirrors[template_id] = _Mirror(bytearray(body), epoch)
+        while len(self.mirrors) > self.max_mirrors:
+            self.mirrors.popitem(last=False)
+
+    def apply(self, frame_bytes: bytes, limits: ResourceLimits) -> bytes:
+        """Decode + validate + apply one frame; return the document.
+
+        Raises :class:`~repro.errors.DeltaFrameError` for malformed
+        frames and :class:`~repro.errors.DeltaResyncError` for state
+        mismatches; both drop any affected mirror first.
+        """
+        frame = decode_frame(frame_bytes, limits=limits)
+        mirror = self.mirrors.get(frame.template_id)
+        if mirror is None:
+            self.resyncs += 1
+            raise DeltaResyncError(
+                f"no mirror for template {frame.template_id}",
+                "unknown-template",
+            )
+        if frame.epoch != mirror.epoch:
+            self.mirrors.pop(frame.template_id, None)
+            self.resyncs += 1
+            raise DeltaResyncError(
+                f"frame epoch {frame.epoch} != mirror epoch {mirror.epoch}",
+                "stale-epoch",
+            )
+        if frame.seq != mirror.seq + 1:
+            self.mirrors.pop(frame.template_id, None)
+            self.resyncs += 1
+            raise DeltaResyncError(
+                f"frame seq {frame.seq} after mirror seq {mirror.seq}",
+                "sequence-gap",
+            )
+        if frame.doc_len != len(mirror.data):
+            self.mirrors.pop(frame.template_id, None)
+            self.resyncs += 1
+            raise DeltaResyncError(
+                f"frame doc_len {frame.doc_len} != mirror length "
+                f"{len(mirror.data)}",
+                "doc-len-mismatch",
+            )
+        apply_frame(frame, mirror.data)
+        mirror.seq = frame.seq
+        self.mirrors.move_to_end(frame.template_id)
+        self.frames_applied += 1
+        document = bytes(mirror.data)
+        self.bytes_saved += max(0, len(document) - len(frame_bytes))
+        self.last_reconstructed = document
+        return document
+
+    def drop(self, template_id: int) -> None:
+        self.mirrors.pop(template_id, None)
+
+    def clear(self) -> None:
+        self.mirrors.clear()

@@ -135,6 +135,39 @@ def _differential_rewrite() -> bytes:
     return sink.last
 
 
+def _delta_reconstruction() -> bytes:
+    """The document a delta peer *reconstructs* from a binary frame.
+
+    Pins the frame → splice → mirror path end to end: the bytes below
+    were never sent as XML — the second call ships an RDF1 patch frame
+    and the loopback peer rebuilds the document from its mirror.  Any
+    drift in the encoder's splice harvest or the decoder's patching
+    shows up as a byte diff here.
+    """
+    from repro.core.policy import DeltaPolicy
+    from repro.wire.loopback import DeltaLoopback
+
+    loop = DeltaLoopback(keep_documents=True)
+    policy = DiffPolicy(
+        stuffing=StuffingPolicy(StuffMode.MAX), delta=DeltaPolicy(offer=True)
+    )
+    client = BSoapClient(loop, policy)
+    client.wire.negotiated = True
+    base = np.array([1.0, 123456.78125, -3.5, 0.25, 1e10, -0.0625])
+    msg = lambda v: SOAPMessage(  # noqa: E731 - local literal helper
+        "putDoubles", "urn:golden", [Parameter("data", ArrayType(DOUBLE), v)]
+    )
+    client.send(msg(base))
+    mutated = base.copy()
+    mutated[1] = 2.0
+    mutated[4] = -7.75
+    report = client.send(msg(mutated))
+    assert report.delta and loop.delta_sends == 1, (
+        "golden producer must exercise the delta path"
+    )
+    return loop.last_document
+
+
 CASES: Dict[str, Callable[[], bytes]] = {
     "doubles": _doubles,
     "doubles_stuffed": _doubles_stuffed,
@@ -143,6 +176,7 @@ CASES: Dict[str, Callable[[], bytes]] = {
     "multiref": _multiref,
     "mixed_scalars": _mixed_scalars,
     "differential_rewrite": _differential_rewrite,
+    "delta_reconstruction": _delta_reconstruction,
 }
 
 

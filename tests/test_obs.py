@@ -81,6 +81,8 @@ class TestTracer:
             "overlay",
             "send",
             "recv",
+            "delta-encode",
+            "delta-apply",
         }
 
 
