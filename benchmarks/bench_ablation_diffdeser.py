@@ -1,89 +1,346 @@
-"""Ablation — differential deserialization (§6 future work).
+"""Ablation — server-side deserialization: full parse vs differential vs skip-scan.
 
-Server-side dual of the client optimization: full parse vs byte-diff +
-re-parse-changed-leaves vs pure content match, over stuffed
-(fixed-layout) incoming messages.
+The server mirrors the client's trick (DESIGN.md §4b, docs/skipscan.md):
+when a request is a byte-diff away from the previous
+one, only the changed spans need parsing.  This bench isolates what each
+engine is worth across dirty fractions on a 64Ki-double request:
+
+* ``full-parse`` — a fresh :class:`SOAPRequestParser` pass over every
+  wire (the authoritative baseline, also the fallback path);
+* ``differential`` — :class:`DifferentialDeserializer` with the legacy
+  per-span scanner (``skipscan=False``);
+* ``skipscan`` — the same deserializer with a compiled
+  :class:`~repro.schema.skipscan.SeekTable` (``skipscan=True``): seek
+  straight to the dirty spans, trie-check the close tags, never
+  re-tokenize the skeleton.
+
+The timers are split: ``mean_parse_ms`` times the deserializer alone on
+pre-captured wires, while ``mean_handle_ms`` times the full
+``SOAPService.handle`` round trip (parse + dispatch + response) over the
+same traffic — ``mean_dispatch_ms`` is their difference, so the
+skip-scan ablation measures parse, not handler noise.
+
+Before timing, two sanity gates run on small copies:
+
+* lockstep equality — skip-scan, legacy differential, and a fresh full
+  parse decode every wire identically (and agree on the match kind);
+* drift drill — a flipped skeleton byte mid-session raises the same
+  error class as a full parse and the fast lane re-arms on the next
+  clean wire (no session poisoning).
+
+Emits one ``repro-bench-result/1`` document.  The headline row
+(``skipscan`` at ``dirty_frac=0.01``) is what the CI ``perf-smoke`` job
+checks against ``BENCH_diffdeser.json`` (>= 5x parse speedup full run,
+>= 3x in ``--smoke``).
+
+Usage::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_ablation_diffdeser.py \
+        --out BENCH_diffdeser.json
+    PYTHONPATH=src:benchmarks python benchmarks/bench_ablation_diffdeser.py --smoke
 """
 
-import numpy as np
-import pytest
+from __future__ import annotations
 
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bench.resultjson import dump_result, make_result, validate_result
 from repro.bench.workloads import double_array_message, doubles_of_width
 from repro.core.client import BSoapClient
 from repro.core.policy import DiffPolicy, StuffingPolicy, StuffMode
+from repro.errors import XMLError
+from repro.lexical.floats import FloatFormat
+from repro.schema import INT, TypeRegistry
 from repro.server.diffdeser import DeserKind, DifferentialDeserializer
 from repro.server.parser import SOAPRequestParser
+from repro.server.service import SOAPService
 from repro.transport.loopback import CollectSink
 
-N = 5000
+REQUIRED_COLUMNS = (
+    "variant",
+    "n",
+    "dirty_frac",
+    "sends",
+    "kind",
+    "mean_parse_ms",
+    "mean_handle_ms",
+    "mean_dispatch_ms",
+    "parses_per_sec",
+    "parse_speedup_vs_full",
+    "skipscan_hits",
+)
+
+VARIANTS = ("full-parse", "differential", "skipscan")
+FRACTIONS = (0.0, 0.01, 0.25)
+
+#: Headline cell for the CI gate: sparse dirty set, seek table at its best.
+HEADLINE_FRAC = 0.01
+MIN_HEADLINE_SPEEDUP = 5.0
+MIN_SMOKE_SPEEDUP = 3.0
+
+#: Fixed-format MAX stuffing keeps every span width constant, so each
+#: resend is a perfect structural match and the three engines differ
+#: only in how much of the wire they re-parse.
+POLICY = DiffPolicy(
+    float_format=FloatFormat.FIXED, stuffing=StuffingPolicy(StuffMode.MAX)
+)
 
 
-@pytest.fixture(scope="module")
-def traffic():
-    """A template message plus a 1%-changed and a 25%-changed variant."""
+def _wires(n: int, frac: float, sends: int, seed: int) -> List[bytes]:
+    """Pre-capture ``sends + 1`` wires (first is the first-time send);
+    every engine replays the identical byte traffic."""
     sink = CollectSink()
-    client = BSoapClient(sink, DiffPolicy(stuffing=StuffingPolicy(StuffMode.MAX)))
-    call = client.prepare(double_array_message(doubles_of_width(N, 14, seed=0)))
+    client = BSoapClient(sink, POLICY)
+    rng = np.random.default_rng(seed)
+    call = client.prepare(double_array_message(doubles_of_width(n, 18, seed=seed)))
     call.send()
-    base = sink.last
-    pool = doubles_of_width(N, 14, seed=9)
-    rng = np.random.default_rng(2)
-
-    call.tracked("data").update(rng.choice(N, N // 100, replace=False), pool[: N // 100])
-    call.send()
-    one_pct = sink.last
-
-    call.tracked("data").update(rng.choice(N, N // 4, replace=False), pool[: N // 4])
-    call.send()
-    quarter = sink.last
-    return base, one_pct, quarter
+    out = [sink.last]
+    tracked = call.tracked("data")
+    k = max(1, int(frac * n)) if frac > 0 else 0
+    for i in range(sends):
+        if k:
+            idx = np.sort(rng.choice(n, k, replace=False))
+            tracked.update(idx, doubles_of_width(k, 18, seed=seed + 1 + i))
+        call.send()
+        out.append(sink.last)
+    return out
 
 
-def test_full_parse(benchmark, traffic):
-    benchmark.group = f"ablation diffdeser (n={N})"
-    base, _one, _q = traffic
-    parser = SOAPRequestParser()
-    benchmark(lambda: parser.parse(base))
+def _time_parse(variant: str, wires: List[bytes]) -> Tuple[float, str, int]:
+    """Time the deserializer alone.  Returns (seconds, last kind,
+    skip-scan hit count) over ``wires[1:]``; ``wires[0]`` warms the
+    template untimed."""
+    registry = TypeRegistry()
+    if variant == "full-parse":
+        parser = SOAPRequestParser(registry)
+        fn = lambda wire: parser.parse(wire).message  # noqa: E731
+        deser = None
+    else:
+        deser = DifferentialDeserializer(
+            registry, skipscan=(variant == "skipscan")
+        )
+        fn = lambda wire: deser.deserialize(wire)  # noqa: E731
+    fn(wires[0])
+    t0 = time.perf_counter()
+    for wire in wires[1:]:
+        result = fn(wire)
+    elapsed = time.perf_counter() - t0
+    kind, hits = "full", 0
+    if deser is not None:
+        kind = result[1].kind.name.lower().replace("_", "-")
+        stats = deser.skipscan_stats
+        hits = stats.get("hit", 0) + stats.get("hit-vector", 0)
+    return elapsed, kind, hits
 
 
-def test_content_match(benchmark, traffic):
-    benchmark.group = f"ablation diffdeser (n={N})"
-    base, _one, _q = traffic
-    dd = DifferentialDeserializer()
-    dd.deserialize(base)
-    result = benchmark(lambda: dd.deserialize(base))
-    assert result[1].kind is DeserKind.CONTENT_MATCH
+def _time_handle(variant: str, wires: List[bytes]) -> float:
+    """Time the full ``SOAPService.handle`` round trip on the same
+    traffic (parse + dispatch + response serialization)."""
+    service = SOAPService(
+        "urn:diffdeser",
+        registry=TypeRegistry(),
+        differential_deser=(variant != "full-parse"),
+        skipscan=(variant == "skipscan"),
+    )
+
+    @service.operation("sendDoubles", result_type=INT, result_name="n")
+    def handler(data):
+        return len(data)
+
+    assert b"Fault" not in service.handle(wires[0], "bench")
+    t0 = time.perf_counter()
+    for wire in wires[1:]:
+        response = service.handle(wire, "bench")
+    elapsed = time.perf_counter() - t0
+    assert b"Fault" not in response
+    return elapsed
 
 
-def test_differential_1pct(benchmark, traffic):
-    benchmark.group = f"ablation diffdeser (n={N})"
-    base, one_pct, _q = traffic
-    dd = DifferentialDeserializer()
-    dd.deserialize(base)
-    flip = [one_pct, base]
-    state = {"i": 0}
+def _run_cell(
+    variant: str, n: int, frac: float, sends: int, seed: int
+) -> Dict[str, object]:
+    wires = _wires(n, frac, sends, seed)
+    parse_s, kind, hits = _time_parse(variant, wires)
+    handle_s = _time_handle(variant, wires)
+    # The in-bench invariant the ablation rests on: the skip-scan cell
+    # must actually ride the seek table on steady-state resends.
+    if variant == "skipscan" and frac > 0:
+        assert hits == sends, f"skip-scan hit {hits}/{sends} resends"
+    return {
+        "variant": variant,
+        "n": n,
+        "dirty_frac": frac,
+        "sends": sends,
+        "kind": kind,
+        "mean_parse_ms": round(parse_s / sends * 1e3, 4),
+        "mean_handle_ms": round(handle_s / sends * 1e3, 4),
+        "mean_dispatch_ms": round(max(handle_s - parse_s, 0.0) / sends * 1e3, 4),
+        "parses_per_sec": round(sends / parse_s, 1),
+        "parse_speedup_vs_full": 1.0,
+        "skipscan_hits": hits,
+    }
 
-    def run():
-        data = flip[state["i"] % 2]
-        state["i"] += 1
-        return dd.deserialize(data)
 
-    result = benchmark(run)
-    assert result[1].kind is DeserKind.DIFFERENTIAL
+def _decoded_equal(a, b) -> bool:
+    if a.operation != b.operation or len(a.params) != len(b.params):
+        return False
+    return all(
+        p.name == q.name
+        and np.array_equal(
+            np.asarray(p.value), np.asarray(q.value), equal_nan=True
+        )
+        for p, q in zip(a.params, b.params)
+    )
 
 
-def test_differential_25pct(benchmark, traffic):
-    benchmark.group = f"ablation diffdeser (n={N})"
-    base, _one, quarter = traffic
-    dd = DifferentialDeserializer()
-    dd.deserialize(base)
-    flip = [quarter, base]
-    state = {"i": 0}
+def _assert_lockstep(n: int, frac: float, seed: int) -> None:
+    """Skip-scan == legacy differential == fresh full parse, wire for
+    wire, including the match kind — on the bench's own traffic."""
+    wires = _wires(n, frac, 6, seed)
+    registry = TypeRegistry()
+    skip = DifferentialDeserializer(registry, skipscan=True)
+    legacy = DifferentialDeserializer(registry, skipscan=False)
+    for i, wire in enumerate(wires):
+        decoded, report = skip.deserialize(wire)
+        legacy_decoded, legacy_report = legacy.deserialize(wire)
+        reference = SOAPRequestParser(registry).parse(wire).message
+        if not (
+            _decoded_equal(decoded, reference)
+            and _decoded_equal(legacy_decoded, reference)
+        ):
+            raise AssertionError(
+                f"engines diverged at dirty_frac={frac}, wire {i}"
+            )
+        if report.kind is not legacy_report.kind:
+            raise AssertionError(
+                f"match kinds diverged at dirty_frac={frac}, wire {i}: "
+                f"{report.kind} != {legacy_report.kind}"
+            )
+    stats = skip.skipscan_stats
+    if frac > 0 and stats.get("hit", 0) + stats.get("hit-vector", 0) == 0:
+        raise AssertionError(
+            f"lockstep check at dirty_frac={frac} never skip-scanned - "
+            "the bench would not be measuring the fast lane"
+        )
 
-    def run():
-        data = flip[state["i"] % 2]
-        state["i"] += 1
-        return dd.deserialize(data)
 
-    result = benchmark(run)
-    assert result[1].kind is DeserKind.DIFFERENTIAL
+def _assert_drift_recovers(n: int, seed: int) -> None:
+    """A flipped skeleton byte mid-session: same error class as a full
+    parse, and the fast lane re-arms on the next clean wire."""
+    wires = _wires(n, 0.01, 4, seed)
+    registry = TypeRegistry()
+    deser = DifferentialDeserializer(registry, skipscan=True)
+    deser.deserialize(wires[0])
+    deser.deserialize(wires[1])
+    pos = wires[2].index(b"<item>")
+    bad = wires[2][:pos] + b"<jtem>" + wires[2][pos + 6 :]
+    for attempt in (
+        lambda: deser.deserialize(bad),
+        lambda: SOAPRequestParser(registry).parse(bad),
+    ):
+        try:
+            attempt()
+            raise AssertionError("skeleton drift should have raised")
+        except XMLError:
+            pass
+    _, report = deser.deserialize(wires[3])
+    assert report.kind is DeserKind.DIFFERENTIAL and report.skipscan, (
+        "fast lane did not re-arm after skeleton drift"
+    )
+    assert deser.skipscan_stats.get("skeleton-drift") == 1
+
+
+def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=65536,
+                        help="double-array length (default 65536)")
+    parser.add_argument("--sends", type=int, default=20,
+                        help="timed resends per grid cell (default 20)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: stdout)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI run: small array, few sends, 3x gate")
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = parse_args(argv)
+    if args.smoke:
+        args.n = 4096
+        args.sends = 8
+    min_speedup = MIN_SMOKE_SPEEDUP if args.smoke else MIN_HEADLINE_SPEEDUP
+
+    for frac in FRACTIONS:
+        _assert_lockstep(256, frac, args.seed)
+    _assert_drift_recovers(256, args.seed)
+    print(
+        "lockstep: skip-scan == differential == full parse (all fractions); "
+        "skeleton-drift drill passed",
+        file=sys.stderr,
+    )
+
+    rows: List[Dict[str, object]] = []
+    headline = None
+    for frac in FRACTIONS:
+        base_ms = None
+        for variant in VARIANTS:
+            row = _run_cell(variant, args.n, frac, args.sends, args.seed)
+            if variant == "full-parse":
+                base_ms = row["mean_parse_ms"]
+            row["parse_speedup_vs_full"] = round(
+                base_ms / max(row["mean_parse_ms"], 1e-9), 2
+            )
+            if variant == "skipscan" and frac == HEADLINE_FRAC:
+                headline = row
+            rows.append(row)
+            print(
+                f"frac={frac:<5} {variant:<12} "
+                f"parse {row['mean_parse_ms']:>9.3f} ms  "
+                f"x{row['parse_speedup_vs_full']:.1f} vs full  "
+                f"(dispatch {row['mean_dispatch_ms']:.3f} ms, "
+                f"{row['kind']}, {row['skipscan_hits']} skip-scan hits)",
+                file=sys.stderr,
+            )
+
+    if headline is None or headline["parse_speedup_vs_full"] < min_speedup:
+        got = None if headline is None else headline["parse_speedup_vs_full"]
+        print(
+            f"FAIL: headline parse speedup {got} < {min_speedup}x "
+            f"at dirty_frac={HEADLINE_FRAC}",
+            file=sys.stderr,
+        )
+        return 1
+
+    doc = make_result(
+        "ablation_diffdeser",
+        params={
+            "n": args.n,
+            "sends": args.sends,
+            "seed": args.seed,
+            "smoke": args.smoke,
+            "headline": f"variant=skipscan dirty_frac={HEADLINE_FRAC}",
+        },
+        results=rows,
+        notes=(
+            "pre-captured perfect-structural resend traffic replayed "
+            "through each engine; parse timer is the deserializer alone, "
+            "handle timer is the full SOAPService round trip; lockstep "
+            "equality and a skeleton-drift recovery drill asserted before "
+            "timing; dirty_frac=0.0 rows show the content-match ceiling"
+        ),
+    )
+    validate_result(doc, required_columns=REQUIRED_COLUMNS)
+    dump_result(doc, args.out)
+    if args.out:
+        print(f"wrote {args.out} ({len(rows)} rows)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,7 @@ import re
 import socket
 import struct
 import sys
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -98,6 +99,9 @@ CORPUS_OPERATIONS = (
 
 _DIGIT_RUN = re.compile(rb"[0-9][0-9.eE+\-]{0,30}")
 _ARRAYTYPE = re.compile(rb'arrayType="[^"]*"')
+_TAG_NAME = re.compile(rb"</?([A-Za-z][A-Za-z0-9:_\-]*)")
+_ITEM_VALUE = re.compile(rb"<item>([^<]{1,64})</item>")
+_CLOSE_PAD = re.compile(rb"(</[A-Za-z][A-Za-z0-9:]*>)([ \t]{2,64})")
 
 
 # ----------------------------------------------------------------------
@@ -155,6 +159,31 @@ def default_corpus() -> List[bytes]:
         return _synthetic_corpus()
 
 
+def _checksum_handler(**params: object) -> int:
+    """Deterministic CRC over every decoded value, not just a count.
+
+    The pristine-probe poisoning check compares this answer against a
+    calibration baseline, so a session whose skip-scan lane silently
+    committed *wrong values* (not just a fault) flips the probe — the
+    failure mode trusted-offset parsing has to prove it does not have.
+    """
+    import numpy as np
+
+    acc = 0
+    for name in sorted(params):
+        value = params[name]
+        acc = zlib.crc32(name.encode(), acc)
+        if isinstance(value, dict):  # struct array: field -> column
+            for key in sorted(value):
+                acc = zlib.crc32(key.encode(), acc)
+                acc = zlib.crc32(np.asarray(value[key]).tobytes(), acc)
+        elif isinstance(value, np.ndarray):
+            acc = zlib.crc32(value.tobytes(), acc)
+        else:
+            acc = zlib.crc32(repr(value).encode(), acc)
+    return acc & 0x7FFFFFFF
+
+
 def build_fuzz_service(
     *,
     limits: Optional[ResourceLimits] = None,
@@ -174,13 +203,11 @@ def build_fuzz_service(
     registry.register_struct(MIO_TYPE)
     registry.register_struct(MACHINE_AD_TYPE)
     service = SOAPService("urn:golden", registry, limits=limits, obs=obs)
-
-    def _accept(**params: object) -> int:
-        return len(params)
-
     for name in CORPUS_OPERATIONS:
         service.register(
-            Operation(name, _accept, result_type=INT, result_name="count")
+            Operation(
+                name, _checksum_handler, result_type=INT, result_name="count"
+            )
         )
     return service
 
@@ -219,6 +246,10 @@ class WireFuzzer:
             ("digit_perturb", self._digit_perturb),
             ("width_perturb", self._width_perturb),
             ("arraytype_lie", self._arraytype_lie),
+            ("skeleton_flip", self._skeleton_flip),
+            ("span_length_lie", self._span_length_lie),
+            ("offset_desync", self._offset_desync),
+            ("pad_crlf", self._pad_crlf),
             ("entity_garbage", self._entity_garbage),
             ("utf8_garbage", self._utf8_garbage),
             ("nest_bomb", self._nest_bomb),
@@ -306,6 +337,68 @@ class WireFuzzer:
             ]
         )
         return wire[: match.start()] + lie + wire[match.end() :]
+
+    # -- skip-scan-aware (trusted-offset deserialization) --------------
+    def _skeleton_flip(self, rng: random.Random, wire: bytes) -> bytes:
+        """Flip one tag-name byte behind still-valid ``<``/``>`` framing
+        — exactly the skeleton bytes a compiled seek table trusts."""
+        tags = list(_TAG_NAME.finditer(wire))
+        if not tags:
+            return self._bit_flip(rng, wire)
+        match = rng.choice(tags)
+        out = bytearray(wire)
+        out[rng.randrange(match.start(1), match.end(1))] = rng.choice(
+            b"abcdefghijkz"
+        )
+        return bytes(out)
+
+    def _span_length_lie(self, rng: random.Random, wire: bytes) -> bytes:
+        """Grow or truncate one ``<item>`` value without adjusting the
+        pad, so the wire length lies to any armed seek table."""
+        runs = list(_ITEM_VALUE.finditer(wire))
+        if not runs:
+            return self._width_perturb(rng, wire)
+        match = rng.choice(runs)
+        value = match.group(1)
+        if rng.random() < 0.5 and len(value) > 1:
+            new = value[: rng.randrange(1, len(value))]
+        else:
+            new = value + bytes(
+                rng.choice(b"0123456789") for _ in range(rng.randint(1, 12))
+            )
+        return wire[: match.start(1)] + new + wire[match.end(1) :]
+
+    def _offset_desync(self, rng: random.Random, wire: bytes) -> bytes:
+        """Slide a close tag within its stuffing pad: same length, same
+        dirty regions, but every offset the seek table computed from
+        its template is now wrong by a few bytes."""
+        runs = list(_CLOSE_PAD.finditer(wire))
+        if not runs:
+            return self._span_length_lie(rng, wire)
+        match = rng.choice(runs)
+        tag, pad = match.group(1), match.group(2)
+        shift = rng.randint(1, len(pad))
+        return (
+            wire[: match.start()]
+            + pad[:shift]
+            + tag
+            + pad[shift:]
+            + wire[match.end() :]
+        )
+
+    def _pad_crlf(self, rng: random.Random, wire: bytes) -> bytes:
+        """Rewrite stuffing pad with CRLF/TAB soup (legal whitespace the
+        vectorized pad check must accept) or sneak in one non-WS byte
+        (which it must refuse)."""
+        runs = list(_CLOSE_PAD.finditer(wire))
+        if not runs:
+            return self._bit_flip(rng, wire)
+        match = rng.choice(runs)
+        pad = bytearray(match.group(2))
+        alphabet = b"\r\n\t " if rng.random() < 0.7 else b"\r\n\t x"
+        for _ in range(rng.randint(1, len(pad))):
+            pad[rng.randrange(len(pad))] = rng.choice(alphabet)
+        return wire[: match.start(2)] + bytes(pad) + wire[match.end(2) :]
 
     def _entity_garbage(self, rng: random.Random, wire: bytes) -> bytes:
         junk = rng.choice(
@@ -686,6 +779,19 @@ def _classify_response(response: object) -> str:
     return "fault" if fault is not None else "ok"
 
 
+def _response_values(response: bytes) -> list:
+    """Decoded ``(name, value)`` pairs of a non-fault response body.
+
+    The probe identity check: the checksum handler folds every decoded
+    request value into its answer, so comparing this against the
+    calibration baseline detects sessions that silently decode wrong
+    values, not only sessions that fault."""
+    from repro.server.parser import SOAPRequestParser
+
+    message = SOAPRequestParser().parse(bytes(response)).message
+    return [(p.name, p.value) for p in message.params]
+
+
 def fuzz_service(
     service: Optional[SOAPService] = None,
     corpus: Optional[Sequence[bytes]] = None,
@@ -715,23 +821,41 @@ def fuzz_service(
     )
 
     # Calibrate the probe set: corpus wires the service answers
-    # without a fault when pristine.  There must be at least one,
-    # otherwise the "recovers after garbage" invariant is vacuous.
-    probes = [w for w in fuzzer.corpus if _classify_response(service.handle(w)) == "ok"]
+    # without a fault when pristine, with the checksum answer each one
+    # must keep producing for the rest of the run.  There must be at
+    # least one, otherwise the "recovers after garbage" invariant is
+    # vacuous.
+    probes: List[bytes] = []
+    baselines: List[list] = []
+    for wire in fuzzer.corpus:
+        response = service.handle(wire)
+        if _classify_response(response) == "ok":
+            probes.append(wire)
+            baselines.append(_response_values(bytes(response)))
     if not probes:
         report.violate("no corpus wire gets a non-fault response pristine")
         return report
 
     def _probe(case_no: int) -> None:
-        probe = probes[(case_no // max(1, probe_every)) % len(probes)]
+        index = (case_no // max(1, probe_every)) % len(probes)
         try:
-            outcome = _classify_response(service.handle(probe))
+            response = service.handle(probes[index])
+            outcome = _classify_response(response)
         except Exception as exc:  # noqa: BLE001 - the invariant under test
             report.violate(f"probe after case {case_no} raised {exc!r}")
             return
         if outcome != "ok":
             report.violate(
                 f"probe after case {case_no} faulted: session state poisoned"
+            )
+        elif _response_values(bytes(response)) != baselines[index]:
+            # The checksum handler folds every decoded request value
+            # into the answer: a different answer means garbage made a
+            # later pristine request *decode differently* — values
+            # poisoned without a fault, the worst skip-scan failure.
+            report.violate(
+                f"probe after case {case_no} returned a different value "
+                "checksum: decoded state poisoned"
             )
 
     for case_no in range(iterations):

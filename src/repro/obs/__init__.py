@@ -104,6 +104,7 @@ class Observability:
         "_plan_spliced",
         "_delta_frames",
         "_delta_bytes_saved",
+        "_skipscan_events",
         "_bytes_sent",
         "_bytes_received",
     )
@@ -204,6 +205,12 @@ class Observability:
                 "repro_bytes_received_total",
                 "Payload bytes received from the wire (rx)",
             )
+            self._skipscan_events = metrics.counter(
+                "repro_skipscan_events_total",
+                "Skip-scan deserializer events (compiled / hit / "
+                "hit-vector / fallback-* / *-drift / uncompilable-*)",
+                ("event",),
+            )
 
     # ------------------------------------------------------------------
     # constructors
@@ -292,6 +299,14 @@ class Observability:
     def record_bytes_received(self, n: int) -> None:
         if self.metrics is not None and n > 0:
             self._bytes_received.inc(n)
+
+    # ------------------------------------------------------------------
+    # server-side deserializer recording
+    # ------------------------------------------------------------------
+    def record_skipscan(self, event: str) -> None:
+        """One skip-scan deserializer event (see ``docs/skipscan.md``)."""
+        if self.metrics is not None:
+            self._skipscan_events.inc(1, event=event)
 
 
 #: The shared no-op default: tracing disabled, no registry.

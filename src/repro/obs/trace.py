@@ -50,6 +50,7 @@ SPAN_NAMES = (
     "recv",  # one response received and decoded
     "delta-encode",  # one binary delta frame encoded from the dirty set
     "delta-apply",  # one delta frame applied to a server mirror
+    "skipscan",  # one skip-scan apply over a session's seek table
 )
 
 

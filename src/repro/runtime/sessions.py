@@ -87,9 +87,17 @@ class ServerSession:
         pinned: bool = False,
         obs: Optional[Observability] = None,
         limits: Optional[ResourceLimits] = None,
+        skipscan: bool = False,
+        descriptors: Optional[Dict[str, type]] = None,
     ) -> None:
         self.key = key
-        self.deserializer = DifferentialDeserializer(registry, limits)
+        self.deserializer = DifferentialDeserializer(
+            registry,
+            limits,
+            skipscan=skipscan,
+            descriptors=descriptors,
+            obs=obs,
+        )
         self.sink = CollectSink()
         self.responder = BSoapClient(self.sink, response_policy, obs=obs)
         self.lock = threading.Lock()
@@ -130,6 +138,15 @@ class DeserializerView:
         return totals
 
     @property
+    def skipscan_stats(self) -> Dict[str, int]:
+        """Skip-scan event counts summed over live + retired sessions."""
+        totals = dict(self._manager.retired_skipscan_stats())
+        for session in self._manager.sessions():
+            for event, count in session.deserializer.skipscan_stats.items():
+                totals[event] = totals.get(event, 0) + count
+        return totals
+
+    @property
     def has_template(self) -> bool:
         return any(
             s.deserializer.has_template for s in self._manager.sessions()
@@ -155,6 +172,10 @@ class ServerSessionManager:
         session id simply pays one full parse to resynchronize).
         Sessions currently in use and the pinned default session are
         never evicted.
+    skipscan / descriptors:
+        Passed to each session's deserializer: compile a skip-scan
+        seek table per template, optionally gated by WSDL-generated
+        message descriptors (see :mod:`repro.schema.skipscan`).
     """
 
     def __init__(
@@ -165,12 +186,16 @@ class ServerSessionManager:
         max_sessions: int = 256,
         obs: Optional[Observability] = None,
         limits: Optional[ResourceLimits] = None,
+        skipscan: bool = False,
+        descriptors: Optional[Dict[str, type]] = None,
     ) -> None:
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
         self.registry = registry
         self.response_policy = response_policy
         self.max_sessions = max_sessions
+        self.skipscan = skipscan
+        self.descriptors = descriptors
         #: Resource limits handed to each session's deserializer, so
         #: every connection shares one inbound threat model.
         self.limits = limits
@@ -186,6 +211,7 @@ class ServerSessionManager:
         # Retired (closed/evicted) sessions keep counting in aggregate
         # views: their stats are folded in here before deletion.
         self._retired_deser: Dict[DeserKind, int] = {k: 0 for k in DeserKind}
+        self._retired_skipscan: Dict[str, int] = {}
         self._retired_responses = ClientStats()
         self._retired_handled = 0
         self._retired_faulted = 0
@@ -213,6 +239,8 @@ class ServerSessionManager:
                     pinned=key == DEFAULT_SESSION,
                     obs=self.obs,
                     limits=self.limits,
+                    skipscan=self.skipscan,
+                    descriptors=self.descriptors,
                 )
                 self._sessions[key] = session
                 self.sessions_created += 1
@@ -243,6 +271,10 @@ class ServerSessionManager:
         """Fold a dying session's stats into the retired totals."""
         for kind, count in session.deserializer.stats.items():
             self._retired_deser[kind] += count
+        for event, count in session.deserializer.skipscan_stats.items():
+            self._retired_skipscan[event] = (
+                self._retired_skipscan.get(event, 0) + count
+            )
         self._retired_responses.merge_from(session.responder.stats)
         self._retired_handled += session.requests_handled
         self._retired_faulted += session.faults_returned
@@ -287,6 +319,11 @@ class ServerSessionManager:
         """Deserializer stats carried over from retired sessions."""
         with self._lock:
             return dict(self._retired_deser)
+
+    def retired_skipscan_stats(self) -> Dict[str, int]:
+        """Skip-scan event counts carried over from retired sessions."""
+        with self._lock:
+            return dict(self._retired_skipscan)
 
     def merged_response_stats(self) -> ClientStats:
         """Response-side ClientStats summed over all sessions, live

@@ -17,8 +17,16 @@ from repro.schema.types import (
     primitive_by_name,
 )
 from repro.schema.composite import ArrayType, Field, StructType
+from repro.schema.descriptors import (
+    Array,
+    MessageDescriptor,
+    ParamSpec,
+    Scalar,
+    StructArray,
+)
 from repro.schema.mio import MIO, MIO_TYPE, make_mio_array_type
 from repro.schema.registry import TypeRegistry
+from repro.schema.skipscan import SeekTable, SkipScanFallback
 
 __all__ = [
     "XSDType",
@@ -37,4 +45,11 @@ __all__ = [
     "MIO_TYPE",
     "make_mio_array_type",
     "TypeRegistry",
+    "MessageDescriptor",
+    "ParamSpec",
+    "Scalar",
+    "Array",
+    "StructArray",
+    "SeekTable",
+    "SkipScanFallback",
 ]

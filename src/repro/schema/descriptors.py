@@ -1,0 +1,232 @@
+"""Declarative message descriptors (the pull-schema half of skip-scan).
+
+Following the descriptor-class idiom of libearth's ``schema.py``
+(SNIPPETS.md §2–3), a message shape is declared as a class whose
+attributes are :class:`ParamSpec` descriptors in document order:
+
+.. code-block:: python
+
+    class PutDoubles(MessageDescriptor):
+        __operation__ = "putDoubles"
+        data = Array(DOUBLE)
+        tag = Scalar(INT)
+
+The class serves two purposes:
+
+* **compile gate** — :meth:`MessageDescriptor.check` verifies a
+  decoded message matches the declared shape before
+  :class:`~repro.schema.skipscan.SeekTable` compiles a seek table for
+  it, so a typed service never trusts offsets derived from a message
+  that does not match its WSDL contract;
+* **typed access** — instantiating the descriptor over a decoded
+  message binds it; attribute reads then pull the matching parameter
+  value (``PutDoubles(msg).data``), raising
+  :class:`~repro.errors.SchemaError` up front on shape mismatch.
+
+Descriptor classes are normally generated from a WSDL
+:class:`~repro.wsdl.model.ServiceDef` by
+:func:`repro.wsdl.stubgen.generate_descriptors` /
+:meth:`MessageDescriptor.from_operation`, so typed services get the
+gate for free; hand-written declarations work the same way.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.errors import SchemaError
+from repro.schema.composite import StructType
+from repro.schema.types import XSDType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.server.parser import DecodedMessage
+    from repro.wsdl.model import OperationDef
+
+__all__ = [
+    "ParamSpec",
+    "Scalar",
+    "Array",
+    "StructArray",
+    "MessageDescriptor",
+]
+
+#: Global declaration counter: class bodies execute top to bottom, so
+#: ascending counter values recover document order of the parameters.
+_DECLARATION_COUNTER = itertools.count()
+
+
+class ParamSpec:
+    """Base descriptor for one declared parameter."""
+
+    def __init__(self) -> None:
+        self._order = next(_DECLARATION_COUNTER)
+        self.name: Optional[str] = None
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self.name = name
+
+    # -- descriptor protocol: typed access on a bound instance -------
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self
+        return instance._message.value(self.name)
+
+    # -- shape matching ----------------------------------------------
+    def matches(self, param) -> Optional[str]:
+        """Mismatch description for a decoded param, or ``None``."""
+        raise NotImplementedError
+
+    def _kind_mismatch(self, param, expected_kind: str) -> Optional[str]:
+        if param.kind != expected_kind:
+            return (
+                f"parameter {self.name!r} decoded as {param.kind!r}, "
+                f"declared {expected_kind!r}"
+            )
+        return None
+
+
+class Scalar(ParamSpec):
+    """One primitively-typed scalar parameter."""
+
+    def __init__(self, xsd_type: XSDType) -> None:
+        super().__init__()
+        self.xsd_type = xsd_type
+
+    def matches(self, param) -> Optional[str]:
+        err = self._kind_mismatch(param, "scalar")
+        if err:
+            return err
+        if param.element_type is not self.xsd_type:
+            return (
+                f"parameter {self.name!r} is "
+                f"{getattr(param.element_type, 'name', param.element_type)!r}, "
+                f"declared {self.xsd_type.name!r}"
+            )
+        return None
+
+
+class Array(ParamSpec):
+    """A homogeneous array of one primitive element type."""
+
+    def __init__(self, element: XSDType) -> None:
+        super().__init__()
+        self.element = element
+
+    def matches(self, param) -> Optional[str]:
+        err = self._kind_mismatch(param, "array")
+        if err:
+            return err
+        if param.element_type is not self.element:
+            return (
+                f"array {self.name!r} holds "
+                f"{getattr(param.element_type, 'name', param.element_type)!r}, "
+                f"declared {self.element.name!r}"
+            )
+        return None
+
+
+class StructArray(ParamSpec):
+    """An array of one struct type (scalar structs decode the same)."""
+
+    def __init__(self, struct: StructType) -> None:
+        super().__init__()
+        self.struct = struct
+
+    def matches(self, param) -> Optional[str]:
+        err = self._kind_mismatch(param, "struct_array")
+        if err:
+            return err
+        if param.element_type != self.struct:
+            return (
+                f"struct array {self.name!r} holds "
+                f"{getattr(param.element_type, 'name', param.element_type)!r}, "
+                f"declared {self.struct.name!r}"
+            )
+        return None
+
+
+class MessageDescriptor:
+    """Base class for declared message shapes (see module docstring)."""
+
+    #: Operation name this shape describes; subclasses must set it.
+    __operation__: Optional[str] = None
+    #: ``(name, spec)`` pairs in declaration order (built automatically).
+    __params__: Tuple[Tuple[str, ParamSpec], ...] = ()
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        specs = [
+            (name, value)
+            for name, value in vars(cls).items()
+            if isinstance(value, ParamSpec)
+        ]
+        specs.sort(key=lambda pair: pair[1]._order)
+        inherited = [
+            pair for pair in cls.__params__
+            if not any(name == pair[0] for name, _ in specs)
+        ]
+        cls.__params__ = tuple(inherited + specs)
+
+    def __init__(self, message: "DecodedMessage") -> None:
+        mismatch = self.check(message)
+        if mismatch is not None:
+            raise SchemaError(mismatch)
+        self._message = message
+
+    @property
+    def message(self) -> "DecodedMessage":
+        return self._message
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def check(cls, message: "DecodedMessage") -> Optional[str]:
+        """Mismatch description for *message*, or ``None`` on a match."""
+        if cls.__operation__ is None:
+            return f"{cls.__name__} declares no __operation__"
+        if message.operation != cls.__operation__:
+            return (
+                f"operation {message.operation!r} does not match "
+                f"declared {cls.__operation__!r}"
+            )
+        if len(message.params) != len(cls.__params__):
+            return (
+                f"{message.operation!r} has {len(message.params)} "
+                f"parameters, declared {len(cls.__params__)}"
+            )
+        for param, (name, spec) in zip(message.params, cls.__params__):
+            if param.name != name:
+                return (
+                    f"parameter {param.name!r} does not match "
+                    f"declared {name!r}"
+                )
+            err = spec.matches(param)
+            if err is not None:
+                return err
+        return None
+
+    @classmethod
+    def from_operation(cls, op: "OperationDef") -> type:
+        """Build a descriptor class for one WSDL operation."""
+        from repro.schema.composite import ArrayType
+
+        namespace: dict = {"__operation__": op.name}
+        for part in op.inputs:
+            ptype = part.ptype
+            if isinstance(ptype, ArrayType):
+                element = ptype.element
+                spec: ParamSpec = (
+                    StructArray(element)
+                    if isinstance(element, StructType)
+                    else Array(element)
+                )
+            elif isinstance(ptype, StructType):
+                spec = StructArray(ptype)
+            elif isinstance(ptype, XSDType):
+                spec = Scalar(ptype)
+            else:  # pragma: no cover - model enforces the union
+                raise SchemaError(
+                    f"unsupported parameter type {ptype!r} in {op.name!r}"
+                )
+            namespace[part.name] = spec
+        return type(f"{op.name}Descriptor", (cls,), namespace)

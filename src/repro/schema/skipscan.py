@@ -1,0 +1,366 @@
+"""Schema-compiled skip-scan deserialization.
+
+The paper's §6 future-work note — a server could use stored messages
+to "avoid complete server-side parsing" — is implemented one level up
+from :class:`~repro.server.diffdeser.DifferentialDeserializer`'s
+per-leaf re-parse: once a session template is known, a
+:class:`SeekTable` is *compiled* from its parse result, and every
+subsequent structural match **seeks** directly to the byte regions the
+template marks mutable, parses only those values, and never
+re-tokenizes the unchanged tag skeleton.
+
+What makes this sound
+---------------------
+
+Every seek is a hand-computed offset into attacker-controlled bytes,
+so the table trusts nothing it has not just checked:
+
+* **Skeleton bytes are proven equal before apply.**  The caller (the
+  differential deserializer) has already vectorized-compared the
+  incoming message against the stored template and established that
+  *every* differing byte falls inside a known mutable region.  Bytes
+  outside the regions are therefore byte-identical to the template the
+  table was compiled from — no re-validation needed.
+* **The only movable skeleton tokens are re-validated.**  Inside a
+  changed region the closing tag may sit at a new offset (the value
+  width changed), so it is the one piece of markup skip-scan must
+  re-find.  Each candidate is classified through a
+  :class:`~repro.xmlkit.trie.ByteTrie` compiled from the template's
+  closing tags (Chiu et al.'s tag-trie, HPDC 2002) and must match this
+  leaf's expected tag id exactly; trailing pad must be whitespace.
+* **Values go through the real lexical parsers.**  The per-leaf path
+  uses the same :class:`~repro.schema.types.XSDType` parsers as a full
+  parse.  The vectorized double path first proves every value byte is
+  in ``parse_double``'s accepted charset; anything else (``INF``,
+  ``NaN``, tabs, garbage) drops to the per-leaf loop.
+* **Two-phase apply.**  All regions are validated and parsed before
+  any value is committed, so a failure midway never leaves the cached
+  decode half-updated (the poisoned-session hazard from PR 4).
+* **Any doubt falls back.**  Every validation failure raises
+  :class:`SkipScanFallback`; the deserializer answers with a full
+  parse, which is authoritative for both values and error class
+  (fault-not-crash, the PR 4 taxonomy).
+
+Descriptor classes (:mod:`repro.schema.descriptors`, generated from
+WSDL by :func:`repro.wsdl.stubgen.generate_descriptors`) add an
+optional schema gate at compile time: a message that full-parses but
+does not match its operation's declared shape never gets a table.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from repro.xmlkit.trie import ByteTrie
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.server.parser import ParseResult
+
+__all__ = ["SkipScanFallback", "SeekTable"]
+
+_LT = 0x3C  # b"<"
+_GT = 0x3E  # b">"
+_AMP = 0x26  # b"&"
+_SPACE = 0x20
+
+#: Whitespace legal in the pad after a closing tag (mirrors the
+#: sender-side stuffing alphabet and ``_field_regions``).
+_WS_LUT = np.zeros(256, dtype=bool)
+for _b in b" \t\r\n":
+    _WS_LUT[_b] = True
+
+#: Bytes the vectorized double path accepts inside a value: exactly
+#: ``parse_double``'s ``_ALLOWED`` charset plus the space pad of the
+#: FIXED ``%24.16e`` form.  Tabs/CR/LF are deliberately excluded —
+#: ``parse_double`` strips them but NumPy's string→float conversion
+#: is not guaranteed to agree, so those rows take the per-leaf path.
+_DOUBLE_LUT = np.zeros(256, dtype=bool)
+for _b in b"+-.0123456789eE ":
+    _DOUBLE_LUT[_b] = True
+del _b
+
+
+class SkipScanFallback(Exception):
+    """Skip-scan declined; the caller must run a full parse.
+
+    ``reason`` is a short stable token (``tag-drift``, ``pad-drift``,
+    ``value-parse``, ``value-entity`` at apply time; ``no-leaves``,
+    ``region-shape``, ``no-close-tag``, ``descriptor-mismatch`` at
+    compile time) used as the ``event`` label on
+    ``repro_skipscan_events_total``.
+    """
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        super().__init__(f"{reason}: {detail}" if detail else reason)
+        self.reason = reason
+
+
+class SeekTable:
+    """Compiled mutable-region map for one session template.
+
+    Built by :meth:`compile` from a full parse; applied by
+    :meth:`apply` to subsequent same-skeleton messages.  A table is
+    only valid for the exact :class:`ParseResult` it was compiled
+    from — it captures that result and commits parsed values into its
+    containers.
+    """
+
+    def __init__(
+        self,
+        result: "ParseResult",
+        starts: np.ndarray,
+        ends: np.ndarray,
+        trie: ByteTrie,
+        tag_ids: np.ndarray,
+        tag_lens: np.ndarray,
+        leaf_types: Tuple[object, ...],
+    ) -> None:
+        self.result = result
+        self.starts = starts  # region starts == value starts (int64)
+        self.ends = ends  # region ends (int64)
+        self.trie = trie
+        self.tag_ids = tag_ids  # expected close-tag id per leaf
+        self.tag_lens = tag_lens  # close-tag key length per leaf
+        self.leaf_types = leaf_types  # XSDType per leaf (None = string)
+        # Vectorized double lane (set up by compile when eligible).
+        self._vec_len: Optional[int] = None
+        self._vec_key: Optional[np.ndarray] = None
+        self._vec_containers: List[np.ndarray] = []
+        self._vec_param_of: Optional[np.ndarray] = None
+        self._vec_item_of: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    @classmethod
+    def compile(
+        cls,
+        data: bytes,
+        result: "ParseResult",
+        descriptor: Optional[type] = None,
+    ) -> "SeekTable":
+        """Build a seek table from a freshly full-parsed template.
+
+        Raises :class:`SkipScanFallback` when the template cannot be
+        compiled; the deserializer then simply keeps full-parsing.
+        """
+        if descriptor is not None:
+            mismatch = descriptor.check(result.message)
+            if mismatch is not None:
+                raise SkipScanFallback("descriptor-mismatch", mismatch)
+        regions = result.regions
+        spans = result.spans
+        k = int(regions.shape[0])
+        if k == 0:
+            raise SkipScanFallback("no-leaves")
+        starts = regions[:, 0].astype(np.int64)
+        ends = regions[:, 1].astype(np.int64)
+        n = len(data)
+        # Region invariants the seek arithmetic depends on: value span
+        # starts its region, regions are sorted, non-overlapping, and
+        # in bounds.  ``_field_regions`` produces exactly this, but the
+        # table re-proves it rather than trusting a caller.
+        if (
+            not bool(np.all(spans[:, 0] == starts))
+            or not bool(np.all(spans[:, 1] <= ends))
+            or not bool(np.all(starts <= spans[:, 1]))
+            or not bool(np.all(ends <= n))
+            or not bool(np.all(starts[1:] >= ends[:-1]))
+            or not bool(np.all(starts >= 0))
+        ):
+            raise SkipScanFallback("region-shape")
+
+        keys: dict = {}
+        trie = ByteTrie()
+        tag_ids = np.empty(k, dtype=np.int64)
+        tag_lens = np.empty(k, dtype=np.int64)
+        for j in range(k):
+            vend = int(spans[j, 1])
+            if vend >= n or data[vend] != _LT:
+                raise SkipScanFallback("no-close-tag", f"leaf {j}")
+            gt = data.find(b">", vend, int(ends[j]))
+            if gt < 0:
+                raise SkipScanFallback("no-close-tag", f"leaf {j}")
+            key = data[vend:gt]
+            if not key.startswith(b"</"):
+                raise SkipScanFallback("no-close-tag", f"leaf {j}: {key[:20]!r}")
+            tid = keys.get(key)
+            if tid is None:
+                tid = len(keys)
+                keys[key] = tid
+                trie.insert(key, tid)
+            tag_ids[j] = tid
+            tag_lens[j] = len(key)
+            # Everything after the closing tag up to the region end must
+            # already be pad in the template itself.
+            tail = data[gt + 1 : int(ends[j])]
+            if tail.strip(b" \t\r\n"):
+                raise SkipScanFallback("region-shape", f"leaf {j} tail")
+
+        types = tuple(result.leaf_type(j) for j in range(k))
+        table = cls(result, starts, ends, trie, tag_ids, tag_lens, types)
+        table._setup_vector_lane(data, keys)
+        return table
+
+    def _setup_vector_lane(self, data: bytes, keys: dict) -> None:
+        """Enable the batched NumPy lane when the template allows it.
+
+        Requirements: every leaf is a double in a float64 array
+        parameter, all regions have one uniform byte length, and all
+        leaves share a single closing tag — the shape FIXED-format
+        MAX-stuffed double arrays (the paper's headline workload)
+        always produce.
+        """
+        if len(keys) != 1:
+            return
+        lens = self.ends - self.starts
+        length = int(lens[0])
+        if not bool(np.all(lens == length)):
+            return
+        containers: List[np.ndarray] = []
+        k = int(self.starts.shape[0])
+        param_of = np.empty(k, dtype=np.int64)
+        item_of = np.empty(k, dtype=np.int64)
+        for layout in self.result.layouts:
+            param = layout.param
+            if (
+                param.kind != "array"
+                or not isinstance(param.value, np.ndarray)
+                or param.value.dtype != np.float64
+            ):
+                return
+            pi = len(containers)
+            containers.append(param.value)
+            base, count = layout.leaf_base, layout.leaf_count
+            param_of[base : base + count] = pi
+            item_of[base : base + count] = np.arange(count)
+        (key,) = keys
+        self._vec_len = length
+        self._vec_key = np.frombuffer(key, dtype=np.uint8)
+        self._vec_containers = containers
+        self._vec_param_of = param_of
+        self._vec_item_of = item_of
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def apply(
+        self, data: bytes, incoming: np.ndarray, changed: np.ndarray
+    ) -> Tuple[int, bool]:
+        """Parse the *changed* regions of *incoming* and commit them.
+
+        *incoming* is the message as a uint8 view; *changed* the sorted
+        leaf indices whose regions contain differing bytes (computed by
+        the caller's template diff).  Returns ``(leaves_parsed,
+        vectorized)``.  Raises :class:`SkipScanFallback` on any drift —
+        nothing is committed in that case.
+        """
+        if self._vec_len is not None:
+            parsed = self._apply_vectorized(incoming, changed)
+            if parsed is not None:
+                return parsed, True
+        return self._apply_per_leaf(data, changed), False
+
+    def _apply_vectorized(
+        self, incoming: np.ndarray, changed: np.ndarray
+    ) -> Optional[int]:
+        """Batched parse of uniform double regions.
+
+        Returns ``None`` to route the batch to the per-leaf path (a
+        value byte outside the strict charset, or a conversion NumPy
+        and ``parse_double`` might disagree on); raises
+        :class:`SkipScanFallback` for structural drift.
+        """
+        length = self._vec_len
+        key = self._vec_key
+        assert length is not None and key is not None
+        m = int(changed.size)
+        mat = incoming[self.starts[changed, None] + np.arange(length)]
+        lt_mask = mat == _LT
+        if not bool(lt_mask.any(axis=1).all()):
+            raise SkipScanFallback("tag-drift", "closing tag missing")
+        ltpos = lt_mask.argmax(axis=1)
+        klen = int(key.shape[0])
+        if bool(np.any(ltpos + klen + 1 > length)):
+            raise SkipScanFallback("tag-drift", "closing tag overruns region")
+        rows = np.arange(m)[:, None]
+        if not bool(np.all(mat[rows, ltpos[:, None] + np.arange(klen)] == key)):
+            raise SkipScanFallback("tag-drift", "closing tag bytes differ")
+        if not bool(np.all(mat[np.arange(m), ltpos + klen] == _GT)):
+            raise SkipScanFallback("tag-drift", "closing tag not terminated")
+        cols = np.arange(length)
+        in_pad = cols[None, :] > (ltpos + klen)[:, None]
+        if bool(np.any(in_pad & ~_WS_LUT[mat])):
+            raise SkipScanFallback("pad-drift")
+        in_value = cols[None, :] < ltpos[:, None]
+        if bool(np.any(in_value & ~_DOUBLE_LUT[mat])):
+            return None  # INF/NaN/odd bytes: per-leaf lexical parse
+        blanked = np.where(in_value, mat, _SPACE).astype(np.uint8)
+        try:
+            values = (
+                np.ascontiguousarray(blanked)
+                .view(f"S{length}")
+                .ravel()
+                .astype(np.float64)
+            )
+        except ValueError:
+            return None  # let parse_double produce the authoritative error
+        # Commit (all validation above is done — two-phase contract).
+        param_of = self._vec_param_of[changed]
+        item_of = self._vec_item_of[changed]
+        for pi, container in enumerate(self._vec_containers):
+            mask = param_of == pi
+            if bool(mask.any()):
+                container[item_of[mask]] = values[mask]
+        return m
+
+    def _apply_per_leaf(self, data: bytes, changed: np.ndarray) -> int:
+        """Seek + trie-validate + parse each changed region singly."""
+        starts = self.starts
+        ends = self.ends
+        n = len(data)
+        pending: List[Tuple[int, object]] = []
+        for j in changed.tolist():
+            s, e = int(starts[j]), int(ends[j])
+            lt = data.find(b"<", s, e)
+            if lt < 0:
+                raise SkipScanFallback("tag-drift", f"leaf {j}: no markup")
+            tid, end = self.trie.match_at(data, lt, terminators=b">")
+            if tid is None or tid != int(self.tag_ids[j]):
+                raise SkipScanFallback("tag-drift", f"leaf {j}")
+            if end >= n or data[end] != _GT:
+                raise SkipScanFallback("tag-drift", f"leaf {j}: unterminated")
+            pad = data[end + 1 : e]
+            if pad.strip(b" \t\r\n"):
+                raise SkipScanFallback("pad-drift", f"leaf {j}")
+            raw = data[s:lt]
+            xsd = self.leaf_types[j]
+            if xsd.np_dtype is None:  # string leaf
+                if _AMP in raw:
+                    # Entity references need the real scanner; the full
+                    # parse expands them with correct semantics.
+                    raise SkipScanFallback("value-entity", f"leaf {j}")
+                try:
+                    value: object = raw.decode("utf-8")
+                except UnicodeDecodeError:
+                    raise SkipScanFallback(
+                        "value-parse", f"leaf {j}: invalid utf-8"
+                    ) from None
+            else:
+                try:
+                    value = xsd.parse(raw)
+                except Exception:
+                    # The full parse is authoritative for the error
+                    # class (LexicalError vs SOAPError vs charref
+                    # expansion making the value legal after all).
+                    raise SkipScanFallback(
+                        "value-parse", f"leaf {j}: {raw[:40]!r}"
+                    ) from None
+            pending.append((j, value))
+        # Commit phase: nothing above mutated the cached decode.
+        result = self.result
+        for j, value in pending:
+            result.store_leaf(j, value)
+        return len(pending)

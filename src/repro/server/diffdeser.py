@@ -21,18 +21,31 @@ spans).  For an incoming message of the *same length*:
 This is exactly dual to client-side differential serialization: the
 sender's stuffed/fixed-width messages produce same-length byte streams
 whose only variation is inside value spans.
+
+With ``skipscan=True`` the structural-match branch runs through a
+:class:`~repro.schema.skipscan.SeekTable` compiled from the template's
+parse result: seeks directly to the changed regions, trie-validates
+the closing tags (the only movable skeleton tokens), batch-parses
+uniform double regions with NumPy, and falls back to the full parse on
+any drift or doubt (see ``docs/skipscan.md``).  Successful skip-scans
+still count as :attr:`DeserKind.DIFFERENTIAL` — same match level,
+faster engine — flagged by :attr:`DeserReport.skipscan` and the
+``skipscan_stats`` event counters.
 """
 
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.hardening.limits import ResourceLimits
+from repro.obs import NULL_OBS, Observability
 from repro.schema.registry import TypeRegistry
+from repro.schema.skipscan import SeekTable, SkipScanFallback
 from repro.server.parser import DecodedMessage, ParseResult, SOAPRequestParser
 
 __all__ = ["DeserKind", "DeserReport", "DifferentialDeserializer"]
@@ -53,26 +66,75 @@ class DeserReport:
     kind: DeserKind
     leaves_parsed: int
     total_leaves: int
+    #: True when the differential branch ran through the compiled
+    #: skip-scan seek table instead of the per-leaf ``set_leaf`` loop.
+    skipscan: bool = False
 
 
 class DifferentialDeserializer:
-    """Template-matching deserializer (see module docstring)."""
+    """Template-matching deserializer (see module docstring).
+
+    Parameters
+    ----------
+    skipscan:
+        Compile a :class:`~repro.schema.skipscan.SeekTable` per
+        template and route structural matches through it.
+    descriptors:
+        Optional ``operation name → MessageDescriptor subclass`` map
+        (see :mod:`repro.schema.descriptors`).  When the parsed
+        operation has a descriptor, the template must match its
+        declared shape before a seek table compiles; operations
+        without one compile schema-free.
+    obs:
+        Observability facade for ``repro_skipscan_events_total`` and
+        ``skipscan`` spans (defaults to the no-op :data:`NULL_OBS`).
+    """
 
     def __init__(
         self,
         registry: Optional[TypeRegistry] = None,
         limits: Optional[ResourceLimits] = None,
+        *,
+        skipscan: bool = False,
+        descriptors: Optional[Dict[str, type]] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.parser = SOAPRequestParser(registry, limits)
+        self.skipscan = skipscan
+        self.descriptors = descriptors
+        self.obs = obs if obs is not None else NULL_OBS
         self._last_raw: Optional[np.ndarray] = None  # uint8 copy
         self._result: Optional[ParseResult] = None
+        self._table: Optional[SeekTable] = None
         self.stats = {kind: 0 for kind in DeserKind}
+        #: Skip-scan event counts (compiled / hit / hit-vector /
+        #: fallback-* / length-drift / skeleton-drift / uncompilable-*),
+        #: mirrored into ``repro_skipscan_events_total`` when metrics
+        #: are attached.
+        self.skipscan_stats: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
+    def _skip_event(self, event: str) -> None:
+        self.skipscan_stats[event] = self.skipscan_stats.get(event, 0) + 1
+        self.obs.record_skipscan(event)
+
     def _full_parse(self, data: bytes) -> tuple[DecodedMessage, DeserReport]:
         result = self.parser.parse(data)
         self._result = result
         self._last_raw = np.frombuffer(data, dtype=np.uint8).copy()
+        self._table = None
+        if self.skipscan:
+            descriptor = (
+                self.descriptors.get(result.message.operation)
+                if self.descriptors is not None
+                else None
+            )
+            try:
+                self._table = SeekTable.compile(data, result, descriptor)
+            except SkipScanFallback as exc:
+                self._skip_event(f"uncompilable-{exc.reason}")
+            else:
+                self._skip_event("compiled")
         report = DeserReport(DeserKind.FULL, result.leaf_count, result.leaf_count)
         self.stats[DeserKind.FULL] += 1
         return result.message, report
@@ -82,6 +144,8 @@ class DifferentialDeserializer:
         last = self._last_raw
         result = self._result
         if last is None or result is None or len(data) != len(last):
+            if self._table is not None and last is not None:
+                self._skip_event("length-drift")
             return self._full_parse(data)
 
         incoming = np.frombuffer(data, dtype=np.uint8)
@@ -103,25 +167,51 @@ class DifferentialDeserializer:
         inside = (owner >= 0) & (diff_pos < ends[np.clip(owner, 0, None)])
         if not bool(inside.all()):
             # Skeleton bytes changed — not the same template.
+            if self._table is not None:
+                self._skip_event("skeleton-drift")
             return self._full_parse(data)
 
         changed = np.unique(owner)
-        try:
-            for j in changed.tolist():
-                raw = data[int(starts[j]) : int(ends[j])]
-                # Trim at the (possibly moved) closing tag.
-                lt = raw.find(b"<")
-                if lt >= 0:
-                    raw = raw[:lt]
-                result.set_leaf(j, raw)
-        except Exception:
-            # A leaf failed to re-parse (garbage bytes inside a value
-            # span) after earlier leaves were already updated in place.
-            # The cached decode and the raw template now disagree, so
-            # the template must not survive — drop it and let the fault
-            # propagate; the next request pays one full parse.
-            self.reset()
-            raise
+        used_skipscan = False
+        if self._table is not None:
+            # Skip-scan lane: validate + parse everything, commit only
+            # when the whole batch is clean; any drift or parse doubt
+            # answers with the authoritative full parse instead of an
+            # error from hand-computed offsets.
+            trace = self.obs.enabled and self.obs.tracer.enabled
+            t0 = time.perf_counter() if trace else 0.0
+            try:
+                parsed, vectorized = self._table.apply(data, incoming, changed)
+            except SkipScanFallback as exc:
+                self._skip_event(f"fallback-{exc.reason}")
+                return self._full_parse(data)
+            self._skip_event("hit-vector" if vectorized else "hit")
+            if trace:
+                self.obs.tracer.emit(
+                    "skipscan",
+                    duration_s=time.perf_counter() - t0,
+                    leaves=parsed,
+                    vectorized=vectorized,
+                )
+            used_skipscan = True
+        else:
+            try:
+                for j in changed.tolist():
+                    raw = data[int(starts[j]) : int(ends[j])]
+                    # Trim at the (possibly moved) closing tag.
+                    lt = raw.find(b"<")
+                    if lt >= 0:
+                        raw = raw[:lt]
+                    result.set_leaf(j, raw)
+            except Exception:
+                # A leaf failed to re-parse (garbage bytes inside a
+                # value span) after earlier leaves were already updated
+                # in place.  The cached decode and the raw template now
+                # disagree, so the template must not survive — drop it
+                # and let the fault propagate; the next request pays
+                # one full parse.
+                self.reset()
+                raise
         # Refresh the raw template in place (only the changed regions).
         for j in changed.tolist():
             s, e = int(starts[j]), int(ends[j])
@@ -129,7 +219,10 @@ class DifferentialDeserializer:
         self.stats[DeserKind.DIFFERENTIAL] += 1
         self.stats_last_changed = int(changed.size)
         return result.message, DeserReport(
-            DeserKind.DIFFERENTIAL, int(changed.size), result.leaf_count
+            DeserKind.DIFFERENTIAL,
+            int(changed.size),
+            result.leaf_count,
+            skipscan=used_skipscan,
         )
 
     # ------------------------------------------------------------------
@@ -138,6 +231,12 @@ class DifferentialDeserializer:
         return self._result is not None
 
     def reset(self) -> None:
-        """Drop the stored template."""
+        """Drop the stored template (and its compiled seek table)."""
         self._last_raw = None
         self._result = None
+        self._table = None
+
+    @property
+    def has_seek_table(self) -> bool:
+        """True when a compiled skip-scan table is armed."""
+        return self._table is not None

@@ -134,6 +134,17 @@ class ParseResult:
     def leaf_count(self) -> int:
         return int(self.spans.shape[0])
 
+    @property
+    def layouts(self) -> List[_ParamLayout]:
+        """Per-parameter leaf→storage layouts (document order).
+
+        Read-only for consumers like the skip-scan
+        :class:`~repro.schema.skipscan.SeekTable`, which compiles its
+        vectorized commit arrays from ``leaf_base`` / ``leaf_count`` /
+        ``param`` here.
+        """
+        return self._layouts
+
     def leaf_type(self, j: int) -> XSDType:
         layout = self._layout_for(j)
         return layout.leaf_types[(j - layout.leaf_base) % layout.arity]
@@ -145,10 +156,21 @@ class ParseResult:
     def set_leaf(self, j: int, raw: bytes) -> None:
         """Re-parse one leaf from raw bytes and store it in place."""
         layout = self._layout_for(j)
+        fpos = (j - layout.leaf_base) % layout.arity
+        self.store_leaf(j, layout.leaf_types[fpos].parse(raw))
+
+    def store_leaf(self, j: int, value: object) -> None:
+        """Store an already-parsed leaf value in place.
+
+        The skip-scan commit phase: the value was produced by the same
+        lexical parser :meth:`set_leaf` would have used, just earlier
+        (two-phase parse-then-commit, so a mid-batch parse failure
+        never leaves the decode half-updated).
+        """
+        layout = self._layout_for(j)
         local = j - layout.leaf_base
         item = local // layout.arity
         fpos = local % layout.arity
-        value = layout.leaf_types[fpos].parse(raw)
         param = layout.param
         if param.kind == "array":
             param.value[item] = value  # type: ignore[index]

@@ -89,6 +89,7 @@ class SOAPService:
         *,
         response_policy: Optional[DiffPolicy] = None,
         differential_deser: bool = True,
+        skipscan: bool = True,
         delta_enabled: bool = True,
         definition: Optional[object] = None,
         max_sessions: int = 256,
@@ -111,6 +112,16 @@ class SOAPService:
         self._operations: Dict[str, Operation] = {}
         self._peeker = OperationPeeker(())
         self._differential_deser = differential_deser
+        #: Compile per-session skip-scan seek tables for structural
+        #: matches (see ``docs/skipscan.md``).  Only meaningful with
+        #: ``differential_deser``; a WSDL definition additionally gates
+        #: compilation behind generated message descriptors.
+        self.skipscan = skipscan and differential_deser
+        descriptors: Optional[Dict[str, type]] = None
+        if self.skipscan and definition is not None:
+            from repro.wsdl.stubgen import generate_descriptors
+
+            descriptors = generate_descriptors(definition)
         #: Metrics are on by default server-side (tracing stays off):
         #: every session responder shares this registry, which is what
         #: ``GET /metrics`` on :class:`HTTPSoapServer` serves.
@@ -141,6 +152,8 @@ class SOAPService:
             max_sessions=max_sessions,
             obs=self.obs,
             limits=self.limits,
+            skipscan=self.skipscan,
+            descriptors=descriptors,
         )
 
     # ------------------------------------------------------------------

@@ -15,10 +15,11 @@ from typing import Callable, Dict, Optional
 from repro.core.client import BSoapClient
 from repro.core.stats import SendReport
 from repro.errors import WSDLError
+from repro.schema.descriptors import MessageDescriptor
 from repro.soap.message import Parameter, SOAPMessage
 from repro.wsdl.model import OperationDef, ServiceDef
 
-__all__ = ["ServiceProxy", "build_proxy"]
+__all__ = ["ServiceProxy", "build_proxy", "generate_descriptors"]
 
 
 class _OperationStub:
@@ -85,3 +86,20 @@ def build_proxy(
 ) -> ServiceProxy:
     """Generate a callable proxy for *service* over *client*."""
     return ServiceProxy(service, client or BSoapClient())
+
+
+def generate_descriptors(service: ServiceDef) -> Dict[str, type]:
+    """Generate message descriptor classes for every operation.
+
+    The server-side twin of :func:`build_proxy`: one
+    :class:`~repro.schema.descriptors.MessageDescriptor` subclass per
+    operation, keyed by operation name.  `SOAPService` hands the map
+    to each session's differential deserializer, where it gates
+    skip-scan seek-table compilation on the message matching its
+    WSDL-declared shape — typed services get schema-checked skip-scan
+    for free.
+    """
+    return {
+        op.name: MessageDescriptor.from_operation(op)
+        for op in service.operations
+    }

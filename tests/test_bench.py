@@ -1,5 +1,9 @@
 """Unit tests for the bench harness (workloads, runner, report, figures)."""
 
+import importlib.util
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -187,3 +191,58 @@ class TestFiguresSmoke:
         assert main(["fig03", "--sizes", "1,20", "--reps", "2"]) == 0
         out = capsys.readouterr().out
         assert "Figure 3" in out
+
+
+REPO_ROOT = Path(__file__).parents[1]
+
+
+class TestDiffdeserBenchResult:
+    """The checked-in skip-scan ablation archive (``BENCH_diffdeser.json``)
+    conforms to ``repro-bench-result/1``, covers the full variant x
+    dirty-fraction grid with both timer series, and carries the claimed
+    headline: >= 5x parse speedup for skip-scan at 1% dirty on a
+    full-size (64Ki-double, non-smoke) run."""
+
+    @pytest.fixture(scope="class")
+    def bench_mod(self):
+        path = REPO_ROOT / "benchmarks" / "bench_ablation_diffdeser.py"
+        spec = importlib.util.spec_from_file_location(
+            "bench_ablation_diffdeser", path
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod
+
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return json.loads((REPO_ROOT / "BENCH_diffdeser.json").read_text())
+
+    def test_schema(self, bench_mod, doc):
+        from repro.bench.resultjson import validate_result
+
+        validate_result(doc, required_columns=bench_mod.REQUIRED_COLUMNS)
+        assert doc["bench"] == "ablation_diffdeser"
+
+    def test_grid_complete(self, bench_mod, doc):
+        cells = {(r["variant"], r["dirty_frac"]) for r in doc["results"]}
+        assert cells == {
+            (v, f) for v in bench_mod.VARIANTS for f in bench_mod.FRACTIONS
+        }
+
+    def test_split_timer_series(self, doc):
+        for row in doc["results"]:
+            assert row["mean_parse_ms"] > 0, row
+            assert row["mean_dispatch_ms"] >= 0, row
+            assert row["mean_handle_ms"] > 0, row
+
+    def test_headline_archived_at_full_size(self, bench_mod, doc):
+        assert not doc["params"]["smoke"]
+        [row] = [
+            r
+            for r in doc["results"]
+            if (r["variant"], r["dirty_frac"])
+            == ("skipscan", bench_mod.HEADLINE_FRAC)
+        ]
+        assert row["n"] >= 65536
+        assert row["skipscan_hits"] == row["sends"], row
+        assert row["parse_speedup_vs_full"] >= bench_mod.MIN_HEADLINE_SPEEDUP

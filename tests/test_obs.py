@@ -83,6 +83,7 @@ class TestTracer:
             "recv",
             "delta-encode",
             "delta-apply",
+            "skipscan",
         }
 
 
