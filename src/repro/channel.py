@@ -48,8 +48,9 @@ from repro.errors import (
     TransportError,
 )
 from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.budget import RetryBudget
 from repro.resilience.reconnect import ReconnectingTCPTransport
-from repro.resilience.retry import RetryPolicy
+from repro.resilience.retry import RetryPolicy, parse_retry_after
 from repro.schema.registry import TypeRegistry
 from repro.server.diffdeser import DeserReport, DifferentialDeserializer
 from repro.soap.fault import SOAPFault
@@ -99,6 +100,7 @@ class RPCChannel:
         path: str = "/soap",
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
+        budget: Optional[RetryBudget] = None,
         raw_transport=None,
         obs: Optional[Observability] = None,
     ) -> None:
@@ -121,6 +123,11 @@ class RPCChannel:
         self.client = BSoapClient(self._http, resolved_policy, obs=self.obs)
         self.retry = retry or RetryPolicy()
         self.breaker = breaker or CircuitBreaker()
+        #: Optional pool-wide retry budget (see
+        #: :mod:`repro.resilience.budget`): each retry must win a
+        #: token; a dry budget surfaces the original error instead of
+        #: amplifying an overload.  None → per-call policy only.
+        self.budget = budget
         # Responses are differentially deserialized: a service reusing
         # its response template sends same-skeleton bodies, so the
         # channel re-parses only the result values that changed — the
@@ -131,6 +138,8 @@ class RPCChannel:
         self.faults = 0
         #: Failed attempts that were retried, channel lifetime total.
         self.retries_total = 0
+        #: Retries the policy allowed but the shared budget denied.
+        self.retries_denied = 0
         #: True once the channel hit a fatal transport problem with a
         #: non-reconnecting raw transport (it cannot recover).
         self.broken = False
@@ -163,6 +172,8 @@ class RPCChannel:
             except SOAPFaultError:
                 # The round trip worked; the *server* answered a Fault.
                 self.breaker.record_success()
+                if self.budget is not None:
+                    self.budget.record_success()
                 with self._stats_lock:
                     self.calls += 1
                     self.faults += 1
@@ -177,16 +188,37 @@ class RPCChannel:
                 self.client.quarantine(message)
                 if not self.retry.retryable(exc):
                     raise
-                delay = self.retry.backoff(failures)
+                # A server Retry-After hint (503 under admission
+                # control) raises the backoff to at least the hint and
+                # cools down the transport's redial.
+                raw_hint = getattr(exc, "retry_after", None)
+                hint = (
+                    float(raw_hint)
+                    if isinstance(raw_hint, (int, float))
+                    else None
+                )
+                if hint is not None:
+                    note = getattr(self._raw, "note_retry_after", None)
+                    if note is not None:
+                        note(min(hint, self.retry.max_delay))
+                delay = self.retry.backoff(failures, hint=hint)
                 if not self.retry.admits(
                     failures, time.monotonic() - started, delay
                 ):
+                    raise
+                if self.budget is not None and not self.budget.try_spend():
+                    # Policy says retry; the pool-wide budget says the
+                    # fleet is already amplifying — surface the error.
+                    with self._stats_lock:
+                        self.retries_denied += 1
                     raise
                 with self._stats_lock:
                     self.retries_total += 1
                 time.sleep(delay)
                 continue
             self.breaker.record_success()
+            if self.budget is not None:
+                self.budget.record_success()
             report.retries = failures
             self.last_send_report = report
             with self._stats_lock:
@@ -231,7 +263,9 @@ class RPCChannel:
             # the template, which forces a full resynchronizing resend.
             raise DeltaResyncError("server requested delta resync")
         if status != 200:
-            raise HTTPStatusError(status)
+            raise HTTPStatusError(
+                status, retry_after=parse_retry_after(headers.get("retry-after"))
+            )
         if wire is not None and headers.get("x-repro-delta") == "1":
             wire.negotiated = True
         try:
@@ -291,6 +325,7 @@ class RPCChannel:
                 "calls": self.calls,
                 "faults": self.faults,
                 "retries": self.retries_total,
+                "retries_denied": self.retries_denied,
                 "reconnects": getattr(self._raw, "reconnects", 0),
                 "rollbacks": stats.rollbacks,
                 "forced_full_sends": stats.forced_full_sends,

@@ -1,0 +1,77 @@
+"""CLI for the chaos soak: ``python -m repro.chaos [--seed N] ...``.
+
+Exit status 0 = every invariant held through every phase; 1 = at least
+one violation (all printed).  CI runs a fixed-seed smoke on every push
+and a randomized longer soak in the slow job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.chaos.harness import ChaosConfig, run_chaos
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Seeded chaos soak against the live serving stack.",
+    )
+    defaults = ChaosConfig()
+    parser.add_argument("--seed", type=int, default=defaults.seed)
+    parser.add_argument(
+        "--clients", type=int, default=defaults.clients,
+        help="worker channels, spread across the four match levels",
+    )
+    parser.add_argument(
+        "--calls-per-phase", type=int, default=defaults.calls_per_phase,
+        help="calls per worker per phase (5 phases)",
+    )
+    parser.add_argument("--array-n", type=int, default=defaults.array_n)
+    parser.add_argument("--delay-ms", type=float, default=defaults.delay_ms)
+    parser.add_argument(
+        "--budget-bytes", type=int, default=defaults.budget_bytes,
+        help="server state budget (small = pressure phase bites)",
+    )
+    parser.add_argument(
+        "--max-concurrent", type=int, default=defaults.max_concurrent_requests,
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=defaults.max_queue_depth,
+    )
+    args = parser.parse_args(argv)
+
+    config = ChaosConfig(
+        seed=args.seed,
+        clients=args.clients,
+        calls_per_phase=args.calls_per_phase,
+        array_n=args.array_n,
+        delay_ms=args.delay_ms,
+        budget_bytes=args.budget_bytes,
+        max_concurrent_requests=args.max_concurrent,
+        max_queue_depth=args.queue_depth,
+    )
+    print(
+        f"chaos soak: seed={config.seed} clients={config.clients} "
+        f"total-calls={config.total_calls()} budget={config.budget_bytes}B"
+    )
+    report = run_chaos(config)
+    print(report.summary())
+    violations = report.violations
+    if violations:
+        print(f"\n{len(violations)} violation(s):")
+        for violation in violations[:25]:
+            print(f"  - {violation}")
+        if len(violations) > 25:
+            print(f"  ... and {len(violations) - 25} more")
+        return 1
+    print("all invariants held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

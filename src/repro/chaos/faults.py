@@ -1,0 +1,184 @@
+"""Deterministic fault injectors for the chaos soak.
+
+Each injector perturbs exactly one thing the serving stack claims to
+survive, and each maps to a documented recovery path
+(``docs/failure_model.md``, ``docs/overload.md``):
+
+===============  ====================================================
+fault            expected recovery
+===============  ====================================================
+drop             client redials; quarantined templates force a full
+                 resynchronizing resend (server: fresh session)
+slowloris        server answers 408 within ``read_deadline`` and
+                 reclaims the connection slot
+partial-write    server answers 400 (peer EOF mid-request); nothing
+                 else on the server is affected
+stall            connect-then-nothing; the slot is reclaimed by the
+                 read deadline, no session state was created
+kill-session     server session vanishes between two requests on a
+                 live connection → next delta frame answers 409
+                 resync, next plain request pays a first-time parse
+pressure         ghost sessions blow the state budget → the tier
+                 ladder sheds mirrors, seek tables, then whole
+                 sessions; traffic keeps being answered throughout
+===============  ====================================================
+
+Socket injectors talk to a real listening server and *always* read the
+answer (or EOF): the point is that the server stays polite under abuse,
+which can only be observed by finishing the conversation.  Everything
+is parameterized by a :class:`random.Random` owned by the caller, so a
+seeded harness replays the same schedule.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from typing import Optional
+
+__all__ = [
+    "FAULT_KINDS",
+    "inject_slowloris",
+    "inject_partial_write",
+    "inject_stall",
+    "kill_one_session",
+    "ghost_announce",
+]
+
+FAULT_KINDS = (
+    "drop",
+    "slowloris",
+    "partial-write",
+    "stall",
+    "kill-session",
+    "pressure",
+)
+
+#: Prefix of a legitimate POST — what the partial-write and slow-loris
+#: injectors dribble before misbehaving.
+_REQUEST_PREFIX = (
+    b"POST /soap HTTP/1.1\r\n"
+    b"Host: chaos\r\n"
+    b"Content-Type: text/xml\r\n"
+    b"Content-Length: 4096\r\n"
+)
+
+
+def _read_answer(sock: socket.socket, timeout: float) -> Optional[int]:
+    """Read whatever the server answers; return the status (or None).
+
+    None means the server closed without a response — for a connection
+    that never delivered a complete request *before its deadline*,
+    that is acceptable only as EOF after a rejection was attempted;
+    callers treat None as "no answer observed" and judge accordingly.
+    """
+    sock.settimeout(timeout)
+    data = b""
+    try:
+        while b"\r\n" not in data and len(data) < 1024:
+            chunk = sock.recv(1024)
+            if not chunk:
+                break
+            data += chunk
+    except (socket.timeout, OSError):
+        pass
+    if data.startswith(b"HTTP/1.1 ") and len(data) >= 12:
+        try:
+            return int(data[9:12])
+        except ValueError:
+            return None
+    return None
+
+
+def inject_slowloris(
+    host: str, port: int, *, read_deadline: float, rng: random.Random
+) -> Optional[int]:
+    """Dribble header bytes slower than the read deadline allows.
+
+    Returns the status the server answered (expected: 408), or None if
+    it closed the drip without one.
+    """
+    with socket.create_connection((host, port), timeout=read_deadline + 2) as sock:
+        dribble = _REQUEST_PREFIX[: rng.randint(8, len(_REQUEST_PREFIX) - 1)]
+        step = max(1, len(dribble) // 6)
+        deadline = time.monotonic() + read_deadline + 1.5
+        sent = 0
+        try:
+            while sent < len(dribble) and time.monotonic() < deadline:
+                sock.sendall(dribble[sent : sent + step])
+                sent += step
+                time.sleep(min(0.35, read_deadline / 3))
+        except OSError:
+            pass  # server already gave up on us — exactly the point
+        return _read_answer(sock, read_deadline + 1.5)
+
+
+def inject_partial_write(
+    host: str, port: int, *, rng: random.Random, timeout: float = 2.0
+) -> Optional[int]:
+    """Send a truncated request then shut down the write side.
+
+    Returns the status the server answered (expected: 400).
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        body = _REQUEST_PREFIX + b"\r\n" + b"<truncated"
+        cut = rng.randint(len(_REQUEST_PREFIX) + 2, len(body))
+        sock.sendall(body[:cut])
+        try:
+            sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+        return _read_answer(sock, timeout)
+
+
+def inject_stall(host: str, port: int, *, timeout: float = 0.2) -> None:
+    """Connect, say nothing, hang up — a slot-wasting no-op client."""
+    try:
+        with socket.create_connection((host, port), timeout=timeout):
+            time.sleep(timeout / 2)
+    except OSError:
+        pass
+
+
+def kill_one_session(service, rng: random.Random) -> Optional[object]:
+    """Close one random live, non-default server session.
+
+    Models eviction racing a live connection: the connection's *next*
+    request finds its session gone and must recover (409 resync for a
+    delta frame, first-time full parse otherwise).  Returns the killed
+    key, or None when only the default session is live.
+    """
+    keys = [
+        s.key
+        for s in service.sessions.sessions()
+        if not s.pinned and s.in_use == 0
+    ]
+    if not keys:
+        return None
+    key = keys[rng.randrange(len(keys))]
+    service.sessions.close_session(key)
+    return key
+
+
+def ghost_announce(
+    service, body: bytes, *, session_id: str, template_id: int
+) -> int:
+    """Deposit *body* as a delta mirror on a synthetic ghost session.
+
+    Drives the real ``handle_wire`` announce path, so the ghost session
+    accrues every state component a genuine client creates (mirror,
+    deserializer template, seek table, response template) — the
+    memory-pressure pulse is made of exactly the state the shed ladder
+    exists for.  Returns the HTTP status (200 for a valid body).
+    """
+    status, _extra, _resp = service.handle_wire(
+        body,
+        {
+            "x-repro-delta": "1",
+            "x-repro-delta-template": str(template_id),
+            "x-repro-delta-epoch": "0",
+        },
+        session_id,
+    )
+    return status

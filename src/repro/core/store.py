@@ -182,5 +182,20 @@ class TemplateStore:
     def signature_count(self) -> int:
         return len(self._by_sig)
 
+    def approx_bytes(self) -> int:
+        """Approximate bytes retained across every cached template.
+
+        Sums each in-memory template's ``memory_footprint()['total']``
+        (serialized chunks + DUT columns); entries without a footprint
+        (spilled handles and such) contribute nothing.
+        """
+        total = 0
+        for entries in self._by_sig.values():
+            for template in entries:
+                footprint = getattr(template, "memory_footprint", None)
+                if callable(footprint):
+                    total += int(footprint()["total"])
+        return total
+
     def __contains__(self, signature: Signature) -> bool:
         return bool(self._by_sig.get(signature))

@@ -33,6 +33,7 @@ __all__ = [
     "PoolTimeoutError",
     "WSDLError",
     "OverlayError",
+    "AdmissionRejectedError",
 ]
 
 
@@ -179,9 +180,16 @@ class HTTPStatusError(TransportError):
     recover); 4xx statuses are permanent client errors.
     """
 
-    def __init__(self, status: int, detail: str = "") -> None:
+    def __init__(
+        self, status: int, detail: str = "", retry_after: "float | None" = None
+    ) -> None:
         super().__init__(f"HTTP {status} from server" + (f": {detail}" if detail else ""))
         self.status = status
+        #: Parsed ``Retry-After`` header value in seconds, when the
+        #: server sent one (503 admission/overload rejections do).  The
+        #: retry machinery uses it as the backoff hint, capped at the
+        #: policy's ``max_delay``.
+        self.retry_after = retry_after
 
 
 class DeltaFrameError(TransportError):
@@ -217,6 +225,31 @@ class DeltaResyncError(TransportError):
     def __init__(self, message: str, reason: str = "resync") -> None:
         super().__init__(message)
         self.reason = reason
+
+
+class AdmissionRejectedError(ReproError):
+    """The server's admission controller refused to start a request.
+
+    Raised by :meth:`repro.hardening.overload.AdmissionController.admit`
+    when a gate (concurrency, queue depth, rate) is closed.  HTTP front
+    ends translate it into ``503 Service Unavailable`` with a
+    ``Retry-After`` header carrying :attr:`retry_after`; direct
+    ``handle()`` callers see the exception itself.
+
+    Attributes
+    ----------
+    gate:
+        Which gate refused: ``"concurrency"``, ``"queue"`` or
+        ``"rate"``.
+    retry_after:
+        Suggested client backoff in seconds (≥ 1, integral — the HTTP
+        ``Retry-After`` delta-seconds form).
+    """
+
+    def __init__(self, message: str, gate: str, retry_after: int) -> None:
+        super().__init__(message)
+        self.gate = gate
+        self.retry_after = retry_after
 
 
 class PoolError(ReproError):

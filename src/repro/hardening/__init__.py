@@ -11,6 +11,11 @@ Two halves:
   ``HTTPSoapServer``, asserting the fault-not-crash invariant.  Loaded
   lazily because it imports the server stack, which itself imports
   this package's limits.
+* :mod:`repro.hardening.overload` — admission control (concurrency /
+  queue-depth / rate gates answering ``503 + Retry-After``) and the
+  :class:`MemoryAccountant` byte ledger behind the tiered
+  pressure-relief ladder (mirrors → seek tables → LRU sessions).
+  Loaded lazily for the same reason as the fuzzer.
 """
 
 from __future__ import annotations
@@ -28,6 +33,9 @@ __all__ = [
     "fuzz_http",
     "load_corpus",
     "build_fuzz_service",
+    "OverloadPolicy",
+    "AdmissionController",
+    "MemoryAccountant",
 ]
 
 _FUZZ_NAMES = frozenset(
@@ -42,10 +50,18 @@ _FUZZ_NAMES = frozenset(
     ]
 )
 
+_OVERLOAD_NAMES = frozenset(
+    ["OverloadPolicy", "AdmissionController", "MemoryAccountant"]
+)
+
 
 def __getattr__(name: str):
     if name in _FUZZ_NAMES:
         from repro.hardening import fuzz
 
         return getattr(fuzz, name)
+    if name in _OVERLOAD_NAMES:
+        from repro.hardening import overload
+
+        return getattr(overload, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -67,6 +67,13 @@ class ResourceLimits:
     #: reconstruction (LRU beyond this; an evicted template's next
     #: frame answers resync and the client re-announces).
     max_delta_mirrors: int = 4
+    #: Global byte budget for *all* per-session server state —
+    #: deserializer templates, compiled seek tables, delta mirrors,
+    #: response templates — summed across sessions.  Crossing it
+    #: triggers tiered pressure relief (mirrors → seek tables → LRU
+    #: sessions; see :mod:`repro.hardening.overload`), never a
+    #: rejection: every shed tier has a correct slow-path recovery.
+    max_state_bytes: int = 1 << 26  # 64 MiB
 
     def __post_init__(self) -> None:
         for f in fields(self):
@@ -110,4 +117,5 @@ UNLIMITED = ResourceLimits(
     max_delta_splices=1 << 30,
     max_delta_frame_bytes=1 << 40,
     max_delta_mirrors=1 << 10,
+    max_state_bytes=1 << 50,
 )

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "NULL_OBS",
     "MetricsRegistry",
     "Counter",
+    "Gauge",
     "Histogram",
     "DEFAULT_LATENCY_BUCKETS",
     "RecordingTracer",
@@ -107,6 +109,9 @@ class Observability:
         "_skipscan_events",
         "_bytes_sent",
         "_bytes_received",
+        "_overload_events",
+        "_admission",
+        "_state_bytes",
     )
 
     def __init__(
@@ -211,6 +216,26 @@ class Observability:
                 "hit-vector / fallback-* / *-drift / uncompilable-*)",
                 ("event",),
             )
+            self._overload_events = metrics.counter(
+                "repro_overload_events_total",
+                "Pressure-relief sheds by tier (mirror / seektable / "
+                "session) plus over-budget ticks when nothing is "
+                "sheddable",
+                ("tier",),
+            )
+            self._admission = metrics.counter(
+                "repro_admission_total",
+                "Admission controller decisions by outcome (admitted / "
+                "rejected-concurrency / rejected-queue / rejected-rate)",
+                ("outcome",),
+            )
+            self._state_bytes = metrics.gauge(
+                "repro_state_bytes",
+                "Live per-session server state by component (deser "
+                "templates / seek tables / delta mirrors / response "
+                "templates), summed across sessions",
+                ("component",),
+            )
 
     # ------------------------------------------------------------------
     # constructors
@@ -299,6 +324,30 @@ class Observability:
     def record_bytes_received(self, n: int) -> None:
         if self.metrics is not None and n > 0:
             self._bytes_received.inc(n)
+
+    # ------------------------------------------------------------------
+    # overload-control recording
+    # ------------------------------------------------------------------
+    def record_overload(self, tier: str) -> None:
+        """One pressure-relief event (a shed, or an over-budget tick).
+
+        Also emits an ``overload`` span when tracing is on, carrying
+        the tier — the chaos harness and tests use the span stream to
+        check every degradation is observable.
+        """
+        if self.metrics is not None:
+            self._overload_events.inc(1, tier=tier)
+        if getattr(self.tracer, "enabled", False):
+            self.tracer.emit("overload", tier=tier)
+
+    def record_admission(self, outcome: str) -> None:
+        if self.metrics is not None:
+            self._admission.inc(1, outcome=outcome)
+
+    def record_state_bytes(self, component: str, nbytes: int) -> None:
+        """Push a live state-size gauge sample for *component*."""
+        if self.metrics is not None:
+            self._state_bytes.set(nbytes, component=component)
 
     # ------------------------------------------------------------------
     # server-side deserializer recording

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional
 
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = ["render_prometheus", "metrics_rows", "metrics_result", "parse_prometheus"]
 
@@ -48,7 +48,7 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         if metric.help:
             lines.append(f"# HELP {metric.name} {metric.help}")
         lines.append(f"# TYPE {metric.name} {metric.kind}")
-        if isinstance(metric, Counter):
+        if isinstance(metric, (Counter, Gauge)):
             samples = metric.samples()
             if not samples and not metric.labelnames:
                 samples = [({}, 0.0)]
@@ -107,7 +107,7 @@ def metrics_rows(registry: MetricsRegistry) -> List[Dict[str, object]]:
     """
     rows: List[Dict[str, object]] = []
     for metric in registry.metrics():
-        if isinstance(metric, Counter):
+        if isinstance(metric, (Counter, Gauge)):
             for labels, value in metric.samples():
                 rows.append(
                     {

@@ -24,7 +24,13 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry", "DEFAULT_LATENCY_BUCKETS"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
 
 #: Default histogram bounds, tuned for loopback SOAP call latencies
 #: (seconds): 50us .. ~2.5s, roughly ×3 per step.
@@ -86,6 +92,50 @@ class Counter:
         key = _label_key(self.name, self.labelnames, labels)
         with self._lock:
             self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = _label_key(self.name, self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def samples(self) -> List[Tuple[Dict[str, str], float]]:
+        """``[(labels_dict, value)]`` snapshot, insertion-ordered."""
+        with self._lock:
+            items = list(self._values.items())
+        return [(dict(zip(self.labelnames, key)), value) for key, value in items]
+
+
+class Gauge:
+    """A settable, optionally labelled value (Prometheus gauge).
+
+    Unlike :class:`Counter` it may move in either direction — live
+    state sizes (session-state bytes, mirrors held, sessions live) are
+    the intended use.  ``set`` overwrites; there is no ``inc`` because
+    every caller in this codebase derives the value from an
+    authoritative ledger and pushes snapshots.
+    """
+
+    kind = "gauge"
+
+    __slots__ = ("name", "help", "labelnames", "_values", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        help: str,  # noqa: A002 - mirrors prometheus_client
+        labelnames: Tuple[str, ...],
+        lock: threading.Lock,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self._values: Dict[LabelValues, float] = {}
+        self._lock = lock
+
+    def set(self, value: float, **labels: object) -> None:
+        key = _label_key(self.name, self.labelnames, labels)
+        with self._lock:
+            self._values[key] = float(value)
 
     def value(self, **labels: object) -> float:
         key = _label_key(self.name, self.labelnames, labels)
@@ -181,7 +231,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         # Shared value lock — metric mutation and registry mutation are
         # both rare enough that one lock serves.
-        self._metrics: "Dict[str, Counter | Histogram]" = {}
+        self._metrics: "Dict[str, Counter | Gauge | Histogram]" = {}
 
     # ------------------------------------------------------------------
     def counter(
@@ -189,6 +239,13 @@ class MetricsRegistry:
     ) -> Counter:
         return self._get_or_create(
             name, Counter, lambda: Counter(name, help, tuple(labelnames), self._lock)
+        )
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(
+            name, Gauge, lambda: Gauge(name, help, tuple(labelnames), self._lock)
         )
 
     def histogram(
@@ -216,11 +273,11 @@ class MetricsRegistry:
             return metric
 
     # ------------------------------------------------------------------
-    def get(self, name: str) -> "Optional[Counter | Histogram]":
+    def get(self, name: str) -> "Optional[Counter | Gauge | Histogram]":
         with self._lock:
             return self._metrics.get(name)
 
-    def metrics(self) -> "List[Counter | Histogram]":
+    def metrics(self) -> "List[Counter | Gauge | Histogram]":
         """Registration-ordered snapshot of every metric."""
         with self._lock:
             return list(self._metrics.values())

@@ -51,6 +51,7 @@ SPAN_NAMES = (
     "delta-encode",  # one binary delta frame encoded from the dirty set
     "delta-apply",  # one delta frame applied to a server mirror
     "skipscan",  # one skip-scan apply over a session's seek table
+    "overload",  # one pressure-relief shed (tier attr) or budget tick
 )
 
 

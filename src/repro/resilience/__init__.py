@@ -13,6 +13,8 @@ package supplies the recovery machinery:
   connection identity that survives resets,
 * :class:`~repro.resilience.breaker.CircuitBreaker` — degrade to
   full-serialization mode under repeated failure,
+* :class:`~repro.resilience.budget.RetryBudget` — a pool-wide token
+  bucket bounding the fleet's aggregate retry rate (retry storms),
 * :class:`~repro.resilience.faults.FaultInjectingTransport` — the
   deterministic, seedable fault harness the fault-matrix tests drive.
 
@@ -23,13 +25,16 @@ and recovery".
 """
 
 from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.budget import RetryBudget
 from repro.resilience.faults import FAULT_KINDS, FaultInjectingTransport, FaultSpec
 from repro.resilience.reconnect import ReconnectingTCPTransport
-from repro.resilience.retry import RetryPolicy, retryable_error
+from repro.resilience.retry import RetryPolicy, parse_retry_after, retryable_error
 
 __all__ = [
     "RetryPolicy",
     "retryable_error",
+    "parse_retry_after",
+    "RetryBudget",
     "ReconnectingTCPTransport",
     "CircuitBreaker",
     "FaultSpec",

@@ -1,0 +1,98 @@
+"""A pool-wide retry budget: retries are a fraction of successes.
+
+Per-call retry policies bound how hard *one* call hammers a struggling
+server; they do nothing about the aggregate.  Under overload, N
+channels each dutifully retrying 3 times turn one wave of rejections
+into a 4× wave — the classic retry storm that keeps a server pinned at
+saturation after the original spike has passed.
+
+:class:`RetryBudget` is the aggregate bound (the Finagle
+``RetryBudget`` idea): a token bucket **shared by every channel in a
+pool**.  Successful attempts deposit a fraction of a token; each retry
+withdraws a whole one.  The steady-state retry rate is therefore
+capped at ``deposit_per_success`` × the success rate — when the server
+stops succeeding, the budget drains and the pool stops retrying
+instead of amplifying.  A denied retry surfaces the original error to
+the caller; nothing blocks.
+
+Deterministic (no clock, no randomness): the budget's state is a pure
+function of the success/retry sequence, so seeded chaos runs replay
+exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+__all__ = ["RetryBudget"]
+
+
+class RetryBudget:
+    """Token bucket bounding pool-wide retries (see module docstring).
+
+    Parameters
+    ----------
+    deposit_per_success:
+        Tokens deposited by each successful attempt — the long-run
+        retries-per-success ratio (0.1 ⇒ at most ~10% extra load from
+        retries).
+    capacity:
+        Bucket cap: how many retries a burst of failures may spend
+        before fresh successes must refill the bucket.
+    initial:
+        Starting balance (defaults to *capacity*, so cold-start
+        failures — the server not up yet — may still retry).
+    """
+
+    def __init__(
+        self,
+        *,
+        deposit_per_success: float = 0.1,
+        capacity: float = 20.0,
+        initial: float | None = None,
+    ) -> None:
+        if deposit_per_success < 0.0:
+            raise ValueError("deposit_per_success must be >= 0")
+        if capacity < 1.0:
+            raise ValueError("capacity must be >= 1")
+        self.deposit_per_success = deposit_per_success
+        self.capacity = capacity
+        self._tokens = capacity if initial is None else min(initial, capacity)
+        self._lock = threading.Lock()
+        self.successes = 0
+        self.spent = 0
+        self.denied = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+    def record_success(self) -> None:
+        """Deposit for one successful attempt."""
+        with self._lock:
+            self.successes += 1
+            self._tokens = min(
+                self.capacity, self._tokens + self.deposit_per_success
+            )
+
+    def try_spend(self) -> bool:
+        """Withdraw one retry token; False when the budget is dry."""
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                self.spent += 1
+                return True
+            self.denied += 1
+            return False
+
+    def counters(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "budget_tokens": self._tokens,
+                "budget_successes": self.successes,
+                "budget_retries_spent": self.spent,
+                "budget_retries_denied": self.denied,
+            }

@@ -17,6 +17,7 @@ the layer that also owns the template rollback
 from __future__ import annotations
 
 import threading
+import time
 from typing import Optional, Tuple
 
 from repro.errors import TransportError
@@ -62,6 +63,12 @@ class ReconnectingTCPTransport:
         self.connections = 0
         self.messages = 0
         self.bytes_total = 0
+        # Redial cooldown from a server Retry-After hint: a dial
+        # attempted before it expires waits out the remainder.  The
+        # channel's backoff normally covers the whole hint, so this
+        # only bites callers that redial immediately (pipelining).
+        self._cooldown_until = 0.0
+        self.cooldown_waits = 0
 
     # ------------------------------------------------------------------
     @property
@@ -72,12 +79,30 @@ class ReconnectingTCPTransport:
     def reconnects(self) -> int:
         return max(0, self.connections - 1)
 
+    def note_retry_after(self, seconds: float) -> None:
+        """Delay the next redial by *seconds* (server Retry-After).
+
+        Honored only when dialing a *new* connection — an established
+        socket keeps working.  A later, longer hint extends the
+        cooldown; it never shrinks.
+        """
+        if seconds <= 0.0:
+            return
+        deadline = time.monotonic() + seconds
+        with self._conn_lock:
+            if deadline > self._cooldown_until:
+                self._cooldown_until = deadline
+
     def connect(self) -> TCPTransport:
         """Dial if not connected; return the live inner transport."""
         with self._conn_lock:
             if self._closed:
                 raise TransportError("transport is closed")
             if self._tcp is None:
+                remaining = self._cooldown_until - time.monotonic()
+                if remaining > 0:
+                    self.cooldown_waits += 1
+                    time.sleep(remaining)
                 self._tcp = TCPTransport(
                     self.host,
                     self.port,

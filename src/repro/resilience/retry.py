@@ -36,7 +36,23 @@ from repro.errors import (
     TransportError,
 )
 
-__all__ = ["RetryPolicy", "retryable_error"]
+__all__ = ["RetryPolicy", "retryable_error", "parse_retry_after"]
+
+
+def parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Parse a ``Retry-After`` header value into seconds.
+
+    Only the delta-seconds form is produced by this stack (and by the
+    admission controller); HTTP-dates and garbage parse to ``None`` —
+    an unusable hint must never break the retry path.
+    """
+    if value is None:
+        return None
+    try:
+        seconds = float(value.strip())
+    except ValueError:
+        return None
+    return seconds if seconds >= 0.0 else None
 
 
 def retryable_error(exc: BaseException) -> bool:
@@ -88,8 +104,14 @@ class RetryPolicy:
     def retryable(self, exc: BaseException) -> bool:
         return retryable_error(exc)
 
-    def backoff(self, retry_number: int) -> float:
-        """Sleep before the *retry_number*-th retry (1-based)."""
+    def backoff(self, retry_number: int, hint: Optional[float] = None) -> float:
+        """Sleep before the *retry_number*-th retry (1-based).
+
+        *hint* is a server ``Retry-After`` suggestion in seconds: the
+        delay is raised to at least the hint (the server knows when it
+        expects capacity back), but never beyond :attr:`max_delay` —
+        the client's own ceiling wins over a hostile or confused hint.
+        """
         if retry_number < 1:
             raise ValueError("retry_number is 1-based")
         delay = min(
@@ -97,6 +119,8 @@ class RetryPolicy:
         )
         if self.jitter > 0.0:
             delay += delay * self.jitter * self._rng.random()
+        if hint is not None and hint > 0.0:
+            delay = max(delay, min(float(hint), self.max_delay))
         return delay
 
     def admits(self, attempts_made: int, elapsed: float, next_delay: float) -> bool:

@@ -66,7 +66,7 @@ MATCH_LEVELS = (
 OPERATION = "checksum"
 
 
-def build_service(delay_ms: float = 0.0) -> SOAPService:
+def build_service(delay_ms: float = 0.0, **service_kw) -> SOAPService:
     """The loadgen target: one summing operation, fixed response shape.
 
     *delay_ms* adds a per-call service time (``time.sleep``, so the
@@ -75,8 +75,12 @@ def build_service(delay_ms: float = 0.0) -> SOAPService:
     regime where pooling/pipelining overlap pays off — on a loopback
     no-op service every mode is serialized on the interpreter lock
     and concurrency cannot show through.
+
+    Extra keyword arguments reach the :class:`SOAPService` constructor
+    (``admission=``, ``limits=``, ``obs=`` — the chaos harness and the
+    overload benchmark configure their targets this way).
     """
-    service = SOAPService(SERVICE_NS, TypeRegistry())
+    service = SOAPService(SERVICE_NS, TypeRegistry(), **service_kw)
 
     @service.operation(OPERATION, result_type=DOUBLE)
     def checksum(data):  # noqa: ANN001 - SOAP handler signature

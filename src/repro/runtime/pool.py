@@ -30,6 +30,7 @@ from repro.channel import RPCChannel
 from repro.core.policy import DiffPolicy
 from repro.errors import PoolError, PoolTimeoutError
 from repro.obs import NULL_OBS, Observability
+from repro.resilience.budget import RetryBudget
 from repro.schema.registry import TypeRegistry
 from repro.soap.message import SOAPMessage
 from repro.soap.rpc import RPCResponse
@@ -41,6 +42,7 @@ _COUNTER_KEYS = (
     "calls",
     "faults",
     "retries",
+    "retries_denied",
     "reconnects",
     "rollbacks",
     "forced_full_sends",
@@ -69,6 +71,12 @@ class ClientPool:
         fault-wrapped transports here.
     checkout_timeout:
         Default :meth:`checkout` wait in seconds (``None`` = forever).
+    retry_budget:
+        Optional :class:`~repro.resilience.budget.RetryBudget` shared
+        by **every** pooled channel (default-built ones; a custom
+        ``channel_factory`` wires it itself via :attr:`retry_budget`).
+        Bounds the fleet's aggregate retry rate so N channels backing
+        off cannot multiply an overload.
     """
 
     def __init__(
@@ -84,6 +92,7 @@ class ClientPool:
         channel_factory: Optional[Callable[[int], RPCChannel]] = None,
         checkout_timeout: Optional[float] = None,
         obs: Optional[Observability] = None,
+        retry_budget: Optional[RetryBudget] = None,
     ) -> None:
         if size < 1:
             raise PoolError("pool size must be >= 1")
@@ -100,6 +109,9 @@ class ClientPool:
         self._policy = policy
         self._http_mode = http_mode
         self._path = path
+        #: Shared across channels (including replacements), so the
+        #: budget's view of the fleet survives channel churn.
+        self.retry_budget = retry_budget
         self._factory = channel_factory or self._default_factory
         self._lock = threading.Lock()
         self._idle: "queue.LifoQueue[RPCChannel]" = queue.LifoQueue()
@@ -123,6 +135,7 @@ class ClientPool:
             http_mode=self._http_mode,
             path=self._path,
             obs=self.obs,
+            budget=self.retry_budget,
         )
 
     def _spawn(self) -> RPCChannel:
@@ -247,6 +260,8 @@ class ClientPool:
                 breaker_open += 1
         totals["breakers_open"] = breaker_open
         totals.update(meta)
+        if self.retry_budget is not None:
+            totals.update(self.retry_budget.counters())
         return totals
 
     def close(self) -> None:

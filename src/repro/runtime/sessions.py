@@ -31,10 +31,11 @@ from repro.core.client import BSoapClient
 from repro.core.policy import DiffPolicy
 from repro.core.stats import ClientStats
 from repro.hardening.limits import ResourceLimits
+from repro.hardening.overload import SHED_TIERS, MemoryAccountant
 from repro.obs import NULL_OBS, Observability
 from repro.schema.registry import TypeRegistry
 from repro.server.diffdeser import DeserKind, DifferentialDeserializer
-from repro.transport.loopback import CollectSink
+from repro.transport.loopback import LatestSink
 from repro.wire.server import DeltaSession
 
 __all__ = ["ServerSession", "ServerSessionManager", "DeserializerView"]
@@ -76,6 +77,7 @@ class ServerSession:
         "delta",
         "pinned",
         "in_use",
+        "accounted",
     )
 
     def __init__(
@@ -98,7 +100,7 @@ class ServerSession:
             descriptors=descriptors,
             obs=obs,
         )
-        self.sink = CollectSink()
+        self.sink = LatestSink()
         self.responder = BSoapClient(self.sink, response_policy, obs=obs)
         self.lock = threading.Lock()
         self.requests_handled = 0
@@ -115,6 +117,32 @@ class ServerSession:
         #: Number of threads currently between acquire() and release();
         #: guarded by the manager's registry lock.
         self.in_use = 0
+        #: Per-component bytes last charged against the manager's
+        #: :class:`~repro.hardening.overload.MemoryAccountant`; the
+        #: manager's ``note_usage`` keeps it in sync after requests.
+        self.accounted: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def state_components(self) -> Dict[str, int]:
+        """Current state bytes split by ledger component.
+
+        Keys match :data:`~repro.hardening.overload.STATE_COMPONENTS`:
+        ``deser`` (the deserializer's raw template + decode), the
+        compiled ``seektable``, delta ``mirror`` documents, and
+        ``response`` templates (store footprint + retained last
+        response).
+        """
+        return {
+            "deser": self.deserializer.approx_bytes(),
+            "seektable": self.deserializer.seek_table_bytes(),
+            "mirror": self.delta.approx_bytes(),
+            "response": self.responder.store.approx_bytes()
+            + self.sink.last_bytes(),
+        }
+
+    def approx_bytes(self) -> int:
+        """Total state bytes this session currently holds."""
+        return sum(self.state_components().values())
 
 
 class DeserializerView:
@@ -176,6 +204,12 @@ class ServerSessionManager:
         Passed to each session's deserializer: compile a skip-scan
         seek table per template, optionally gated by WSDL-generated
         message descriptors (see :mod:`repro.schema.skipscan`).
+    accountant:
+        Optional :class:`~repro.hardening.overload.MemoryAccountant`.
+        When present, every session's state bytes are charged against
+        it (:meth:`note_usage`) and :meth:`relieve_pressure` sheds
+        state through the tier ladder whenever the budget is exceeded.
+        When absent the manager behaves exactly as before.
     """
 
     def __init__(
@@ -188,6 +222,7 @@ class ServerSessionManager:
         limits: Optional[ResourceLimits] = None,
         skipscan: bool = False,
         descriptors: Optional[Dict[str, type]] = None,
+        accountant: Optional[MemoryAccountant] = None,
     ) -> None:
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
@@ -204,6 +239,11 @@ class ServerSessionManager:
         #: ClientStats, so its totals match
         #: :meth:`merged_response_stats` (retired sessions included).
         self.obs: Observability = obs if obs is not None else NULL_OBS
+        #: Byte ledger for the overload story (None = unaccounted).
+        self.accountant = accountant
+        #: Sessions evicted by the pressure ladder specifically (also
+        #: counted in :attr:`evictions` and the accountant's sheds).
+        self.pressure_evictions = 0
         self._lock = threading.Lock()
         self._sessions: "OrderedDict[Hashable, ServerSession]" = OrderedDict()
         self.sessions_created = 0
@@ -269,6 +309,11 @@ class ServerSessionManager:
 
     def _retire_locked(self, session: ServerSession) -> None:
         """Fold a dying session's stats into the retired totals."""
+        if self.accountant is not None:
+            for component, nbytes in session.accounted.items():
+                if nbytes:
+                    self.accountant.charge(component, -nbytes)
+            session.accounted = {}
         for kind, count in session.deserializer.stats.items():
             self._retired_deser[kind] += count
         for event, count in session.deserializer.skipscan_stats.items():
@@ -296,6 +341,110 @@ class ServerSessionManager:
             session = self._sessions.get(key)
             if session is not None and session.in_use == 0 and not session.pinned:
                 self._retire_locked(self._sessions.pop(key))
+
+    # ------------------------------------------------------------------
+    # memory accounting + pressure relief
+    # ------------------------------------------------------------------
+    def note_usage(self, session: ServerSession) -> None:
+        """Re-measure *session* and charge the deltas to the ledger.
+
+        O(this session) — callers invoke it for the session that just
+        handled a request (while still holding its lock), so the global
+        ledger stays current without ever walking the registry.  A
+        no-op without an accountant.
+        """
+        accountant = self.accountant
+        if accountant is None:
+            return
+        current = session.state_components()
+        previous = session.accounted
+        for component, nbytes in current.items():
+            delta = nbytes - previous.get(component, 0)
+            if delta:
+                accountant.charge(component, delta)
+        session.accounted = current
+
+    def relieve_pressure(self) -> Dict[str, int]:
+        """Shed state until usage is back under the low watermark.
+
+        The tier ladder, cheapest client recovery first (every shed is
+        a speed loss, never a correctness loss):
+
+        1. ``mirror`` — LRU delta mirrors from idle sessions; the
+           client's next frame gets a 409 resync and re-announces
+           full XML.
+        2. ``seektable`` — compiled seek tables from idle sessions;
+           structural matches fall back to the per-leaf loop, full
+           parse stays authoritative.
+        3. ``session`` — LRU idle unpinned sessions retire outright;
+           a returning client pays one first-time send.
+
+        Only idle sessions (``in_use == 0``) are touched, so nothing
+        sheds under an in-flight request.  Returns the sheds performed
+        this call by tier; when every tier is exhausted and usage still
+        exceeds the budget (all remaining state is busy/pinned), the
+        accountant records an over-budget tick instead of failing
+        anything.
+        """
+        accountant = self.accountant
+        if accountant is None or accountant.relief_needed() == 0:
+            return {}
+        sheds = {tier: 0 for tier in SHED_TIERS}
+        with self._lock:
+            # Tier 1: delta mirrors, LRU-session-first then LRU-mirror
+            # within each session.
+            for session in list(self._sessions.values()):
+                if accountant.relief_needed() == 0:
+                    break
+                if session.in_use:
+                    continue
+                while accountant.relief_needed() > 0:
+                    freed = session.delta.drop_lru()
+                    if freed == 0:
+                        break
+                    accountant.charge("mirror", -freed)
+                    session.accounted["mirror"] = max(
+                        0, session.accounted.get("mirror", 0) - freed
+                    )
+                    accountant.note_shed("mirror")
+                    sheds["mirror"] += 1
+            # Tier 2: compiled seek tables.
+            if accountant.relief_needed() > 0:
+                for session in list(self._sessions.values()):
+                    if accountant.relief_needed() == 0:
+                        break
+                    if session.in_use:
+                        continue
+                    freed = session.deserializer.drop_seek_table()
+                    if freed == 0:
+                        continue
+                    accountant.charge("seektable", -freed)
+                    session.accounted["seektable"] = max(
+                        0, session.accounted.get("seektable", 0) - freed
+                    )
+                    accountant.note_shed("seektable")
+                    sheds["seektable"] += 1
+            # Tier 3: LRU idle sessions retire outright.
+            while accountant.relief_needed() > 0:
+                victim_key = None
+                for key, session in self._sessions.items():  # LRU first
+                    if session.in_use == 0 and not session.pinned:
+                        victim_key = key
+                        break
+                if victim_key is None:
+                    break
+                self._retire_locked(self._sessions.pop(victim_key))
+                self.evictions += 1
+                self.pressure_evictions += 1
+                accountant.note_shed("session")
+                sheds["session"] += 1
+            if accountant.relief_needed() > 0:
+                accountant.note_over_budget()
+        return {tier: count for tier, count in sheds.items() if count}
+
+    def state_bytes(self) -> int:
+        """Accounted state bytes (0 without an accountant)."""
+        return 0 if self.accountant is None else self.accountant.usage_bytes
 
     # ------------------------------------------------------------------
     # aggregate views
@@ -352,7 +501,7 @@ class ServerSessionManager:
             delta_applied += session.delta.frames_applied
             delta_resyncs += session.delta.resyncs
             delta_saved += session.delta.bytes_saved
-        return {
+        out = {
             "requests_handled": handled,
             "faults_returned": faulted,
             "bytes_received": rx,
@@ -363,4 +512,8 @@ class ServerSessionManager:
             "sessions": len(self),
             "sessions_created": self.sessions_created,
             "evictions": self.evictions,
+            "pressure_evictions": self.pressure_evictions,
         }
+        if self.accountant is not None:
+            out.update(self.accountant.counters())
+        return out

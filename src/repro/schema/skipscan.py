@@ -244,6 +244,29 @@ class SeekTable:
         self._vec_item_of = item_of
 
     # ------------------------------------------------------------------
+    def approx_bytes(self) -> int:
+        """Approximate retained bytes: the compiled arrays + trie keys.
+
+        Feeds the :class:`~repro.hardening.overload.MemoryAccountant`
+        ledger; the captured :class:`ParseResult` is charged with the
+        deserializer template, not here.
+        """
+        total = (
+            self.starts.nbytes
+            + self.ends.nbytes
+            + self.tag_ids.nbytes
+            + self.tag_lens.nbytes
+        )
+        for arr in (self._vec_key, self._vec_param_of, self._vec_item_of):
+            if arr is not None:
+                total += arr.nbytes
+        # The trie stores one key per distinct close tag — small, but
+        # count it so a pathological many-distinct-tags template is
+        # not free.
+        total += 64 * max(1, int(self.tag_ids.max()) + 1 if self.tag_ids.size else 1)
+        return total
+
+    # ------------------------------------------------------------------
     # application
     # ------------------------------------------------------------------
     def apply(

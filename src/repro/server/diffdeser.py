@@ -240,3 +240,36 @@ class DifferentialDeserializer:
     def has_seek_table(self) -> bool:
         """True when a compiled skip-scan table is armed."""
         return self._table is not None
+
+    def drop_seek_table(self) -> int:
+        """Shed the compiled seek table; return its byte size.
+
+        A pressure-relief tier (see :mod:`repro.hardening.overload`):
+        the template itself survives, so structural matches keep
+        working through the per-leaf loop — strictly slower, never
+        wrong.  No recompile happens until the next full parse
+        refreshes the template.  Returns 0 when no table is armed.
+        """
+        if self._table is None:
+            return 0
+        freed = self._table.approx_bytes()
+        self._table = None
+        self._skip_event("shed")
+        return freed
+
+    def seek_table_bytes(self) -> int:
+        """Bytes held by the compiled seek table (0 when none)."""
+        return 0 if self._table is None else self._table.approx_bytes()
+
+    def approx_bytes(self) -> int:
+        """Approximate retained template bytes (raw copy + decode).
+
+        The decoded :class:`ParseResult` is dominated by its value
+        containers, which scale with the raw document — fold them in
+        as one extra raw-sized charge rather than walking every leaf.
+        The seek table is accounted separately
+        (:meth:`seek_table_bytes`) because it sheds on its own tier.
+        """
+        if self._last_raw is None:
+            return 0
+        return 2 * self._last_raw.nbytes

@@ -31,6 +31,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Un
 from repro.core.policy import DiffPolicy
 from repro.core.stats import ClientStats
 from repro.errors import (
+    AdmissionRejectedError,
     DeltaFrameError,
     DeltaResyncError,
     LexicalError,
@@ -40,6 +41,7 @@ from repro.errors import (
     XMLError,
 )
 from repro.hardening.limits import DEFAULT_LIMITS, ResourceLimits
+from repro.hardening.overload import AdmissionController, MemoryAccountant
 from repro.obs import Observability
 from repro.runtime.sessions import (
     DeserializerView,
@@ -95,6 +97,7 @@ class SOAPService:
         max_sessions: int = 256,
         obs: Optional[Observability] = None,
         limits: Optional[ResourceLimits] = None,
+        admission: Optional[AdmissionController] = None,
     ) -> None:
         self.namespace = namespace
         #: Accept the client's ``X-Repro-Delta`` offer and serve binary
@@ -146,6 +149,26 @@ class SOAPService:
             self._requests_counter = None
             self._faults_counter = None
             self._rejects_counter = None
+        #: Optional admission gates fronting :meth:`handle_wire` (the
+        #: HTTP request path).  None → every request is admitted, the
+        #: pre-overload behaviour.  ``GET /metrics`` and ``?wsdl`` are
+        #: served by the front end before this and stay reachable
+        #: during overload.
+        self.admission = admission
+        shed_fraction = (
+            admission.policy.shed_target_fraction
+            if admission is not None
+            else 0.8
+        )
+        #: Byte ledger for all per-session state, budgeted by
+        #: ``limits.max_state_bytes``.  Always on: the gauges it feeds
+        #: cost a handful of integer adds per request, and the relief
+        #: ladder only engages past the budget.
+        self.accountant = MemoryAccountant(
+            self.limits.max_state_bytes,
+            shed_target_fraction=shed_fraction,
+            obs=self.obs,
+        )
         self.sessions = ServerSessionManager(
             self.registry,
             response_policy,
@@ -154,6 +177,7 @@ class SOAPService:
             limits=self.limits,
             skipscan=self.skipscan,
             descriptors=descriptors,
+            accountant=self.accountant,
         )
 
     # ------------------------------------------------------------------
@@ -256,9 +280,13 @@ class SOAPService:
         session = self.sessions.acquire(session_id)
         try:
             with session.lock:
-                return self._handle_in_session(session, body)
+                try:
+                    return self._handle_in_session(session, body)
+                finally:
+                    self.sessions.note_usage(session)
         finally:
             self.sessions.release(session)
+            self.sessions.relieve_pressure()
 
     def _handle_in_session(self, session: ServerSession, body: bytes) -> bytes:
         try:
@@ -336,7 +364,29 @@ class SOAPService:
 
         *headers* keys must be lowercase (as
         :func:`~repro.transport.http.parse_http_request` produces).
+
+        With an :class:`~repro.hardening.AdmissionController`
+        attached, requests pass its gates first; a rejection returns
+        ``503`` with a ``Retry-After`` hint and touches no session
+        state at all (rejection must stay cheaper than service).
         """
+        if self.admission is not None:
+            try:
+                self.admission.try_admit()
+            except AdmissionRejectedError as exc:
+                return 503, [f"Retry-After: {exc.retry_after}"], b""
+        try:
+            return self._handle_wire_admitted(body, headers, session_id)
+        finally:
+            if self.admission is not None:
+                self.admission.release()
+
+    def _handle_wire_admitted(
+        self,
+        body: bytes,
+        headers: Dict[str, str],
+        session_id: Optional[Hashable],
+    ) -> Tuple[int, List[str], bytes]:
         offered = headers.get("x-repro-delta") == "1"
         extra: List[str] = []
         if offered and self.delta_enabled:
@@ -344,20 +394,24 @@ class SOAPService:
         session = self.sessions.acquire(session_id)
         try:
             with session.lock:
-                session.bytes_received += len(body)
-                self.obs.record_bytes_received(len(body))
-                if headers.get("x-repro-delta-frame") == "1":
-                    status, response = self._handle_frame(session, body)
-                    if status != 200:
-                        return status, ["X-Repro-Delta-Resync: 1"], response
-                else:
-                    if offered and self.delta_enabled:
-                        self._maybe_store_mirror(session, headers, body)
-                    response = self._handle_in_session(session, body)
-                session.bytes_sent += len(response)
-                return 200, extra, response
+                try:
+                    session.bytes_received += len(body)
+                    self.obs.record_bytes_received(len(body))
+                    if headers.get("x-repro-delta-frame") == "1":
+                        status, response = self._handle_frame(session, body)
+                        if status != 200:
+                            return status, ["X-Repro-Delta-Resync: 1"], response
+                    else:
+                        if offered and self.delta_enabled:
+                            self._maybe_store_mirror(session, headers, body)
+                        response = self._handle_in_session(session, body)
+                    session.bytes_sent += len(response)
+                    return 200, extra, response
+                finally:
+                    self.sessions.note_usage(session)
         finally:
             self.sessions.release(session)
+            self.sessions.relieve_pressure()
 
     def _handle_frame(
         self, session: ServerSession, body: bytes
@@ -506,7 +560,7 @@ class HTTPSoapServer:
             ]
             limit = self.service.limits.max_concurrent_connections
             if len(self._conn_threads) >= limit:
-                self._reject(conn, 503)
+                self._reject(conn, 503, retry_after=self._retry_after_hint())
                 try:
                     conn.close()
                 except OSError:  # pragma: no cover - best effort
@@ -519,18 +573,40 @@ class HTTPSoapServer:
             thread.start()
             self._conn_threads.append(thread)
 
-    def _reject(self, conn: socket.socket, status: int) -> None:
+    def _retry_after_hint(self) -> int:
+        """Retry-After seconds for front-end 503 rejections.
+
+        Follows the admission policy's floor when one is attached so
+        every 503 a client can see carries a consistent hint.
+        """
+        admission = self.service.admission
+        if admission is not None:
+            return admission.policy.retry_after_min
+        return 1
+
+    def _reject(
+        self,
+        conn: socket.socket,
+        status: int,
+        retry_after: Optional[int] = None,
+    ) -> None:
         """Answer a rejection status cleanly; count it.
 
         Always a complete, well-formed HTTP response with
         ``Connection: close`` — the fault-not-crash contract promises
-        the peer an answer, never a silently dropped socket.
+        the peer an answer, never a silently dropped socket.  503s pass
+        *retry_after* so rejected clients back off instead of hammering
+        (see ``docs/overload.md``).
         """
         if self._rejects_counter is not None:
             self._rejects_counter.inc(status=str(status))
         phrase = _STATUS_PHRASES.get(status, "Error")
+        hint = (
+            f"Retry-After: {retry_after}\r\n" if retry_after is not None else ""
+        )
         head = (
             f"HTTP/1.1 {status} {phrase}\r\n"
+            f"{hint}"
             "Content-Length: 0\r\nConnection: close\r\n\r\n"
         ).encode("ascii")
         try:
@@ -627,7 +703,7 @@ class HTTPSoapServer:
                 self._reject(conn, 400)
                 return "close", b"", served
             if served >= limits.max_requests_per_connection:
-                self._reject(conn, 503)
+                self._reject(conn, 503, retry_after=self._retry_after_hint())
                 return "close", b"", served
             served += 1
             if request.method == "GET" and request.path.endswith("?wsdl"):

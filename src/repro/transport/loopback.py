@@ -1,9 +1,11 @@
-"""In-process sinks: Null (discard), Memcpy (drain copy), Collect.
+"""In-process sinks: Null (discard), Memcpy (drain copy), Collect, Latest.
 
 These isolate serialization cost from network cost.  ``MemcpySink``
 models what a kernel ``send()`` does to the caller — one copy of every
 byte — without syscall or scheduling noise; ``NullSink`` measures pure
-preparation; ``CollectSink`` keeps the bytes for tests.
+preparation; ``CollectSink`` keeps the bytes for tests; ``LatestSink``
+keeps only the most recent message (bounded — for long-lived server
+sessions).
 """
 
 from __future__ import annotations
@@ -12,7 +14,7 @@ from typing import List, Optional
 
 from repro.transport.base import ViewStream
 
-__all__ = ["NullSink", "MemcpySink", "CollectSink"]
+__all__ = ["NullSink", "MemcpySink", "CollectSink", "LatestSink"]
 
 
 class NullSink:
@@ -87,6 +89,41 @@ class CollectSink:
     @property
     def last(self) -> bytes:
         return self.messages[-1]
+
+    def close(self) -> None:
+        pass
+
+
+class LatestSink:
+    """Keeps only the most recent message.
+
+    The bounded sibling of :class:`CollectSink`: a server session
+    serializing responses for the lifetime of a connection must not
+    retain every response it ever sent, only the one the front end is
+    about to write.
+    """
+
+    def __init__(self) -> None:
+        self._last: Optional[bytes] = None
+        self.messages_sent = 0
+        self.bytes_total = 0
+
+    def send_message(self, views: ViewStream, total_bytes: Optional[int] = None) -> int:
+        data = b"".join(bytes(v) for v in views)
+        self._last = data
+        self.messages_sent += 1
+        self.bytes_total += len(data)
+        return len(data)
+
+    @property
+    def last(self) -> bytes:
+        if self._last is None:
+            raise LookupError("no message sent yet")
+        return self._last
+
+    def last_bytes(self) -> int:
+        """Size of the retained message (0 before the first send)."""
+        return 0 if self._last is None else len(self._last)
 
     def close(self) -> None:
         pass

@@ -118,5 +118,22 @@ class DeltaSession:
     def drop(self, template_id: int) -> None:
         self.mirrors.pop(template_id, None)
 
+    def drop_lru(self) -> int:
+        """Shed the least-recently-used mirror; return its byte size.
+
+        The cheapest pressure-relief tier: the client's next frame for
+        the dropped template answers ``unknown-template`` resync and
+        the existing retry machinery re-announces full XML.  Returns 0
+        when no mirror is held.
+        """
+        if not self.mirrors:
+            return 0
+        _key, mirror = self.mirrors.popitem(last=False)
+        return len(mirror.data)
+
     def clear(self) -> None:
         self.mirrors.clear()
+
+    def approx_bytes(self) -> int:
+        """Approximate retained bytes (mirror documents dominate)."""
+        return sum(len(m.data) for m in self.mirrors.values())

@@ -1,0 +1,69 @@
+"""Chaos-soak harness tests.
+
+The fast test is the CI smoke: a scaled-down soak that still walks
+every phase and must come back violation-free with every shed tier
+exercised.  The ``slow``-marked test is the acceptance soak — the full
+1k-call fleet at the default (or ``--rng-seed``-randomized) seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import PHASES, ChaosConfig, run_chaos
+from repro.chaos.__main__ import main as chaos_main
+from repro.hardening.overload import SHED_TIERS
+
+
+def _assert_clean(report, config):
+    assert report.violations == []
+    assert len(report.phases) == len(PHASES)
+    assert [p.name for p in report.phases] == list(PHASES)
+    # Every call either succeeded or was an allowed error; under this
+    # fault diet the overwhelming majority must succeed.
+    assert report.calls_ok >= 0.8 * config.total_calls()
+    # Each phase kept serving (recovery after every degradation).
+    for phase in report.phases:
+        assert phase.calls_ok > 0, phase.name
+    # Every shed tier fired at least once and the soak ended green.
+    for tier in SHED_TIERS:
+        assert report.counters[f"sheds_{tier}"] >= 1, tier
+    assert report.phases[-1].calls_ok == config.clients * config.calls_per_phase
+
+
+class TestChaosSmoke:
+    def test_small_soak_is_clean(self):
+        config = ChaosConfig(clients=4, calls_per_phase=8)
+        report = run_chaos(config)
+        _assert_clean(report, config)
+
+    def test_summary_mentions_every_phase(self):
+        config = ChaosConfig(clients=2, calls_per_phase=3)
+        report = run_chaos(config)
+        text = report.summary()
+        for phase in PHASES:
+            assert phase in text
+        for tier in SHED_TIERS:
+            assert tier in text
+
+    def test_cli_smoke_exits_zero(self, capsys):
+        rc = chaos_main(
+            ["--seed", "7", "--clients", "2", "--calls-per-phase", "3"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "all invariants held" in out
+        assert "seed=7" in out
+
+
+@pytest.mark.slow
+class TestChaosSoak:
+    def test_full_soak_default_config(self, rng_seed):
+        # The acceptance run: >=1000 calls, all four match levels,
+        # delta + skip-scan on, every fault kind injected.
+        config = ChaosConfig(seed=rng_seed)
+        assert config.total_calls() >= 1000
+        report = run_chaos(config)
+        _assert_clean(report, config)
+        # Admission was genuinely exercised over the soak.
+        assert report.counters["admitted"] > 0

@@ -84,6 +84,7 @@ class TestTracer:
             "delta-encode",
             "delta-apply",
             "skipscan",
+            "overload",
         }
 
 

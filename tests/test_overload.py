@@ -1,0 +1,577 @@
+"""Overload resilience: admission gates, the memory-budget shed ladder,
+Retry-After honoring, state gauges, and eviction races.
+
+Layered like the machinery itself:
+
+* unit — :class:`AdmissionController` with an injectable clock (no
+  sleeping), :class:`MemoryAccountant` ledger arithmetic,
+  :class:`RetryBudget`, ``parse_retry_after``/backoff hint honoring;
+* service — ``handle_wire`` answering 503 + Retry-After without
+  touching session state, the tier ladder shedding in cheapest-recovery
+  order, state gauges folded into ``GET /metrics`` and
+  ``merged_counters``;
+* live HTTP — a session evicted with a connection still open recovers
+  via 409-resync / first-time parse, never a 5xx.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import NaiveClient
+from repro.channel import RPCChannel
+from repro.core.policy import DeltaPolicy, DiffPolicy
+from repro.errors import AdmissionRejectedError, HTTPStatusError
+from repro.hardening.limits import ResourceLimits
+from repro.hardening.overload import (
+    SHED_TIERS,
+    AdmissionController,
+    MemoryAccountant,
+    OverloadPolicy,
+)
+from repro.obs import Observability
+from repro.obs.export import parse_prometheus
+from repro.resilience.budget import RetryBudget
+from repro.resilience.reconnect import ReconnectingTCPTransport
+from repro.resilience.retry import RetryPolicy, parse_retry_after
+from repro.runtime.loadgen import build_service, message_sequence
+from repro.server.service import HTTPSoapServer
+from repro.transport.loopback import CollectSink
+from repro.wire.frame import encode_frame
+
+
+class _FakeClock:
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# AdmissionController (unit, injectable clock)
+# ----------------------------------------------------------------------
+class TestAdmissionController:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            OverloadPolicy(max_concurrent_requests=0)
+        with pytest.raises(ValueError):
+            OverloadPolicy(rate_per_sec=0.0)
+        with pytest.raises(ValueError):
+            OverloadPolicy(retry_after_min=0)
+        with pytest.raises(ValueError):
+            OverloadPolicy(retry_after_min=9, retry_after_max=3)
+        with pytest.raises(ValueError):
+            OverloadPolicy(shed_target_fraction=0.0)
+
+    def test_rate_gate_rejects_then_refills(self):
+        clock = _FakeClock()
+        ctrl = AdmissionController(
+            OverloadPolicy(rate_per_sec=1.0, burst=2.0), clock=clock
+        )
+        ctrl.try_admit()
+        ctrl.release()
+        ctrl.try_admit()
+        ctrl.release()
+        with pytest.raises(AdmissionRejectedError) as info:
+            ctrl.try_admit()
+        assert info.value.gate == "rate"
+        assert info.value.retry_after >= 1
+        clock.advance(1.5)
+        ctrl.try_admit()  # bucket refilled
+        ctrl.release()
+        assert ctrl.rejected["rate"] == 1
+        assert ctrl.admitted == 3
+
+    def test_queue_gate_rejects_when_queue_full(self):
+        ctrl = AdmissionController(
+            OverloadPolicy(
+                max_concurrent_requests=1, max_queue_depth=0, queue_timeout=0.0
+            )
+        )
+        ctrl.try_admit()  # occupy the only slot
+        with pytest.raises(AdmissionRejectedError) as info:
+            ctrl.try_admit()
+        assert info.value.gate == "queue"
+        ctrl.release()
+        ctrl.try_admit()  # slot freed
+        ctrl.release()
+
+    def test_concurrency_gate_times_out_in_queue(self):
+        ctrl = AdmissionController(
+            OverloadPolicy(
+                max_concurrent_requests=1, max_queue_depth=4, queue_timeout=0.0
+            )
+        )
+        ctrl.try_admit()
+        with pytest.raises(AdmissionRejectedError) as info:
+            ctrl.try_admit()  # queues, deadline already past
+        assert info.value.gate == "concurrency"
+        assert ctrl.queued == 0  # queue slot returned
+        ctrl.release()
+
+    def test_queued_caller_admitted_on_release(self):
+        ctrl = AdmissionController(
+            OverloadPolicy(
+                max_concurrent_requests=1, max_queue_depth=4, queue_timeout=5.0
+            )
+        )
+        ctrl.try_admit()
+        admitted = threading.Event()
+
+        def waiter():
+            ctrl.try_admit()
+            admitted.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not admitted.is_set()
+        ctrl.release()
+        assert admitted.wait(2.0)
+        thread.join(2.0)
+        assert ctrl.admitted == 2
+        ctrl.release()
+
+    def test_retry_after_clamped_to_policy_bounds(self):
+        clock = _FakeClock()
+        ctrl = AdmissionController(
+            OverloadPolicy(
+                rate_per_sec=0.001,
+                burst=1.0,
+                retry_after_min=2,
+                retry_after_max=5,
+            ),
+            clock=clock,
+        )
+        ctrl.try_admit()
+        ctrl.release()
+        with pytest.raises(AdmissionRejectedError) as info:
+            ctrl.try_admit()  # deficit = 1000s, clamps to max
+        assert info.value.retry_after == 5
+
+    def test_counters_reconcile_with_metrics(self):
+        obs = Observability.metrics_only()
+        ctrl = AdmissionController(
+            OverloadPolicy(
+                max_concurrent_requests=1, max_queue_depth=0, queue_timeout=0.0
+            ),
+            obs=obs,
+        )
+        with ctrl.admit():
+            with pytest.raises(AdmissionRejectedError):
+                ctrl.try_admit()
+        ctrl.try_admit()
+        ctrl.release()
+        metric = obs.metrics.get("repro_admission_total")
+        counters = ctrl.counters()
+        assert metric.value(outcome="admitted") == counters["admitted"] == 2
+        assert metric.value(outcome="rejected-queue") == counters["rejected_queue"] == 1
+        assert counters["in_flight"] == 0
+
+
+# ----------------------------------------------------------------------
+# MemoryAccountant (unit)
+# ----------------------------------------------------------------------
+class TestMemoryAccountant:
+    def test_ledger_and_gauges(self):
+        obs = Observability.metrics_only()
+        acct = MemoryAccountant(1000, obs=obs)
+        acct.charge("mirror", 600)
+        acct.charge("seektable", 300)
+        acct.charge("mirror", -200)
+        assert acct.usage_bytes == 700
+        gauge = obs.metrics.get("repro_state_bytes")
+        assert gauge.value(component="mirror") == 400
+        assert gauge.value(component="seektable") == 300
+
+    def test_relief_watermark(self):
+        acct = MemoryAccountant(1000, shed_target_fraction=0.8)
+        acct.charge("mirror", 900)
+        assert acct.relief_needed() == 0  # under budget: no relief
+        acct.charge("response", 300)
+        # Over budget: shed down to the low watermark, not the budget.
+        assert acct.relief_needed() == 1200 - 800
+        assert acct.over_budget
+
+    def test_shed_and_over_budget_counters(self):
+        acct = MemoryAccountant(100)
+        acct.note_shed("mirror")
+        acct.note_shed("session")
+        acct.note_over_budget()
+        counters = acct.counters()
+        assert counters["sheds_mirror"] == 1
+        assert counters["sheds_session"] == 1
+        assert counters["over_budget_ticks"] == 1
+        assert counters["state_budget_bytes"] == 100
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            MemoryAccountant(0)
+
+
+# ----------------------------------------------------------------------
+# Retry-After honoring + RetryBudget (unit)
+# ----------------------------------------------------------------------
+class TestRetryAfter:
+    def test_parse_delta_seconds(self):
+        assert parse_retry_after("5") == 5.0
+        assert parse_retry_after(" 2 ") == 2.0
+        assert parse_retry_after("0") == 0.0
+
+    def test_parse_garbage_is_none(self):
+        for bad in (None, "", "soon", "-3", "Fri, 07 Aug 2026 00:00:00 GMT"):
+            assert parse_retry_after(bad) is None
+
+    def test_backoff_honors_hint_capped_at_max_delay(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=0.5, seed=7)
+        assert policy.backoff(1, hint=3.0) == pytest.approx(0.5)
+        assert policy.backoff(1, hint=0.25) >= 0.25
+        # No hint (or a nonsense one): the computed backoff stands.
+        small = RetryPolicy(base_delay=0.01, max_delay=0.5, jitter=0.0, seed=7)
+        assert small.backoff(1, hint=0.0) == pytest.approx(small.backoff(1))
+
+    def test_seeded_hint_schedule_is_deterministic(self):
+        hints = [None, 2.0, 0.05, 30.0, None]
+
+        def schedule():
+            policy = RetryPolicy(base_delay=0.01, max_delay=0.4, seed=99)
+            return [policy.backoff(i + 1, hint=h) for i, h in enumerate(hints)]
+
+        first, second = schedule(), schedule()
+        assert first == second
+        # Every hinted delay is >= min(hint, max_delay).
+        for delay, hint in zip(first, hints):
+            if hint:
+                assert delay >= min(hint, 0.4) - 1e-9
+            assert delay <= 0.4 + 1e-9
+
+    def test_http_status_error_carries_retry_after(self):
+        exc = HTTPStatusError(503, retry_after=7.0)
+        assert exc.retry_after == 7.0
+        assert HTTPStatusError(503).retry_after is None
+
+    def test_transport_cooldown_extends_never_shrinks(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        port = listener.getsockname()[1]
+        try:
+            transport = ReconnectingTCPTransport("127.0.0.1", port)
+            transport.note_retry_after(0.15)
+            transport.note_retry_after(0.01)  # must not shrink
+            started = time.monotonic()
+            transport.connect()
+            elapsed = time.monotonic() - started
+            assert elapsed >= 0.10
+            assert transport.cooldown_waits == 1
+            transport.connect()  # cooldown consumed: no second wait
+            assert transport.cooldown_waits == 1
+            transport.close()
+        finally:
+            listener.close()
+
+
+class TestRetryBudget:
+    def test_spend_and_deposit(self):
+        budget = RetryBudget(deposit_per_success=0.5, capacity=10.0, initial=1.0)
+        assert budget.try_spend()
+        assert not budget.try_spend()  # drained
+        budget.record_success()
+        budget.record_success()
+        assert budget.try_spend()  # two deposits bought one retry
+        counters = budget.counters()
+        assert counters["budget_retries_spent"] == 2
+        assert counters["budget_retries_denied"] == 1
+        assert counters["budget_successes"] == 2
+
+    def test_capacity_caps_deposits(self):
+        budget = RetryBudget(deposit_per_success=5.0, capacity=8.0, initial=0.0)
+        for _ in range(10):
+            budget.record_success()
+        assert budget.tokens == pytest.approx(8.0)
+
+
+# ----------------------------------------------------------------------
+# Service layer: 503 paths, shed ladder, gauges
+# ----------------------------------------------------------------------
+def _checksum_body(n: int = 8, seed: int = 0) -> bytes:
+    sink = CollectSink()
+    NaiveClient(sink).send(message_sequence("content", n, 1, seed=seed)[0])
+    return sink.last
+
+
+_ANNOUNCE = {
+    "x-repro-delta": "1",
+    "x-repro-delta-template": "0",
+    "x-repro-delta-epoch": "0",
+}
+
+
+class TestServiceAdmission:
+    def test_rejected_request_gets_503_retry_after_and_no_state(self):
+        clock = _FakeClock()
+        admission = AdmissionController(
+            OverloadPolicy(rate_per_sec=0.5, burst=1.0, retry_after_min=2),
+            clock=clock,
+        )
+        service = build_service(0.0, admission=admission)
+        body = _checksum_body()
+        status, _extra, _resp = service.handle_wire(body, {}, "s1")
+        assert status == 200
+        before = len(service.sessions.sessions())
+        status, extra, resp = service.handle_wire(body, {}, "s2")
+        assert status == 503
+        assert resp == b""
+        assert extra == ["Retry-After: 2"]
+        # Rejection is cheaper than service: no session was created.
+        assert len(service.sessions.sessions()) == before
+        assert admission.counters()["rejected_rate"] == 1
+
+    def test_admission_slot_released_after_success(self):
+        admission = AdmissionController(
+            OverloadPolicy(max_concurrent_requests=1, max_queue_depth=0,
+                           queue_timeout=0.0)
+        )
+        service = build_service(0.0, admission=admission)
+        body = _checksum_body()
+        for _ in range(5):
+            status, _extra, _resp = service.handle_wire(body, {}, "s")
+            assert status == 200
+        assert admission.in_flight == 0
+
+
+class TestShedLadder:
+    # Budgets sit above the pinned floor: even an idle default session
+    # retains one chunk-capacity response buffer (~32 KiB), which the
+    # ladder can never shed.
+    def _pressured_service(self, budget: int = 120_000):
+        service = build_service(
+            0.0, limits=ResourceLimits(max_state_bytes=budget)
+        )
+        # One request on the pinned default session, then populate
+        # several keyed sessions, each with a mirror + parsed state.
+        status, _x, _r = service.handle_wire(_checksum_body(), {}, None)
+        assert status == 200
+        for i in range(6):
+            headers = dict(_ANNOUNCE)
+            headers["x-repro-delta-template"] = str(i)
+            status, _x, _r = service.handle_wire(
+                _checksum_body(256, seed=i), headers, f"sess-{i}"
+            )
+            assert status == 200
+        return service
+
+    def test_ladder_sheds_all_tiers_and_stays_under_budget(self):
+        service = self._pressured_service()
+        acct = service.accountant
+        service.sessions.relieve_pressure()
+        # Pressure this deep walks the whole ladder (mostly inline,
+        # during handle_wire itself; the explicit pass mops up).
+        assert all(acct.sheds[t] >= 1 for t in SHED_TIERS), acct.sheds
+        assert acct.usage_bytes <= acct.budget_bytes
+        # The pinned default session is never evicted.
+        assert any(s.pinned for s in service.sessions.sessions())
+
+    def test_shed_metrics_match_accountant(self):
+        service = self._pressured_service()
+        service.sessions.relieve_pressure()
+        metric = service.obs.metrics.get("repro_overload_events_total")
+        for tier in SHED_TIERS:
+            assert metric.value(tier=tier) == service.accountant.sheds[tier]
+        merged = service.sessions.merged_counters()
+        for tier in SHED_TIERS:
+            assert merged[f"sheds_{tier}"] == service.accountant.sheds[tier]
+
+    def test_sheds_happen_inline_during_traffic(self):
+        # No explicit relieve_pressure: handle_wire itself must keep
+        # state bounded as requests arrive.
+        service = build_service(
+            0.0, limits=ResourceLimits(max_state_bytes=120_000)
+        )
+        for i in range(8):
+            headers = dict(_ANNOUNCE)
+            headers["x-repro-delta-template"] = str(i)
+            status, _x, _r = service.handle_wire(
+                _checksum_body(256, seed=i), headers, f"sess-{i}"
+            )
+            assert status == 200
+        acct = service.accountant
+        assert acct.usage_bytes <= acct.budget_bytes
+        assert sum(acct.sheds.values()) >= 1
+
+    def test_unbounded_service_never_sheds(self):
+        service = build_service(0.0)  # default 64 MiB budget
+        for i in range(4):
+            service.handle_wire(_checksum_body(64, seed=i), {}, f"s{i}")
+        assert sum(service.accountant.sheds.values()) == 0
+
+
+class TestStateGauges:
+    def test_metrics_endpoint_serves_state_bytes(self):
+        service = build_service(0.0)
+        with HTTPSoapServer(service) as httpd:
+            channel = RPCChannel(httpd.host, httpd.port)
+            try:
+                channel.call(message_sequence("content", 16, 1)[0])
+                # Scrape while the session is live: closing the channel
+                # retires its session and the gauges drop back to zero.
+                with socket.create_connection(
+                    (httpd.host, httpd.port), timeout=10
+                ) as conn:
+                    conn.sendall(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+                    conn.settimeout(10)
+                    data = b""
+                    while b"\r\n\r\n" not in data:
+                        chunk = conn.recv(1 << 16)
+                        if not chunk:
+                            break
+                        data += chunk
+                    head, _, body = data.partition(b"\r\n\r\n")
+                    length = int(
+                        [
+                            line.partition(b":")[2]
+                            for line in head.split(b"\r\n")
+                            if line.lower().startswith(b"content-length")
+                        ][0]
+                    )
+                    while len(body) < length:
+                        body += conn.recv(1 << 16)
+            finally:
+                channel.close()
+        parsed = parse_prometheus(body.decode("utf-8"))
+        deser_keys = [
+            k for k in parsed if k.startswith('repro_state_bytes{component="deser"')
+        ]
+        assert deser_keys and parsed[deser_keys[0]] > 0
+
+    def test_merged_counters_include_state_ledger(self):
+        service = build_service(0.0)
+        service.handle_wire(_checksum_body(), {}, "s")
+        merged = service.sessions.merged_counters()
+        assert merged["state_bytes"] > 0
+        assert merged["state_bytes"] == service.accountant.usage_bytes
+        assert merged["state_budget_bytes"] == 1 << 26
+        assert merged["state_bytes"] == service.sessions.state_bytes()
+
+
+# ----------------------------------------------------------------------
+# Eviction races
+# ----------------------------------------------------------------------
+class TestEvictionRaceHandleWire:
+    def test_evicted_session_resyncs_then_serves_full_xml(self):
+        service = build_service(0.0)
+        body = _checksum_body(32)
+        status, _x, _r = service.handle_wire(body, _ANNOUNCE, "race")
+        assert status == 200
+        frame = encode_frame(0, 0, 1, len(body), [], [], b"")
+        status, _x, _r = service.handle_wire(
+            frame, {"x-repro-delta-frame": "1"}, "race"
+        )
+        assert status == 200  # mirror live: frame applies
+        # Evict with the "connection" (session id) still in use.
+        service.sessions.close_session("race")
+        frame2 = encode_frame(0, 0, 2, len(body), [], [], b"")
+        status, extra, resp = service.handle_wire(
+            frame2, {"x-repro-delta-frame": "1"}, "race"
+        )
+        assert status == 409  # clean resync, not a 5xx
+        assert extra == ["X-Repro-Delta-Resync: 1"]
+        assert resp == b""
+        # The re-announced full-XML resend pays first-time and works.
+        status, _x, resp = service.handle_wire(body, _ANNOUNCE, "race")
+        assert status == 200
+        assert b"Fault" not in resp
+
+    def test_mirror_shed_alone_resyncs_without_eviction(self):
+        service = build_service(0.0)
+        body = _checksum_body(32)
+        service.handle_wire(body, _ANNOUNCE, "race")
+        session = next(
+            s for s in service.sessions.sessions() if s.key == "race"
+        )
+        assert session.delta.drop_lru() > 0  # tier-1 shed
+        frame = encode_frame(0, 0, 1, len(body), [], [], b"")
+        status, extra, _r = service.handle_wire(
+            frame, {"x-repro-delta-frame": "1"}, "race"
+        )
+        assert status == 409
+        assert extra == ["X-Repro-Delta-Resync: 1"]
+
+
+class TestEvictionRaceLiveHTTP:
+    def test_client_survives_midstream_eviction(self):
+        service = build_service(0.0)
+        with HTTPSoapServer(service) as httpd:
+            policy = DiffPolicy(delta=DeltaPolicy(offer=True))
+            channel = RPCChannel(
+                httpd.host,
+                httpd.port,
+                policy=policy,
+                retry=RetryPolicy(max_attempts=4, base_delay=0.005, seed=3),
+            )
+            try:
+                messages = message_sequence("content", 32, 6)
+                expected = float(np.sum(messages[0].params[0].value))
+                for message in messages[:3]:
+                    assert channel.call(message).result() == pytest.approx(
+                        expected
+                    )
+                victims = [
+                    s.key
+                    for s in service.sessions.sessions()
+                    if not s.pinned
+                ]
+                assert victims
+                for key in victims:
+                    service.sessions.close_session(key)
+                # Same connection, session gone server-side: the next
+                # calls must recover (resync / first-time), never 5xx.
+                for message in messages[3:]:
+                    assert channel.call(message).result() == pytest.approx(
+                        expected
+                    )
+                assert not channel.broken
+            finally:
+                channel.close()
+
+    def test_pressure_eviction_between_calls_recovers(self):
+        service = build_service(
+            0.0, limits=ResourceLimits(max_state_bytes=100_000)
+        )
+        with HTTPSoapServer(service) as httpd:
+            channels = [
+                RPCChannel(
+                    httpd.host,
+                    httpd.port,
+                    policy=DiffPolicy(delta=DeltaPolicy(offer=True)),
+                    retry=RetryPolicy(
+                        max_attempts=4, base_delay=0.005, seed=i
+                    ),
+                )
+                for i in range(3)
+            ]
+            try:
+                for round_no in range(4):
+                    for i, channel in enumerate(channels):
+                        message = message_sequence(
+                            "content", 128, 1, seed=i
+                        )[0]
+                        expected = float(np.sum(message.params[0].value))
+                        assert channel.call(message).result() == pytest.approx(
+                            expected
+                        )
+                acct = service.accountant
+                assert acct.usage_bytes <= acct.budget_bytes
+                assert sum(acct.sheds.values()) >= 1
+            finally:
+                for channel in channels:
+                    channel.close()
