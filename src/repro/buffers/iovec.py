@@ -8,9 +8,16 @@ those lists.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Callable, Iterable, List, Sequence
 
-__all__ = ["gather_bytes", "coalesce_views", "total_size", "batch_iovecs", "IOV_MAX"]
+__all__ = [
+    "gather_bytes",
+    "coalesce_views",
+    "total_size",
+    "batch_iovecs",
+    "IovecCursor",
+    "IOV_MAX",
+]
 
 #: Conservative bound on iovec entries per sendmsg call (POSIX minimum
 #: is 16; Linux allows 1024).
@@ -64,3 +71,71 @@ def batch_iovecs(
     if len(views) <= limit:
         return [views]
     return [views[i : i + limit] for i in range(0, len(views), limit)]
+
+
+class IovecCursor:
+    """Resumable scatter-gather write position over a view list.
+
+    A non-blocking ``sendmsg`` may stop anywhere — mid-view, or exactly
+    on a view boundary — and the next attempt must resume from that
+    byte without copying payload.  The cursor tracks ``(view index,
+    offset into that view)`` and hands out bounded iovec batches that
+    start with a sliced head view, so partial sends resume across
+    iovec boundaries with zero payload copies.
+    """
+
+    __slots__ = ("_views", "_index", "_offset", "total", "sent")
+
+    def __init__(self, views: Sequence[memoryview | bytes]) -> None:
+        self._views: List[memoryview | bytes] = [v for v in views if len(v)]
+        self._index = 0
+        self._offset = 0
+        self.total = sum(len(v) for v in self._views)
+        self.sent = 0
+
+    @property
+    def done(self) -> bool:
+        return self.sent >= self.total
+
+    def next_batch(self, limit: int = IOV_MAX) -> List[memoryview | bytes]:
+        """The next iovec batch (≤ *limit* entries) from the cursor."""
+        views = self._views
+        if self._index >= len(views):
+            return []
+        head = views[self._index]
+        if self._offset:
+            head = memoryview(head)[self._offset :]
+        batch: List[memoryview | bytes] = [head]
+        batch.extend(views[self._index + 1 : self._index + limit])
+        return batch
+
+    def advance(self, n: int) -> None:
+        """Record *n* bytes written from the front of the cursor."""
+        if n < 0:
+            raise ValueError("cannot advance by a negative byte count")
+        self.sent += n
+        views = self._views
+        n += self._offset
+        while self._index < len(views) and n >= len(views[self._index]):
+            n -= len(views[self._index])
+            self._index += 1
+        self._offset = n
+
+    def drain(
+        self, send: Callable[[Sequence[memoryview | bytes]], int],
+        limit: int = IOV_MAX,
+    ) -> int:
+        """Push batches through *send* until done or *send* returns 0.
+
+        *send* is expected to return the bytes it accepted (0 meaning
+        "try again later", e.g. a would-block socket).  Returns the
+        bytes written by this call.
+        """
+        written = 0
+        while not self.done:
+            n = send(self.next_batch(limit))
+            if n <= 0:
+                break
+            self.advance(n)
+            written += n
+        return written

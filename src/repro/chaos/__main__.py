@@ -43,6 +43,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--queue-depth", type=int, default=defaults.max_queue_depth,
     )
+    parser.add_argument(
+        "--server", choices=("threaded", "async"), default=defaults.server,
+        help="front end under test (the fault diet must resolve on both)",
+    )
     args = parser.parse_args(argv)
 
     config = ChaosConfig(
@@ -54,9 +58,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         budget_bytes=args.budget_bytes,
         max_concurrent_requests=args.max_concurrent,
         max_queue_depth=args.queue_depth,
+        server=args.server,
     )
     print(
         f"chaos soak: seed={config.seed} clients={config.clients} "
+        f"server={config.server} "
         f"total-calls={config.total_calls()} budget={config.budget_bytes}B"
     )
     report = run_chaos(config)

@@ -69,7 +69,6 @@ from repro.runtime.loadgen import (
     message_sequence,
 )
 from repro.channel import RPCChannel
-from repro.server.service import HTTPSoapServer
 from repro.transport.loopback import CollectSink
 
 __all__ = ["ChaosConfig", "PhaseReport", "ChaosReport", "run_chaos", "PHASES"]
@@ -113,6 +112,10 @@ class ChaosConfig:
     queue_timeout: float = 0.1
     #: Client retry ceiling (Retry-After hints clamp to this).
     client_max_delay: float = 0.3
+    #: Front end under test: ``"threaded"`` (thread per connection) or
+    #: ``"async"`` (the event-loop server) — the whole fault diet must
+    #: resolve identically on both.
+    server: str = "threaded"
 
     def total_calls(self) -> int:
         return len(PHASES) * self.clients * self.calls_per_phase
@@ -425,7 +428,9 @@ def run_chaos(config: Optional[ChaosConfig] = None) -> ChaosReport:
     service = build_service(
         config.delay_ms, limits=limits, admission=admission, obs=obs
     )
-    server = HTTPSoapServer(service).start()
+    from repro.server.async_server import make_server
+
+    server = make_server(service, server=config.server).start()
     report = ChaosReport(seed=config.seed)
     coordinator_rng = random.Random(config.seed)
     retry_budget = RetryBudget(deposit_per_success=0.2, capacity=30.0)
@@ -488,7 +493,7 @@ def _run_phase(
     report: PhaseReport,
     workers: List[_Worker],
     service,
-    server: HTTPSoapServer,
+    server,  # HTTPSoapServer | AsyncHTTPSoapServer
     config: ChaosConfig,
     rng: random.Random,
     ghost_body: bytes,

@@ -296,6 +296,11 @@ class MemoryAccountant:
         self.obs = obs if obs is not None else NULL_OBS
         self._lock = threading.Lock()
         self._by_component: Dict[str, int] = {c: 0 for c in STATE_COMPONENTS}
+        #: Running total of ``_by_component`` — maintained on every
+        #: charge so :attr:`usage_bytes` is a read, not a sum.  At C10K
+        #: scale the shed ladder probes usage thousands of times per
+        #: relief pass; re-summing per probe was the hot path.
+        self._usage = 0
         #: High-water mark of total usage (post-charge, pre-relief).
         self.peak_bytes = 0
         #: Sheds performed against this ledger, by tier (the owner
@@ -309,18 +314,18 @@ class MemoryAccountant:
         if delta == 0:
             return
         with self._lock:
-            total = self._by_component.get(component, 0) + delta
-            self._by_component[component] = max(0, total)
-            usage = sum(self._by_component.values())
-            if usage > self.peak_bytes:
-                self.peak_bytes = usage
-            new_total = self._by_component[component]
+            old = self._by_component.get(component, 0)
+            new_total = max(0, old + delta)
+            self._by_component[component] = new_total
+            self._usage += new_total - old
+            if self._usage > self.peak_bytes:
+                self.peak_bytes = self._usage
         self.obs.record_state_bytes(component, new_total)
 
     @property
     def usage_bytes(self) -> int:
         with self._lock:
-            return sum(self._by_component.values())
+            return self._usage
 
     def usage_by_component(self) -> Dict[str, int]:
         with self._lock:

@@ -49,6 +49,10 @@ __all__ = [
     "MATCH_LEVELS",
     "LoadResult",
     "build_service",
+    "serve",
+    "ECHO_OPERATION",
+    "EXPAND_OPERATION",
+    "EXPAND_REPS",
     "level_policy",
     "message_sequence",
     "run_single",
@@ -64,6 +68,12 @@ MATCH_LEVELS = (
 )
 
 OPERATION = "checksum"
+ECHO_OPERATION = "echo"
+EXPAND_OPERATION = "expand"
+
+#: Response amplification for :data:`EXPAND_OPERATION` — the request
+#: array comes back tiled this many times.
+EXPAND_REPS = 256
 
 
 def build_service(delay_ms: float = 0.0, **service_kw) -> SOAPService:
@@ -88,12 +98,37 @@ def build_service(delay_ms: float = 0.0, **service_kw) -> SOAPService:
             time.sleep(delay_ms / 1000.0)
         return float(np.sum(data))
 
+    @service.operation(ECHO_OPERATION, result_type=ArrayType(DOUBLE))
+    def echo(data):  # noqa: ANN001 - SOAP handler signature
+        # Response size tracks request size, so a large-array echo
+        # spans several serializer chunks — the workload where the
+        # async server's vectored send path differs from flattening.
+        if delay_ms > 0:
+            time.sleep(delay_ms / 1000.0)
+        return data
+
+    @service.operation(EXPAND_OPERATION, result_type=ArrayType(DOUBLE))
+    def expand(data):  # noqa: ANN001 - SOAP handler signature
+        # Small request, EXPAND_REPS-times-larger response: the
+        # write-path ablation workload, where per-call cost is
+        # dominated by shipping a multi-chunk steady-state resend and
+        # not by parsing the request.
+        if delay_ms > 0:
+            time.sleep(delay_ms / 1000.0)
+        return np.tile(np.asarray(data), EXPAND_REPS)
+
     return service
 
 
-def serve(delay_ms: float = 0.0) -> HTTPSoapServer:
-    """Start an HTTP server around :func:`build_service` (port 0 = ephemeral)."""
-    return HTTPSoapServer(build_service(delay_ms)).start()
+def serve(delay_ms: float = 0.0, server: str = "threaded"):
+    """Start an HTTP server around :func:`build_service` (port 0 = ephemeral).
+
+    *server* picks the front end: ``"threaded"`` (thread per
+    connection) or ``"async"`` (the event-loop C10K server).
+    """
+    from repro.server.async_server import make_server
+
+    return make_server(build_service(delay_ms), server=server).start()
 
 
 def level_policy(level: str, plans: bool = True) -> DiffPolicy:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, Hashable, Iterator, List, Optional
+from typing import Callable, Dict, Hashable, Iterator, List, Optional
 
 from repro.core.client import BSoapClient
 from repro.core.policy import DiffPolicy
@@ -260,6 +260,17 @@ class ServerSessionManager:
         self._retired_delta_applied = 0
         self._retired_delta_resyncs = 0
         self._retired_delta_saved = 0
+        #: Optional front-end census callback (set by a serving front
+        #: end on start): returns live connection/accept counters that
+        #: :meth:`merged_counters` folds in, so one call reconciles
+        #: session state *and* the socket layer above it.
+        self._frontend_census: Optional[Callable[[], Dict[str, int]]] = None
+
+    def set_frontend_census(
+        self, census: "Optional[Callable[[], Dict[str, int]]]"
+    ) -> None:
+        """Attach (or with ``None`` detach) a front-end counter source."""
+        self._frontend_census = census
 
     # ------------------------------------------------------------------
     def acquire(self, key: Optional[Hashable]) -> ServerSession:
@@ -387,18 +398,26 @@ class ServerSessionManager:
         anything.
         """
         accountant = self.accountant
-        if accountant is None or accountant.relief_needed() == 0:
+        if accountant is None:
+            return {}
+        # One ledger query up front; the deficit is then tracked
+        # locally as sheds free bytes (charge() keeps the ledger in
+        # step).  Probing the locked ledger per session per tier made
+        # an over-budget pass O(sessions) in lock round-trips — the
+        # dominant cost at thousands of sessions.
+        needed = accountant.relief_needed()
+        if needed == 0:
             return {}
         sheds = {tier: 0 for tier in SHED_TIERS}
         with self._lock:
             # Tier 1: delta mirrors, LRU-session-first then LRU-mirror
             # within each session.
             for session in list(self._sessions.values()):
-                if accountant.relief_needed() == 0:
+                if needed <= 0:
                     break
                 if session.in_use:
                     continue
-                while accountant.relief_needed() > 0:
+                while needed > 0:
                     freed = session.delta.drop_lru()
                     if freed == 0:
                         break
@@ -408,10 +427,11 @@ class ServerSessionManager:
                     )
                     accountant.note_shed("mirror")
                     sheds["mirror"] += 1
+                    needed -= freed
             # Tier 2: compiled seek tables.
-            if accountant.relief_needed() > 0:
+            if needed > 0:
                 for session in list(self._sessions.values()):
-                    if accountant.relief_needed() == 0:
+                    if needed <= 0:
                         break
                     if session.in_use:
                         continue
@@ -424,8 +444,9 @@ class ServerSessionManager:
                     )
                     accountant.note_shed("seektable")
                     sheds["seektable"] += 1
+                    needed -= freed
             # Tier 3: LRU idle sessions retire outright.
-            while accountant.relief_needed() > 0:
+            while needed > 0:
                 victim_key = None
                 for key, session in self._sessions.items():  # LRU first
                     if session.in_use == 0 and not session.pinned:
@@ -433,12 +454,15 @@ class ServerSessionManager:
                         break
                 if victim_key is None:
                     break
-                self._retire_locked(self._sessions.pop(victim_key))
+                victim = self._sessions.pop(victim_key)
+                freed = sum(victim.accounted.values())
+                self._retire_locked(victim)
                 self.evictions += 1
                 self.pressure_evictions += 1
                 accountant.note_shed("session")
                 sheds["session"] += 1
-            if accountant.relief_needed() > 0:
+                needed -= freed
+            if needed > 0 and accountant.relief_needed() > 0:
                 accountant.note_over_budget()
         return {tier: count for tier, count in sheds.items() if count}
 
@@ -516,4 +540,7 @@ class ServerSessionManager:
         }
         if self.accountant is not None:
             out.update(self.accountant.counters())
+        census = self._frontend_census
+        if census is not None:
+            out.update(census())
         return out

@@ -1,0 +1,283 @@
+"""High-connection soak driver for the server front ends.
+
+The C10K claim is not "handle huge request rates" — it is "hold
+thousands of open connections while serving the active few without
+degrading".  This driver models exactly that shape: *connections* open
+sockets stay connected for the whole run, while a bounded *window* of
+them have a request in flight at any instant (real fleets are mostly
+idle keep-alives).  Each worker owns ``connections / window`` sockets
+and walks them round-robin, so every socket carries traffic every
+round but only ``window`` requests are concurrent.
+
+The request is pre-serialized once (one bSOAP full serialization,
+wrapped in Content-Length framing) and replayed verbatim on every
+socket — the soak measures the *front end* (accept fan-in, read
+buffering, deadline tracking, vectored writes), not client-side
+serialization.
+
+Used by ``benchmarks/bench_runtime_throughput.py --async-compare`` and
+the soak acceptance test.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bench.workloads import SERVICE_NS, doubles_of_width
+from repro.core.client import BSoapClient
+from repro.errors import IncompleteHTTPError
+from repro.schema.composite import ArrayType
+from repro.schema.types import DOUBLE
+from repro.soap.message import Parameter, SOAPMessage
+from repro.transport.http import parse_http_response
+from repro.transport.loopback import CollectSink
+
+__all__ = ["SoakResult", "build_request_bytes", "main", "run_connection_soak"]
+
+
+def build_request_bytes(
+    n: int = 64, seed: int = 0, operation: str = "checksum", path: str = "/soap"
+) -> bytes:
+    """One complete HTTP POST (headers + SOAP body), ready to replay."""
+    sink = CollectSink()
+    values = doubles_of_width(n, 14, seed=seed)
+    BSoapClient(sink).send(
+        SOAPMessage(
+            operation, SERVICE_NS, [Parameter("data", ArrayType(DOUBLE), values)]
+        )
+    )
+    body = sink.last
+    head = (
+        f"POST {path} HTTP/1.1\r\n"
+        "Host: soak\r\n"
+        'Content-Type: text/xml; charset="utf-8"\r\n'
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode("ascii")
+    return head + body
+
+
+@dataclass(slots=True)
+class SoakResult:
+    """Outcome of one connection soak."""
+
+    server: str
+    connections: int
+    window: int
+    rounds: int
+    calls: int
+    errors: int
+    duration_s: float
+    connect_errors: int = 0
+    warmup: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+
+    @property
+    def calls_per_sec(self) -> float:
+        return self.calls / self.duration_s if self.duration_s > 0 else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_ms), q))
+
+    def to_row(self) -> Dict[str, object]:
+        return {
+            "mode": "soak",
+            "server": self.server,
+            "connections": self.connections,
+            "window": self.window,
+            "rounds": self.rounds,
+            "warmup": self.warmup,
+            "calls": self.calls,
+            "errors": self.errors + self.connect_errors,
+            "duration_s": round(self.duration_s, 6),
+            "calls_per_sec": round(self.calls_per_sec, 2),
+            "p50_ms": round(self.percentile_ms(50), 4),
+            "p99_ms": round(self.percentile_ms(99), 4),
+        }
+
+
+def _exchange(sock: socket.socket, request: bytes) -> int:
+    """Send *request*, read one full response, return its status."""
+    sock.sendall(request)
+    buf = b""
+    while True:
+        data = sock.recv(1 << 16)
+        if not data:
+            raise ConnectionError("server closed mid-response")
+        buf += data
+        try:
+            status, _headers, _body, _consumed = parse_http_response(buf)
+            return status
+        except IncompleteHTTPError:
+            continue
+
+
+def run_connection_soak(
+    host: str,
+    port: int,
+    *,
+    server_label: str,
+    connections: int = 2048,
+    window: int = 64,
+    rounds: int = 3,
+    warmup: int = 1,
+    request: Optional[bytes] = None,
+    timeout: float = 30.0,
+) -> SoakResult:
+    """Hold *connections* open sockets; serve them in a *window*.
+
+    Every socket is dialed up front and stays connected for the whole
+    run; *window* worker threads then walk their share of the sockets
+    *rounds* times, one blocking request/response per visit.  Any
+    non-200 answer, closed socket, or timeout counts as an error.
+
+    *warmup* extra untimed rounds run first.  Each connection's first
+    request pays the one-off differential-serialization setup cost (a
+    full parse plus skip-scan compile to seed the session mirror) —
+    with thousands of connections and few rounds that cost swamps the
+    steady state the soak is meant to measure, so it is excluded from
+    the timed window (errors during warm-up still count).
+    """
+    if request is None:
+        request = build_request_bytes()
+    window = min(window, connections)
+    shares: List[List[socket.socket]] = [[] for _ in range(window)]
+    lock = threading.Lock()
+    latencies: List[float] = []
+    errors = [0]
+    connect_errors = [0]
+
+    def dial(worker: int) -> None:
+        count = connections // window + (
+            1 if worker < connections % window else 0
+        )
+        for _ in range(count):
+            try:
+                sock = socket.create_connection((host, port), timeout=timeout)
+                sock.settimeout(timeout)
+                shares[worker].append(sock)
+            except OSError:
+                with lock:
+                    connect_errors[0] += 1
+
+    dialers = [
+        threading.Thread(target=dial, args=(w,), daemon=True)
+        for w in range(window)
+    ]
+    for thread in dialers:
+        thread.start()
+    for thread in dialers:
+        thread.join()
+
+    calls = [0]
+
+    def worker(worker_id: int, loops: int, timed: bool) -> None:
+        mine = shares[worker_id]
+        local_lat: List[float] = []
+        local_calls = 0
+        local_errors = 0
+        for _ in range(loops):
+            for sock in mine:
+                t0 = time.perf_counter()
+                try:
+                    status = _exchange(sock, request)
+                except OSError:
+                    local_errors += 1
+                    continue
+                if status != 200:
+                    local_errors += 1
+                    continue
+                local_calls += 1
+                local_lat.append((time.perf_counter() - t0) * 1000.0)
+        with lock:
+            errors[0] += local_errors
+            if timed:
+                latencies.extend(local_lat)
+                calls[0] += local_calls
+
+    def run_phase(loops: int, timed: bool) -> float:
+        threads = [
+            threading.Thread(
+                target=worker, args=(w, loops, timed), daemon=True
+            )
+            for w in range(window)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return time.perf_counter() - started
+
+    if warmup > 0:
+        run_phase(warmup, timed=False)
+    duration = run_phase(rounds, timed=True)
+
+    for share in shares:
+        for sock in share:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+
+    return SoakResult(
+        server=server_label,
+        connections=connections,
+        window=window,
+        rounds=rounds,
+        calls=calls[0],
+        errors=errors[0],
+        duration_s=duration,
+        connect_errors=connect_errors[0],
+        warmup=warmup,
+        latencies_ms=latencies,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: soak a running server and print the result row as JSON.
+
+    The benchmark drives this in a *separate process* on purpose: with
+    an in-process client, the client's worker threads and the server's
+    loop thread contend for one GIL and the loop starves — the numbers
+    measure interpreter scheduling, not the front end.
+    """
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("port", type=int)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--label", default="server")
+    parser.add_argument("--connections", type=int, default=2048)
+    parser.add_argument("--window", type=int, default=64)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--warmup", type=int, default=1)
+    parser.add_argument("--n", type=int, default=64,
+                        help="request double-array length")
+    parser.add_argument("--operation", default="checksum",
+                        help="service operation the replayed request calls")
+    args = parser.parse_args(argv)
+    result = run_connection_soak(
+        args.host,
+        args.port,
+        server_label=args.label,
+        connections=args.connections,
+        window=args.window,
+        rounds=args.rounds,
+        warmup=args.warmup,
+        request=build_request_bytes(n=args.n, operation=args.operation),
+    )
+    print(json.dumps(result.to_row()))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -13,12 +13,16 @@ the *real* server the examples and integration tests use:
 * :mod:`repro.server.service` — operation registry + dispatch +
   response serialization through a bSOAP client (so responses benefit
   from differential serialization too, the "heavily-used servers"
-  scenario of §3.4).
+  scenario of §3.4),
+* :mod:`repro.server.async_server` — the C10K event-loop front end
+  with zero-copy vectored response sends (``docs/async_server.md``);
+  :func:`make_server` is the ``server="threaded"|"async"`` switch.
 """
 
 from repro.server.parser import DecodedMessage, DecodedParam, SOAPRequestParser
 from repro.server.diffdeser import DeserKind, DeserReport, DifferentialDeserializer
 from repro.server.service import HTTPSoapServer, Operation, SOAPService
+from repro.server.async_server import AsyncHTTPSoapServer, SERVER_MODES, make_server
 from repro.server.tagdispatch import OperationPeeker
 
 __all__ = [
@@ -31,5 +35,8 @@ __all__ = [
     "SOAPService",
     "Operation",
     "HTTPSoapServer",
+    "AsyncHTTPSoapServer",
+    "SERVER_MODES",
+    "make_server",
     "OperationPeeker",
 ]

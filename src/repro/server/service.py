@@ -22,10 +22,12 @@ behaviour).
 
 from __future__ import annotations
 
+import errno
 import itertools
 import socket
 import threading
 import time
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.policy import DiffPolicy
@@ -58,10 +60,52 @@ from repro.soap.message import Parameter, SOAPMessage
 from repro.soap.rpc import RESPONSE_SUFFIX
 from repro.transport.http import parse_http_request
 
-__all__ = ["Operation", "SOAPService", "HTTPSoapServer"]
+__all__ = [
+    "Operation",
+    "SOAPService",
+    "HTTPSoapServer",
+    "ResponsePayload",
+    "ACCEPT_ERRNOS",
+]
 
 ParamType = Union[XSDType, StructType, ArrayType]
 Handler = Callable[..., object]
+
+#: ``accept()`` errnos that mean *resource exhaustion*, not a dead
+#: listener: back off briefly and keep accepting instead of killing
+#: the accept loop (an fd-exhaustion burst must not take the server
+#: down with it).
+ACCEPT_ERRNOS = frozenset(
+    getattr(errno, name)
+    for name in ("EMFILE", "ENFILE", "ENOBUFS", "ENOMEM")
+    if hasattr(errno, name)
+)
+
+
+@dataclass(slots=True)
+class ResponsePayload:
+    """One response as the segment views the serializer produced.
+
+    ``views`` are zero-copy chunk views for a differentially rewritten
+    response (or a single joined segment for faults and first-time
+    serializations); ``total`` is their byte sum.  Views alias the
+    session responder's live buffers — valid until the *same session*
+    handles its next request, so front ends must finish writing a
+    response before dispatching the connection's next request.
+    """
+
+    views: List = field(default_factory=list)
+    total: int = 0
+
+    @classmethod
+    def of(cls, data: bytes) -> "ResponsePayload":
+        return cls([data] if data else [], len(data))
+
+    def tobytes(self) -> bytes:
+        """Flatten to contiguous bytes (copying compatibility path)."""
+        if len(self.views) == 1 and isinstance(self.views[0], bytes):
+            return self.views[0]
+        return b"".join(bytes(v) for v in self.views)
 
 
 class Operation:
@@ -289,6 +333,11 @@ class SOAPService:
             self.sessions.relieve_pressure()
 
     def _handle_in_session(self, session: ServerSession, body: bytes) -> bytes:
+        return self._handle_in_session_views(session, body).tobytes()
+
+    def _handle_in_session_views(
+        self, session: ServerSession, body: bytes
+    ) -> ResponsePayload:
         try:
             if len(body) > self.limits.max_body_bytes:
                 raise ResourceLimitError(
@@ -335,12 +384,14 @@ class SOAPService:
                     else type(exc).__name__
                 )
                 self._rejects_counter.inc(reason=reason)
-            return SOAPFault.client(str(exc)).to_xml()
+            return ResponsePayload.of(SOAPFault.client(str(exc)).to_xml())
         except Exception as exc:  # handler bug → Server fault
             session.faults_returned += 1
             if self._faults_counter is not None:
                 self._faults_counter.inc()
-            return SOAPFault.server(f"{type(exc).__name__}: {exc}").to_xml()
+            return ResponsePayload.of(
+                SOAPFault.server(f"{type(exc).__name__}: {exc}").to_xml()
+            )
 
     # ------------------------------------------------------------------
     # delta-aware front-end entry point
@@ -370,11 +421,35 @@ class SOAPService:
         ``503`` with a ``Retry-After`` hint and touches no session
         state at all (rejection must stay cheaper than service).
         """
+        status, extra, payload = self.handle_wire_vectored(
+            body, headers, session_id
+        )
+        return status, extra, payload.tobytes()
+
+    def handle_wire_vectored(
+        self,
+        body: bytes,
+        headers: Dict[str, str],
+        session_id: Optional[Hashable] = None,
+    ) -> Tuple[int, List[str], ResponsePayload]:
+        """:meth:`handle_wire` without the final flatten.
+
+        The zero-copy entry point for vectored front ends: the
+        response comes back as a :class:`ResponsePayload` whose views
+        go straight into a ``sendmsg`` iovec.  The views alias the
+        session's live response buffers — the caller must finish (or
+        abandon) the write before this session handles another
+        request.
+        """
         if self.admission is not None:
             try:
                 self.admission.try_admit()
             except AdmissionRejectedError as exc:
-                return 503, [f"Retry-After: {exc.retry_after}"], b""
+                return (
+                    503,
+                    [f"Retry-After: {exc.retry_after}"],
+                    ResponsePayload(),
+                )
         try:
             return self._handle_wire_admitted(body, headers, session_id)
         finally:
@@ -386,7 +461,7 @@ class SOAPService:
         body: bytes,
         headers: Dict[str, str],
         session_id: Optional[Hashable],
-    ) -> Tuple[int, List[str], bytes]:
+    ) -> Tuple[int, List[str], ResponsePayload]:
         offered = headers.get("x-repro-delta") == "1"
         extra: List[str] = []
         if offered and self.delta_enabled:
@@ -404,8 +479,8 @@ class SOAPService:
                     else:
                         if offered and self.delta_enabled:
                             self._maybe_store_mirror(session, headers, body)
-                        response = self._handle_in_session(session, body)
-                    session.bytes_sent += len(response)
+                        response = self._handle_in_session_views(session, body)
+                    session.bytes_sent += response.total
                     return 200, extra, response
                 finally:
                     self.sessions.note_usage(session)
@@ -415,11 +490,11 @@ class SOAPService:
 
     def _handle_frame(
         self, session: ServerSession, body: bytes
-    ) -> Tuple[int, bytes]:
+    ) -> Tuple[int, ResponsePayload]:
         """Reconstruct a delta frame and run the SOAP pipeline on it."""
         if not self.delta_enabled:
             self.obs.record_delta_frame("resync-disabled")
-            return 409, b""
+            return 409, ResponsePayload()
         try:
             document = session.delta.apply(body, self.limits)
         except (DeltaFrameError, DeltaResyncError) as exc:
@@ -427,9 +502,9 @@ class SOAPService:
             # fault: drop to 409 so the client re-announces.  The
             # mirror is already gone (apply drops it before raising).
             self.obs.record_delta_frame(f"resync-{exc.reason}")
-            return 409, b""
+            return 409, ResponsePayload()
         self.obs.record_delta_frame("applied", len(document) - len(body))
-        return 200, self._handle_in_session(session, document)
+        return 200, self._handle_in_session_views(session, document)
 
     def _maybe_store_mirror(
         self, session: ServerSession, headers: Dict[str, str], body: bytes
@@ -457,7 +532,7 @@ class SOAPService:
 
     def _serialize_response(
         self, session: ServerSession, op: Operation, result: object
-    ) -> bytes:
+    ) -> ResponsePayload:
         params: List[Parameter] = []
         if op.result_type is not None:
             params.append(Parameter(op.result_name, op.result_type, result))
@@ -467,7 +542,7 @@ class SOAPService:
             params=params,
         )
         session.responder.send(message)
-        return session.sink.last
+        return ResponsePayload(session.sink.views(), session.sink.last_bytes())
 
 
 #: Reason phrases for the front end's rejection responses.
@@ -508,6 +583,11 @@ class HTTPSoapServer:
     (labelled by status) on the service's metrics registry.
     """
 
+    #: Seconds the accept loop pauses after an fd-exhaustion errno
+    #: (EMFILE/ENFILE/...): long enough for in-flight closes to return
+    #: fds, short enough that a recovered server resumes promptly.
+    ACCEPT_BACKOFF = 0.05
+
     def __init__(self, service: SOAPService, host: str = "127.0.0.1") -> None:
         self.service = service
         self.host = host
@@ -517,14 +597,55 @@ class HTTPSoapServer:
         self._conn_threads: List[threading.Thread] = []
         self._conn_ids = itertools.count(1)
         self._running = threading.Event()
+        self.accept_errors = 0
         if service.obs.metrics is not None:
             self._rejects_counter = service.obs.metrics.counter(
                 "repro_http_rejects_total",
                 "Connections/requests rejected at the HTTP layer, by status",
                 ("status",),
             )
+            self._accept_errors_counter = service.obs.metrics.counter(
+                "repro_accept_errors_total",
+                "accept() failures survived by backing off, by errno name",
+                ("errno",),
+            )
+            self._open_conns_gauge = service.obs.metrics.gauge(
+                "repro_http_open_connections",
+                "Live connections currently held by the front end",
+            )
         else:
             self._rejects_counter = None
+            self._accept_errors_counter = None
+            self._open_conns_gauge = None
+
+    # ------------------------------------------------------------------
+    def open_connections(self) -> int:
+        """Live connections currently being served."""
+        return sum(1 for t in self._conn_threads if t.is_alive())
+
+    def _set_open_gauge(self) -> None:
+        if self._open_conns_gauge is not None:
+            self._open_conns_gauge.set(self.open_connections())
+
+    def frontend_census(self) -> Dict[str, int]:
+        """Front-end counters folded into ``merged_counters``."""
+        return {
+            "open_connections": self.open_connections(),
+            "accept_errors": self.accept_errors,
+        }
+
+    def _note_accept_error(self, exc: OSError) -> None:
+        """Count an fd-exhaustion accept failure (then back off)."""
+        self.accept_errors += 1
+        if self._accept_errors_counter is not None:
+            self._accept_errors_counter.inc(
+                errno=errno.errorcode.get(exc.errno, str(exc.errno))
+            )
+        # The connection the kernel could not hand us was effectively
+        # turned away at the door: account it with the 503 rejects so
+        # dashboards see one "turned away" series.
+        if self._rejects_counter is not None:
+            self._rejects_counter.inc(status="503")
 
     # ------------------------------------------------------------------
     def start(self) -> "HTTPSoapServer":
@@ -536,20 +657,32 @@ class HTTPSoapServer:
         self._listener = listener
         self.port = listener.getsockname()[1]
         self._running.set()
+        self.service.sessions.set_frontend_census(self.frontend_census)
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="soap-server-accept", daemon=True
         )
         self._accept_thread.start()
         return self
 
-    def _accept_loop(self) -> None:
+    def _accept_raw(self) -> Tuple[socket.socket, object]:
+        """The raw accept call (seam for fd-exhaustion fault tests)."""
         assert self._listener is not None
+        return self._listener.accept()
+
+    def _accept_loop(self) -> None:
         while self._running.is_set():
             try:
-                conn, _ = self._listener.accept()
+                conn, _ = self._accept_raw()
             except socket.timeout:
                 continue
-            except OSError:
+            except OSError as exc:
+                if exc.errno in ACCEPT_ERRNOS and self._running.is_set():
+                    # Out of fds, not out of business: pause briefly so
+                    # closing connections can return descriptors, then
+                    # resume accepting.
+                    self._note_accept_error(exc)
+                    time.sleep(self.ACCEPT_BACKOFF)
+                    continue
                 break
             # Reap finished connection threads so a long-lived server
             # handling many short connections doesn't accumulate dead
@@ -572,6 +705,7 @@ class HTTPSoapServer:
             )
             thread.start()
             self._conn_threads.append(thread)
+            self._set_open_gauge()
 
     def _retry_after_hint(self) -> int:
         """Retry-After seconds for front-end 503 rejections.
@@ -665,6 +799,7 @@ class HTTPSoapServer:
             # Free the connection's session state eagerly; a returning
             # client dials a new connection and pays one full parse.
             self.service.sessions.close_session(session_id)
+            self._set_open_gauge()
 
     def _drain_requests(
         self,
@@ -788,6 +923,7 @@ class HTTPSoapServer:
 
     def stop(self) -> None:
         self._running.clear()
+        self.service.sessions.set_frontend_census(None)
         if self._listener is not None:
             try:
                 self._listener.close()

@@ -1,0 +1,108 @@
+"""A hashed timer wheel for per-connection deadlines.
+
+The threaded front end enforces ``ResourceLimits.read_deadline`` with
+blocking socket timeouts — one kernel timer per connection, re-checked
+on every 200 ms wakeup.  An event-loop server with thousands of
+connections needs the same semantics without per-connection syscalls:
+a :class:`TimerWheel` keeps every armed deadline in coarse time
+buckets, so arming, re-arming, and cancelling are O(1) dict ops and
+one :meth:`expire` sweep per loop iteration collects everything due.
+
+Deadlines here are *lazy-cancel*: re-arming a key simply overwrites
+its authoritative deadline, and stale bucket entries are skipped when
+their slot comes around.  That matches the access pattern — a live
+connection re-arms on every request it completes — and keeps the hot
+path allocation-free.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Hashable, List, Optional
+
+__all__ = ["TimerWheel"]
+
+
+class TimerWheel:
+    """Coarse-bucket deadline tracking (see module docstring).
+
+    Parameters
+    ----------
+    tick:
+        Bucket width in seconds.  Deadlines fire up to one tick late,
+        never early — the same slack the threaded server's 200 ms
+        accept/read wakeups already accept.
+    clock:
+        Injectable monotonic clock (tests freeze it).
+    """
+
+    def __init__(
+        self, tick: float = 0.1, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        if tick <= 0:
+            raise ValueError("tick must be positive")
+        self.tick = tick
+        self._clock = clock
+        #: key → authoritative absolute deadline (monotonic seconds).
+        self._deadlines: Dict[Hashable, float] = {}
+        #: bucket index → keys that *may* expire there (lazy-cancel).
+        self._buckets: Dict[int, List[Hashable]] = {}
+
+    def __len__(self) -> int:
+        return len(self._deadlines)
+
+    def _bucket(self, deadline: float) -> int:
+        return int(deadline / self.tick) + 1  # round up: never fire early
+
+    # ------------------------------------------------------------------
+    def arm(self, key: Hashable, delay: float) -> None:
+        """(Re)arm *key* to fire *delay* seconds from now."""
+        deadline = self._clock() + delay
+        self._deadlines[key] = deadline
+        self._buckets.setdefault(self._bucket(deadline), []).append(key)
+
+    def cancel(self, key: Hashable) -> None:
+        """Disarm *key* (bucket entries die lazily)."""
+        self._deadlines.pop(key, None)
+
+    def deadline_of(self, key: Hashable) -> Optional[float]:
+        return self._deadlines.get(key)
+
+    # ------------------------------------------------------------------
+    def expire(self, now: Optional[float] = None) -> List[Hashable]:
+        """Pop and return every key whose deadline has passed."""
+        if now is None:
+            now = self._clock()
+        due: List[Hashable] = []
+        current = int(now / self.tick)
+        deadlines = self._deadlines
+        for index in [b for b in self._buckets if b <= current]:
+            for key in self._buckets.pop(index):
+                deadline = deadlines.get(key)
+                if deadline is None:
+                    continue  # cancelled (or already re-armed and fired)
+                if deadline <= now:
+                    del deadlines[key]
+                    due.append(key)
+                else:
+                    # Re-armed into the future after this bucket entry
+                    # was queued; requeue at its real slot.
+                    self._buckets.setdefault(
+                        self._bucket(deadline), []
+                    ).append(key)
+        return due
+
+    def timeout_until_next(
+        self, ceiling: float = 1.0, now: Optional[float] = None
+    ) -> float:
+        """Seconds a ``select`` may sleep without missing a deadline.
+
+        Coarse on purpose: one tick past the earliest *possible* slot,
+        clamped to ``[0, ceiling]``.  With no armed timers, *ceiling*.
+        """
+        if not self._buckets:
+            return ceiling
+        if now is None:
+            now = self._clock()
+        earliest = min(self._buckets) * self.tick
+        return max(0.0, min(ceiling, earliest - now + self.tick))

@@ -95,35 +95,57 @@ class CollectSink:
 
 
 class LatestSink:
-    """Keeps only the most recent message.
+    """Keeps only the most recent message — as its raw segment views.
 
     The bounded sibling of :class:`CollectSink`: a server session
     serializing responses for the lifetime of a connection must not
     retain every response it ever sent, only the one the front end is
     about to write.
+
+    The message is retained as the *view list* the serializer emitted,
+    not a flattened copy: a vectored front end reads :meth:`views` and
+    hands the chunk views straight to ``socket.sendmsg``, so a
+    steady-state structural resend never copies payload bytes.  The
+    views alias the responder's live chunk buffers, which the next
+    request on the same session rewrites in place — they are only
+    valid until that session handles another request (front ends
+    finish writing response *i* before dispatching request *i+1* on a
+    connection, which is exactly that window).  :attr:`last` joins on
+    demand for callers that want contiguous bytes.
     """
 
     def __init__(self) -> None:
-        self._last: Optional[bytes] = None
+        self._views: Optional[List[memoryview | bytes]] = None
+        self._total = 0
         self.messages_sent = 0
         self.bytes_total = 0
 
     def send_message(self, views: ViewStream, total_bytes: Optional[int] = None) -> int:
-        data = b"".join(bytes(v) for v in views)
-        self._last = data
+        # Materializing a lazy stream drives the interleaved rewrite;
+        # yielded chunk views are final once the iterator is exhausted.
+        parts: List[memoryview | bytes] = [v for v in views if len(v)]
+        total = sum(len(v) for v in parts)
+        self._views = parts
+        self._total = total
         self.messages_sent += 1
-        self.bytes_total += len(data)
-        return len(data)
+        self.bytes_total += total
+        return total
 
     @property
     def last(self) -> bytes:
-        if self._last is None:
+        if self._views is None:
             raise LookupError("no message sent yet")
-        return self._last
+        return b"".join(bytes(v) for v in self._views)
+
+    def views(self) -> List[memoryview | bytes]:
+        """The retained message's segment views (no copy)."""
+        if self._views is None:
+            raise LookupError("no message sent yet")
+        return self._views
 
     def last_bytes(self) -> int:
         """Size of the retained message (0 before the first send)."""
-        return 0 if self._last is None else len(self._last)
+        return self._total
 
     def close(self) -> None:
         pass

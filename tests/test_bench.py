@@ -246,3 +246,74 @@ class TestDiffdeserBenchResult:
         assert row["n"] >= 65536
         assert row["skipscan_hits"] == row["sends"], row
         assert row["parse_speedup_vs_full"] >= bench_mod.MIN_HEADLINE_SPEEDUP
+
+
+class TestAsyncServerBenchResult:
+    """The checked-in C10K comparison archive (``BENCH_async_server.json``)
+    conforms to ``repro-bench-result/1`` and carries the perf-smoke
+    headlines: a 2k+-connection async soak with zero errors that beats
+    the threaded server at its own (much lower) peak on both calls/sec
+    and p99, and the vectored (iovec) write path at or above the
+    flattening copy on multi-chunk steady-state resends."""
+
+    @pytest.fixture(scope="class")
+    def bench_mod(self):
+        path = REPO_ROOT / "benchmarks" / "bench_runtime_throughput.py"
+        spec = importlib.util.spec_from_file_location(
+            "bench_runtime_throughput", path
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod
+
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return json.loads((REPO_ROOT / "BENCH_async_server.json").read_text())
+
+    def _soak(self, doc, server):
+        [row] = [
+            r
+            for r in doc["results"]
+            if r["mode"] == "soak" and r["server"] == server
+        ]
+        return row
+
+    def test_schema(self, bench_mod, doc):
+        from repro.bench.resultjson import validate_result
+
+        validate_result(
+            doc, required_columns=bench_mod.ASYNC_COMPARE_COLUMNS
+        )
+        assert doc["bench"] == "async_server"
+        assert not doc["params"]["smoke"]
+
+    def test_soak_at_c10k_scale_with_zero_errors(self, doc):
+        row = self._soak(doc, "async")
+        assert row["connections"] >= 2000
+        assert row["errors"] == 0
+        assert row["calls"] >= row["connections"]  # every socket served
+
+    def test_async_at_scale_beats_threaded_at_its_peak(self, doc):
+        threaded = self._soak(doc, "threaded")
+        asynch = self._soak(doc, "async")
+        # Threaded runs at its own (much lower) peak, same in-flight
+        # window, same total timed calls.
+        assert threaded["errors"] == 0
+        assert asynch["connections"] >= 16 * threaded["connections"]
+        assert asynch["calls_per_sec"] >= threaded["calls_per_sec"]
+        assert asynch["p99_ms"] <= threaded["p99_ms"]
+
+    def test_iovec_beats_flat_on_multichunk_resends(self, doc):
+        by_arm = {
+            r["vectored"]: r
+            for r in doc["results"]
+            if r["mode"] == "resend-ablation"
+        }
+        assert set(by_arm) == {True, False}
+        for row in by_arm.values():
+            assert row["errors"] == 0
+            # Multi-chunk: the response spans >= 64 KiB of doubles.
+            assert row["response_doubles"] * 14 >= (1 << 16)
+        assert (
+            by_arm[True]["calls_per_sec"] >= by_arm[False]["calls_per_sec"]
+        )

@@ -31,14 +31,15 @@ def _assert_clean(report, config):
     assert report.phases[-1].calls_ok == config.clients * config.calls_per_phase
 
 
+@pytest.mark.parametrize("server", ["threaded", "async"])
 class TestChaosSmoke:
-    def test_small_soak_is_clean(self):
-        config = ChaosConfig(clients=4, calls_per_phase=8)
+    def test_small_soak_is_clean(self, server):
+        config = ChaosConfig(clients=4, calls_per_phase=8, server=server)
         report = run_chaos(config)
         _assert_clean(report, config)
 
-    def test_summary_mentions_every_phase(self):
-        config = ChaosConfig(clients=2, calls_per_phase=3)
+    def test_summary_mentions_every_phase(self, server):
+        config = ChaosConfig(clients=2, calls_per_phase=3, server=server)
         report = run_chaos(config)
         text = report.summary()
         for phase in PHASES:
@@ -46,14 +47,18 @@ class TestChaosSmoke:
         for tier in SHED_TIERS:
             assert tier in text
 
-    def test_cli_smoke_exits_zero(self, capsys):
+    def test_cli_smoke_exits_zero(self, capsys, server):
         rc = chaos_main(
-            ["--seed", "7", "--clients", "2", "--calls-per-phase", "3"]
+            [
+                "--seed", "7", "--clients", "2", "--calls-per-phase", "3",
+                "--server", server,
+            ]
         )
         out = capsys.readouterr().out
         assert rc == 0
         assert "all invariants held" in out
         assert "seed=7" in out
+        assert f"server={server}" in out
 
 
 @pytest.mark.slow
